@@ -1,0 +1,61 @@
+// Figure 13: "Average Number of Tuple Paths Generated at Each Level in
+// TPW" — one series per (J, m) combination.
+//
+// Paper shape: the tuple-path count per level rises through the middle
+// levels and then collapses toward level m, because value combinations
+// across independent source attributes become increasingly unlikely as
+// paths grow ("the number of valid tuple paths decreases dramatically as
+// the algorithm approaches the full size of the target schema").
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/sample_search.h"
+#include "query/executor.h"
+
+int main() {
+  using namespace mweaver;
+  const bench::YahooEnv env;
+  const size_t reps = bench::EnvSize("MWEAVER_BENCH_REPS", 20) / 2 + 1;
+  env.PrintHeader("Figure 13: avg #tuple paths generated per weave level");
+
+  query::PathExecutor executor(&env.engine());
+  for (size_t s = 0; s < env.task_sets().size(); ++s) {
+    const datagen::TaskSet& set = env.task_sets()[s];
+    std::printf("--- Task set %zu (J=%d) ---\n", s + 1, set.joins);
+    for (const datagen::TaskMapping& task : set.tasks) {
+      const size_t m = task.mapping.size();
+      auto target = executor.EvaluateTarget(task.mapping, 300);
+      if (!target.ok() || target->empty()) {
+        std::fprintf(stderr, "no target rows for %s\n", task.name.c_str());
+        return 1;
+      }
+      Rng rng(13'000 + s * 100 + m);
+      std::vector<double> level_sums(m + 1, 0.0);
+      for (size_t rep = 0; rep < reps; ++rep) {
+        auto tpw = core::SampleSearch(env.engine(), env.graph(),
+                                      rng.Pick(*target));
+        if (!tpw.ok()) {
+          std::fprintf(stderr, "TPW failed: %s\n",
+                       tpw.status().ToString().c_str());
+          return 1;
+        }
+        const auto& levels = tpw->stats.weave.tuple_paths_per_level;
+        for (size_t level = 2; level <= m && level < levels.size();
+             ++level) {
+          level_sums[level] += static_cast<double>(levels[level]);
+        }
+      }
+      std::printf("m=%zu  level:", m);
+      for (size_t level = 2; level <= m; ++level) {
+        std::printf("  L%zu=%.1f", level, level_sums[level] / reps);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: counts peak in the middle levels and collapse toward "
+      "level m.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 1: "The Average Number of Samples to Generate the Goal Mapping."
+//
+// For each task set (shared relation path, J = 2, 3, 4) and target size
+// m = 3..6, simulated users type random samples from the goal target until
+// MWeaver converges; we report the mean sample count.
+//
+// Paper reference values (Yahoo Movies, 100 repetitions):
+//   set 1: 7.24  9.35 10.80 14.98
+//   set 2: 5.08  8.50 11.55 16.18
+//   set 3: 6.97  9.27 11.71 13.67
+// i.e. roughly two rows of samples (~2m). We check the shape: counts grow
+// with m and stay in the low single-digit-rows regime.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace mweaver;
+  const bench::YahooEnv env;
+  const size_t reps = bench::EnvSize("MWEAVER_BENCH_REPS", 20);
+  env.PrintHeader("Table 1: average #samples to reach the goal mapping");
+
+  bench::PrintRow("Size of ST (m)", {"3", "4", "5", "6", "", "paper m=3..6"});
+  const char* paper[3] = {"7.2 9.4 10.8 15.0", "5.1 8.5 11.6 16.2",
+                          "7.0 9.3 11.7 13.7"};
+
+  for (size_t s = 0; s < env.task_sets().size(); ++s) {
+    const datagen::TaskSet& set = env.task_sets()[s];
+    std::vector<std::string> cells(4, "-");  // columns m=3..6
+    for (const datagen::TaskMapping& task : set.tasks) {
+      double total = 0.0;
+      size_t discovered = 0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        datagen::SimulationOptions options;
+        options.seed = 7'000 + s * 1'000 + task.mapping.size() * 100 + rep;
+        auto sim =
+            datagen::SimulateUserSession(env.engine(), env.graph(), task,
+                                         options);
+        if (!sim.ok()) {
+          std::fprintf(stderr, "simulation failed: %s\n",
+                       sim.status().ToString().c_str());
+          return 1;
+        }
+        if (sim->discovered) {
+          total += static_cast<double>(sim->num_samples);
+          ++discovered;
+        }
+      }
+      const size_t column = task.mapping.size() - 3;
+      cells[column] = discovered > 0 ? bench::Fmt(total / discovered)
+                                     : std::string("-");
+    }
+    cells.push_back("");
+    cells.push_back(paper[s]);
+    bench::PrintRow("Task Set " + std::to_string(s + 1) + " (J=" +
+                        std::to_string(set.joins) + ")",
+                    cells);
+  }
+  std::printf(
+      "\nExpected shape: ~2 rows of samples (about 2m), growing with m.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared setup for the experiment harness: one benchmark binary per table /
+// figure of the paper's Section 6 (see DESIGN.md's per-experiment index).
+//
+// Scale knobs come from the environment so the same binaries serve quick
+// smoke runs and paper-scale runs:
+//   MWEAVER_BENCH_MOVIES   movies in the source DB             (default 150)
+//   MWEAVER_BENCH_REPS     repetitions per cell                (default 20)
+//   MWEAVER_BENCH_DATASET  "yahoo" (default) or "imdb" — which synthetic
+//                          source the workload runs over (the paper used
+//                          Yahoo Movies only; imdb is our addition)
+#ifndef MWEAVER_BENCH_BENCH_UTIL_H_
+#define MWEAVER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/movie_gen.h"
+#include "datagen/workload.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline bool UseImdbDataset() {
+  const char* value = std::getenv("MWEAVER_BENCH_DATASET");
+  return value != nullptr && std::string(value) == "imdb";
+}
+
+/// \brief The standard experiment environment: a synthetic source database
+/// (Yahoo-Movies-like by default, IMDb-like with MWEAVER_BENCH_DATASET=
+/// imdb) with its full-text engine, schema graph, and the Section-6.2 task
+/// workload (task sets J=2,3,4 over increasing target sizes).
+class YahooEnv {
+ public:
+  explicit YahooEnv(size_t num_movies = EnvSize("MWEAVER_BENCH_MOVIES", 150))
+      : imdb_(UseImdbDataset()),
+        db_(MakeDb(num_movies, imdb_)),
+        engine_(&db_, text::MatchPolicy::Substring()),
+        graph_(&db_),
+        task_sets_((imdb_ ? datagen::MakeImdbTaskSets(db_)
+                          : datagen::MakeYahooTaskSets(db_))
+                       .ValueOrDie()) {}
+
+  const storage::Database& db() const { return db_; }
+  const text::FullTextEngine& engine() const { return engine_; }
+  const graph::SchemaGraph& graph() const { return graph_; }
+  const std::vector<datagen::TaskSet>& task_sets() const {
+    return task_sets_;
+  }
+
+  void PrintHeader(const char* experiment) const {
+    std::printf("=== %s ===\n", experiment);
+    std::printf(
+        "source: synthetic %s DB — %zu relations, %zu attributes, %zu "
+        "rows\n\n",
+        imdb_ ? "IMDb-like" : "Yahoo-Movies-like", db_.num_relations(),
+        db_.TotalAttributes(), db_.TotalRows());
+  }
+
+ private:
+  static storage::Database MakeDb(size_t num_movies, bool imdb) {
+    if (imdb) {
+      datagen::ImdbConfig config;
+      config.num_movies = num_movies;
+      return datagen::MakeImdb(config);
+    }
+    datagen::YahooMoviesConfig config;
+    config.num_movies = num_movies;
+    return datagen::MakeYahooMovies(config);
+  }
+
+  bool imdb_;
+  storage::Database db_;
+  text::FullTextEngine engine_;
+  graph::SchemaGraph graph_;
+  std::vector<datagen::TaskSet> task_sets_;
+};
+
+/// \brief Prints one row of a fixed-width table.
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells,
+                     int label_width = 28, int cell_width = 12) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace mweaver::bench
+
+#endif  // MWEAVER_BENCH_BENCH_UTIL_H_

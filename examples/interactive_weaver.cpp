@@ -1,0 +1,185 @@
+// Interactive MWeaver: a terminal version of the paper's spreadsheet UI
+// (Figure 4) over the synthetic Yahoo-Movies database. Type samples into
+// cells, watch the candidate list narrow, and get SQL when it converges.
+//
+//   $ ./examples/interactive_weaver [num_movies]
+//
+// Commands:
+//   <row> <col> <value...>   set a cell (0-based row/col; row 0 first)
+//   peek                     show a random row of the source 'movie' table
+//   suggest <prefix>         auto-complete a value from the source instance
+//   hint                     rows that would discriminate the candidates
+//   show                     show the spreadsheet and candidate mappings
+//   sql                      print SQL for the best candidate
+//   reset                    start over
+//   quit
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/session.h"
+#include "text/autocomplete.h"
+#include "datagen/movie_gen.h"
+#include "graph/schema_graph.h"
+#include "query/sql.h"
+#include "text/fulltext_engine.h"
+
+namespace {
+
+using mweaver::core::Session;
+using mweaver::core::SessionState;
+
+void ShowState(const Session& session, const mweaver::storage::Database& db) {
+  std::cout << "\n  ";
+  for (const std::string& name : session.column_names()) {
+    std::cout << "[" << name << "] ";
+  }
+  std::cout << "\n";
+  for (size_t r = 0; r < std::max<size_t>(session.num_rows(), 1); ++r) {
+    std::cout << "  ";
+    for (size_t c = 0; c < session.num_columns(); ++c) {
+      const std::string& cell = session.cell(r, c);
+      std::cout << (cell.empty() ? "·" : cell) << " | ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nstate: " << SessionStateName(session.state()) << ", "
+            << session.candidates().size() << " candidate mapping(s)\n";
+  size_t shown = 0;
+  for (const auto& candidate : session.candidates()) {
+    if (++shown > 5) {
+      std::cout << "  ... and " << session.candidates().size() - 5
+                << " more\n";
+      break;
+    }
+    std::cout << "  " << shown << ". " << candidate.mapping.ToString(db)
+              << "  (score " << candidate.score << ", support "
+              << candidate.support << ")\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mweaver::datagen::YahooMoviesConfig config;
+  if (argc > 1) config.num_movies = std::strtoul(argv[1], nullptr, 10);
+  const mweaver::storage::Database db =
+      mweaver::datagen::MakeYahooMovies(config);
+  const mweaver::text::FullTextEngine engine(
+      &db, mweaver::text::MatchPolicy::Substring());
+  const mweaver::graph::SchemaGraph schema_graph(&db);
+  mweaver::Rng rng(std::random_device{}());
+
+  std::cout << "MWeaver interactive session over a synthetic Yahoo-Movies "
+               "database\n(" << db.num_relations() << " relations, "
+            << db.TotalRows() << " rows).\n"
+            << "Target: MyMovieInfo(name, director, producer, location).\n"
+            << "Fill row 0 completely to trigger sample search; 'peek' "
+               "shows real source values; 'quit' exits.\n";
+
+  const mweaver::text::ValueDictionary dictionary(&db);
+  Session session(&engine, &schema_graph,
+                  {"name", "director", "producer", "location"});
+  session.set_reject_irrelevant_samples(true);
+  std::string line;
+  while (std::cout << "\nmweaver> " && std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "show") {
+      ShowState(session, db);
+      continue;
+    }
+    if (cmd == "reset") {
+      session.Reset();
+      std::cout << "cleared.\n";
+      continue;
+    }
+    if (cmd == "peek") {
+      const auto& movies = db.relation(db.FindRelation("movie"));
+      const auto row = static_cast<mweaver::storage::RowId>(
+          rng.Index(movies.num_rows()));
+      std::cout << "movie: title=\"" << movies.at(row, 1).ToDisplayString()
+                << "\" release_date=" << movies.at(row, 3).ToDisplayString()
+                << "\n(directors/producers/locations join via direct/"
+                   "produce/filmedin)\n";
+      continue;
+    }
+    if (cmd == "suggest") {
+      std::string prefix;
+      std::getline(in, prefix);
+      prefix = mweaver::Trim(prefix);
+      const auto suggestions = dictionary.Suggest(prefix);
+      if (suggestions.empty()) {
+        std::cout << "no source value starts with \"" << prefix << "\"\n";
+      } else {
+        for (const std::string& s : suggestions) std::cout << "  " << s
+                                                           << "\n";
+      }
+      continue;
+    }
+    if (cmd == "hint") {
+      auto hints = session.SuggestRows();
+      if (!hints.ok()) {
+        std::cout << "error: " << hints.status() << "\n";
+      } else if (hints->empty()) {
+        std::cout << "nothing to discriminate (type the first row, or the "
+                     "session already converged).\n";
+      } else {
+        std::cout << "typing any of these rows narrows the candidates:\n";
+        for (const auto& hint : *hints) {
+          std::cout << "  ";
+          for (const std::string& v : hint.row) std::cout << v << " | ";
+          std::cout << " (kept: " << hint.supporting_candidates << "/"
+                    << hint.total_candidates << ")\n";
+        }
+      }
+      continue;
+    }
+    if (cmd == "sql") {
+      if (session.candidates().empty()) {
+        std::cout << "no candidates yet.\n";
+      } else {
+        std::map<int, std::string> names;
+        for (size_t c = 0; c < session.num_columns(); ++c) {
+          names[static_cast<int>(c)] = session.column_names()[c];
+        }
+        std::cout << mweaver::query::ToSql(
+                         db, session.candidates().front().mapping, names)
+                  << "\n";
+      }
+      continue;
+    }
+    // Otherwise: "<row> <col> <value...>".
+    size_t row = 0, col = 0;
+    std::istringstream cell_in(line);
+    if (!(cell_in >> row >> col)) {
+      std::cout << "commands: <row> <col> <value> | peek | show | sql | "
+                   "reset | quit\n";
+      continue;
+    }
+    std::string value;
+    std::getline(cell_in, value);
+    value = mweaver::Trim(value);
+    const mweaver::Status status = session.Input(row, col, value);
+    if (!status.ok()) {
+      std::cout << "error: " << status << "\n";
+      continue;
+    }
+    if (session.last_input_rejected()) {
+      std::cout << "warning: \"" << value << "\" contradicts every current "
+                << "candidate mapping — ignored. ('suggest " << value
+                << "' finds close source values.)\n";
+      continue;
+    }
+    ShowState(session, db);
+    if (session.converged()) {
+      std::cout << "\nconverged! 'sql' prints the mapping.\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// The paper's running example (Sections 4-5) on the synthetic Yahoo-Movies
+// database: map into MyMovieInfo(name, director, producer, location) from a
+// 43-relation source the user never has to look at.
+//
+//   $ ./examples/movie_mapping [num_movies]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "core/sample_search.h"
+#include "core/session.h"
+#include "datagen/movie_gen.h"
+#include "datagen/workload.h"
+#include "graph/schema_graph.h"
+#include "query/executor.h"
+#include "query/sql.h"
+#include "text/fulltext_engine.h"
+
+using mweaver::Stopwatch;
+
+int main(int argc, char** argv) {
+  mweaver::datagen::YahooMoviesConfig config;
+  if (argc > 1) config.num_movies = std::strtoul(argv[1], nullptr, 10);
+
+  Stopwatch watch;
+  mweaver::storage::Database db = mweaver::datagen::MakeYahooMovies(config);
+  std::cout << "source database: " << db.num_relations() << " relations, "
+            << db.TotalAttributes() << " attributes, " << db.TotalRows()
+            << " rows (built in " << watch.ElapsedMillis() << " ms)\n";
+
+  watch.Restart();
+  mweaver::text::FullTextEngine engine(&db,
+                                       mweaver::text::MatchPolicy::Substring());
+  mweaver::graph::SchemaGraph schema_graph(&db);
+  std::cout << "full-text engine: " << engine.num_indexed_attributes()
+            << " indexed attributes (" << watch.ElapsedMillis() << " ms)\n\n";
+
+  // The user wants MyMovieInfo(name, director, producer, location). Pull a
+  // real joined row out of the instance to play the part of the user's
+  // knowledge (a movie with its director, producing company and location).
+  auto goal = mweaver::datagen::BuildChainMapping(
+      db, {"person", "direct", "movie", "produce", "company"},
+      {{1, 0, "name"}, {0, 2, "title"}, {2, 4, "name"}});
+  if (!goal.ok()) {
+    std::cerr << goal.status() << "\n";
+    return 1;
+  }
+  // Extend with location via filmedin.
+  mweaver::query::PathExecutor executor(&engine);
+  auto full = mweaver::datagen::BuildChainMapping(
+      db, {"person", "direct", "movie", "produce", "company"}, {});
+  mweaver::core::MappingPath mapping = *goal;
+  {
+    // Attach location: movie vertex is index 2 on the chain.
+    const auto loc_rel = db.FindRelation("location");
+    const auto filmedin_rel = db.FindRelation("filmedin");
+    mweaver::storage::ForeignKeyId fk_movie = -1, fk_loc = -1;
+    for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+      const auto& fk = db.foreign_keys()[i];
+      if (fk.from_relation == filmedin_rel && fk.to_relation ==
+          db.FindRelation("movie")) {
+        fk_movie = static_cast<mweaver::storage::ForeignKeyId>(i);
+      }
+      if (fk.from_relation == filmedin_rel && fk.to_relation == loc_rel) {
+        fk_loc = static_cast<mweaver::storage::ForeignKeyId>(i);
+      }
+    }
+    const auto v_fi = mapping.AddVertex(filmedin_rel, 2, fk_movie, true);
+    const auto v_loc = mapping.AddVertex(loc_rel, v_fi, fk_loc, false);
+    mapping.AddProjection(3, v_loc,
+                          db.relation(loc_rel).schema().FindAttribute("loc"));
+  }
+
+  auto target = executor.EvaluateTarget(mapping, 500);
+  if (!target.ok() || target->empty()) {
+    std::cerr << "could not materialize a sample row\n";
+    return 1;
+  }
+  const std::vector<std::string>& row = target->front();
+  std::cout << "the user knows, e.g.: movie \"" << row[0]
+            << "\" directed by " << row[1] << ", produced by " << row[2]
+            << ", filmed in " << row[3] << "\n\n";
+
+  // Sample search from that single row (the paper's Example 2).
+  watch.Restart();
+  auto result = mweaver::core::SampleSearch(engine, schema_graph, row);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "sample search: " << result->candidates.size()
+            << " valid candidate mappings in " << watch.ElapsedMillis()
+            << " ms\n";
+  const auto& stats = result->stats;
+  std::cout << "  occurrences=" << stats.num_occurrences
+            << " pairwise_mappings=" << stats.pairwise.num_mappings
+            << " valid_pairwise=" << stats.pairwise.num_valid_mappings
+            << " tuple_paths=" << stats.weave.total_tuple_paths << "\n";
+  std::cout << "  tuple paths per level:";
+  for (size_t level = 2; level < stats.weave.tuple_paths_per_level.size();
+       ++level) {
+    std::cout << " L" << level << "="
+              << stats.weave.tuple_paths_per_level[level];
+  }
+  std::cout << "\n\n  top candidates:\n";
+  for (size_t i = 0; i < result->candidates.size() && i < 5; ++i) {
+    std::cout << "  " << i + 1 << ". "
+              << result->candidates[i].mapping.ToString(db) << "  (score "
+              << result->candidates[i].score << ", support "
+              << result->candidates[i].support << ")\n";
+  }
+
+  // Interactive refinement with a second row, as in Example 7.
+  mweaver::core::Session session(&engine, &schema_graph,
+                                 {"name", "director", "producer",
+                                  "location"});
+  for (size_t c = 0; c < 4; ++c) {
+    auto st = session.Input(0, c, row[c]);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  std::cout << "\nsession after first row: " << session.candidates().size()
+            << " candidates\n";
+  size_t extra_row = 1;
+  for (const auto& next : *target) {
+    if (session.converged() ||
+        session.state() == mweaver::core::SessionState::kNoMapping) {
+      break;
+    }
+    if (&next == &target->front()) continue;
+    for (size_t c = 0; c < 4 && !session.converged(); ++c) {
+      auto st = session.Input(extra_row, c, next[c]);
+      if (!st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+    }
+    std::cout << "after row " << extra_row + 1 << ": "
+              << session.candidates().size() << " candidates\n";
+    ++extra_row;
+  }
+
+  if (session.converged()) {
+    std::cout << "\nconverged to:\n  "
+              << session.best().mapping.ToString(db) << "\n\n"
+              << mweaver::query::ToSql(db, session.best().mapping,
+                                       {{0, "name"},
+                                        {1, "director"},
+                                        {2, "producer"},
+                                        {3, "location"}})
+            << "\n";
+  } else {
+    std::cout << "\n(ran out of distinct sample rows before convergence — "
+                 "state: "
+              << SessionStateName(session.state()) << ")\n";
+  }
+  return 0;
+}

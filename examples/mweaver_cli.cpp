@@ -1,0 +1,159 @@
+// mweaver_cli: sample-driven schema mapping over *your own* database.
+//
+//   $ ./examples/mweaver_cli <db.mwdb> <col1> [col2 ...]
+//   $ ./examples/mweaver_cli --demo   # writes and uses a demo dump
+//
+// Loads a database from the mweaverdb dump format (storage/dump.h; see
+// csv_integration.cpp for assembling one from CSV files), opens an
+// interactive session with the given target columns, and weaves mappings
+// from the samples you type. Same commands as interactive_weaver:
+//   <row> <col> <value...> | suggest <prefix> | hint | show | sql | reset
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/session.h"
+#include "datagen/movie_gen.h"
+#include "graph/schema_graph.h"
+#include "query/sql.h"
+#include "storage/dump.h"
+#include "text/autocomplete.h"
+#include "text/fulltext_engine.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <db.mwdb> <col1> [col2 ...]\n"
+            << "       " << argv0 << " --demo\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> columns;
+  if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    // Self-contained demo: dump a small synthetic source and use it.
+    mweaver::datagen::YahooMoviesConfig config;
+    config.num_movies = 60;
+    const auto demo = mweaver::datagen::MakeYahooMovies(config);
+    path = "/tmp/mweaver_demo.mwdb";
+    if (auto st = mweaver::storage::DumpDatabaseToFile(demo, path);
+        !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    columns = {"name", "director", "producer"};
+    std::cout << "demo database written to " << path << "\n";
+  } else if (argc >= 3) {
+    path = argv[1];
+    for (int i = 2; i < argc; ++i) columns.emplace_back(argv[i]);
+  } else {
+    return Usage(argv[0]);
+  }
+
+  auto db = mweaver::storage::LoadDatabaseFromFile(path);
+  if (!db.ok()) {
+    std::cerr << "cannot load database: " << db.status() << "\n";
+    return 1;
+  }
+  std::cout << "loaded '" << db->name() << "': " << db->num_relations()
+            << " relations, " << db->TotalAttributes() << " attributes, "
+            << db->TotalRows() << " rows\n";
+  if (auto st = db->CheckReferentialIntegrity(); !st.ok()) {
+    std::cerr << "warning: " << st << "\n";
+  }
+
+  const mweaver::text::FullTextEngine engine(
+      &*db, mweaver::text::MatchPolicy::Substring().WithNumeric());
+  const mweaver::graph::SchemaGraph schema_graph(&*db);
+  const mweaver::text::ValueDictionary dictionary(&*db);
+  mweaver::core::Session session(&engine, &schema_graph, columns);
+  session.set_reject_irrelevant_samples(true);
+
+  std::cout << "target:";
+  for (const std::string& c : columns) std::cout << " [" << c << "]";
+  std::cout << "\nfill row 0 completely to search; 'quit' exits.\n";
+
+  std::string line;
+  while (std::cout << "mweaver> " && std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "reset") {
+      session.Reset();
+      continue;
+    }
+    if (cmd == "suggest") {
+      std::string prefix;
+      std::getline(in, prefix);
+      for (const std::string& s :
+           dictionary.Suggest(mweaver::Trim(prefix))) {
+        std::cout << "  " << s << "\n";
+      }
+      continue;
+    }
+    if (cmd == "hint") {
+      auto hints = session.SuggestRows();
+      if (hints.ok()) {
+        for (const auto& hint : *hints) {
+          std::cout << "  ";
+          for (const std::string& v : hint.row) std::cout << v << " | ";
+          std::cout << "(kept " << hint.supporting_candidates << "/"
+                    << hint.total_candidates << ")\n";
+        }
+      }
+      continue;
+    }
+    if (cmd == "show" || cmd == "sql") {
+      std::cout << session.candidates().size() << " candidate(s), state="
+                << SessionStateName(session.state()) << "\n";
+      size_t shown = 0;
+      for (const auto& candidate : session.candidates()) {
+        if (++shown > 5) break;
+        std::cout << "  " << shown << ". "
+                  << candidate.mapping.ToString(*db) << "\n";
+      }
+      if (cmd == "sql" && !session.candidates().empty()) {
+        std::map<int, std::string> names;
+        for (size_t c = 0; c < columns.size(); ++c) {
+          names[static_cast<int>(c)] = columns[c];
+        }
+        std::cout << mweaver::query::ToSql(
+                         *db, session.candidates().front().mapping, names)
+                  << "\n";
+      }
+      continue;
+    }
+    size_t row = 0, col = 0;
+    std::istringstream cell_in(line);
+    if (!(cell_in >> row >> col)) {
+      std::cout << "commands: <row> <col> <value> | suggest <prefix> | "
+                   "hint | show | sql | reset | quit\n";
+      continue;
+    }
+    std::string value;
+    std::getline(cell_in, value);
+    const mweaver::Status status =
+        session.Input(row, col, mweaver::Trim(value));
+    if (!status.ok()) {
+      std::cout << "error: " << status << "\n";
+      continue;
+    }
+    if (session.last_input_rejected()) {
+      std::cout << "warning: sample contradicts every candidate — ignored\n";
+      continue;
+    }
+    std::cout << session.candidates().size() << " candidate(s), state="
+              << SessionStateName(session.state()) << "\n";
+    if (session.converged()) {
+      std::cout << "converged: " << session.best().mapping.ToString(*db)
+                << "\n";
+    }
+  }
+  return 0;
+}

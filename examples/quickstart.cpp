@@ -1,0 +1,120 @@
+// Quickstart: build a tiny movie database, type two rows of target samples,
+// and watch MWeaver converge on the mapping — then print it as SQL.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/session.h"
+#include "graph/schema_graph.h"
+#include "query/sql.h"
+#include "storage/database.h"
+#include "text/fulltext_engine.h"
+
+namespace {
+
+using mweaver::storage::AttributeSchema;
+using mweaver::storage::Database;
+using mweaver::storage::Relation;
+using mweaver::storage::RelationSchema;
+using mweaver::storage::Row;
+using mweaver::storage::Value;
+using mweaver::storage::ValueType;
+
+AttributeSchema Id(const char* name) {
+  return {name, ValueType::kInt64, /*searchable=*/false};
+}
+AttributeSchema Str(const char* name) {
+  return {name, ValueType::kString, /*searchable=*/true};
+}
+
+// The paper's Figure 2 source schema: movies and people connected by both
+// Director and Writer link tables — the classic join-path ambiguity.
+Database MakeExampleDb() {
+  Database db("example");
+  db.AddRelation(RelationSchema("movie", {Id("mid"), Str("title")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("person", {Id("pid"), Str("name")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("director", {Id("mid"), Id("pid")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("writer", {Id("mid"), Id("pid")}))
+      .ValueOrDie();
+  db.AddForeignKey("director", "mid", "movie", "mid").ValueOrDie();
+  db.AddForeignKey("director", "pid", "person", "pid").ValueOrDie();
+  db.AddForeignKey("writer", "mid", "movie", "mid").ValueOrDie();
+  db.AddForeignKey("writer", "pid", "person", "pid").ValueOrDie();
+
+  auto add = [&](const char* rel, Row row) {
+    db.mutable_relation(db.FindRelation(rel))->AppendUnchecked(std::move(row));
+  };
+  // movies
+  add("movie", {Value(int64_t{0}), Value("Avatar")});
+  add("movie", {Value(int64_t{1}), Value("Harry Potter")});
+  add("movie", {Value(int64_t{2}), Value("Big Fish")});
+  // people
+  add("person", {Value(int64_t{0}), Value("James Cameron")});
+  add("person", {Value(int64_t{1}), Value("David Yates")});
+  add("person", {Value(int64_t{2}), Value("J. K. Rowling")});
+  add("person", {Value(int64_t{3}), Value("Tim Burton")});
+  add("person", {Value(int64_t{4}), Value("John August")});
+  // who directed what
+  add("director", {Value(int64_t{0}), Value(int64_t{0})});  // Cameron
+  add("director", {Value(int64_t{1}), Value(int64_t{1})});  // Yates
+  add("director", {Value(int64_t{2}), Value(int64_t{3})});  // Burton
+  // who wrote what
+  add("writer", {Value(int64_t{0}), Value(int64_t{0})});  // Cameron
+  add("writer", {Value(int64_t{1}), Value(int64_t{2})});  // Rowling
+  add("writer", {Value(int64_t{2}), Value(int64_t{4})});  // August
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Database db = MakeExampleDb();
+  mweaver::text::FullTextEngine engine(&db,
+                                       mweaver::text::MatchPolicy::Substring());
+  mweaver::graph::SchemaGraph schema_graph(&db);
+
+  // The target the user has in mind: MyMovieInfo(Name, Director).
+  mweaver::core::Session session(&engine, &schema_graph,
+                                 {"Name", "Director"});
+
+  auto type = [&](size_t row, size_t col, const char* text) {
+    auto status = session.Input(row, col, text);
+    if (!status.ok()) {
+      std::cerr << "input failed: " << status << "\n";
+      std::exit(1);
+    }
+    std::cout << "typed (" << row << "," << col << ") = \"" << text
+              << "\"  ->  " << session.candidates().size()
+              << " candidate mapping(s), state="
+              << SessionStateName(session.state()) << "\n";
+  };
+
+  std::cout << "== First row: Avatar was directed by James Cameron ==\n";
+  type(0, 0, "Avatar");
+  type(0, 1, "James Cameron");
+  // Cameron both wrote and directed Avatar, so Director and Writer join
+  // paths both survive. Show the ambiguity:
+  for (const auto& candidate : session.candidates()) {
+    std::cout << "  candidate: " << candidate.mapping.ToString(db)
+              << "  (score " << candidate.score << ")\n";
+  }
+
+  std::cout << "== Second row: Harry Potter / David Yates settles it ==\n";
+  type(1, 0, "Harry Potter");
+  type(1, 1, "David Yates");
+
+  if (!session.converged()) {
+    std::cerr << "expected convergence!\n";
+    return 1;
+  }
+  const auto& best = session.best();
+  std::cout << "\nConverged mapping: " << best.mapping.ToString(db) << "\n\n";
+  std::cout << mweaver::query::ToSql(
+                   db, best.mapping,
+                   {{0, "Name"}, {1, "Director"}})
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "baselines/candidate_enum.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "core/location_map.h"
+#include "core/pairwise.h"
+#include "core/path_internal.h"
+
+namespace mweaver::baselines {
+
+namespace {
+
+using core::ColumnPair;
+using core::MappingPath;
+using core::PairwiseMappingMap;
+using core::Projection;
+using core::VertexId;
+using core::kNoVertex;
+using core::internal::AdjEdge;
+using core::internal::BuildAdjacency;
+using core::internal::SimplePath;
+
+// One step of an attachment chain, from the anchor toward the new column's
+// projection.
+struct ChainStep {
+  storage::RelationId relation;
+  storage::ForeignKeyId fk;
+  bool is_from_side;
+};
+
+// An attachment chain: anchored at a vertex of `anchor_relation`, adding a
+// projection of `end_attr` for the new column at the chain's end.
+struct Chain {
+  storage::RelationId anchor_relation;
+  std::vector<ChainStep> steps;
+  storage::AttributeId end_attr;
+};
+
+// Extracts attachment chains from a pairwise mapping path, anchored at the
+// vertex projecting `anchor_col` and ending at the vertex projecting
+// `new_col`.
+Chain ChainFromPairwise(const MappingPath& pairwise, int anchor_col,
+                        int new_col) {
+  const Projection* anchor = pairwise.FindProjection(anchor_col);
+  const Projection* target = pairwise.FindProjection(new_col);
+  MW_CHECK(anchor != nullptr && target != nullptr);
+  const auto adj = BuildAdjacency(pairwise.vertices());
+  const std::vector<VertexId> order =
+      SimplePath(adj, anchor->vertex, target->vertex);
+  Chain chain;
+  chain.anchor_relation = pairwise.vertex(anchor->vertex).relation;
+  chain.end_attr = target->attribute;
+  for (size_t i = 1; i < order.size(); ++i) {
+    // Edge between order[i-1] and order[i], seen from order[i].
+    for (const AdjEdge& e : adj[static_cast<size_t>(order[i - 1])]) {
+      if (e.neighbor == order[i]) {
+        chain.steps.push_back(ChainStep{pairwise.vertex(order[i]).relation,
+                                        e.fk, e.neighbor_is_from_side});
+        break;
+      }
+    }
+  }
+  return chain;
+}
+
+// Enumerates every structural way to attach `chain` (projecting `new_col`)
+// to `base` at the vertex projecting `anchor_col`: each prefix of the chain
+// may merge with matching base edges (all branchings explored), the suffix
+// is grafted.
+void AttachAllWays(const MappingPath& base, int anchor_col, int new_col,
+                   const Chain& chain, std::vector<MappingPath>* out) {
+  const Projection* anchor_proj = base.FindProjection(anchor_col);
+  MW_CHECK(anchor_proj != nullptr);
+  if (base.vertex(anchor_proj->vertex).relation != chain.anchor_relation) {
+    return;
+  }
+
+  // Recursive exploration; `path` is copied per branch (paths are tiny).
+  std::function<void(MappingPath, VertexId, size_t, std::vector<VertexId>)>
+      rec = [&](MappingPath path, VertexId cur, size_t step,
+                std::vector<VertexId> visited) {
+        if (step == chain.steps.size()) {
+          path.AddProjection(new_col, cur, chain.end_attr);
+          out->push_back(std::move(path));
+          return;
+        }
+        const ChainStep& cs = chain.steps[step];
+        // Merge alternatives: any unvisited neighbor matching the step's
+        // (relation, fk, orientation).
+        const auto adj = BuildAdjacency(path.vertices());
+        for (const AdjEdge& e : adj[static_cast<size_t>(cur)]) {
+          if (std::find(visited.begin(), visited.end(), e.neighbor) !=
+              visited.end()) {
+            continue;
+          }
+          if (e.fk != cs.fk || e.neighbor_is_from_side != cs.is_from_side) {
+            continue;
+          }
+          if (path.vertex(e.neighbor).relation != cs.relation) continue;
+          std::vector<VertexId> next_visited = visited;
+          next_visited.push_back(e.neighbor);
+          rec(path, e.neighbor, step + 1, std::move(next_visited));
+        }
+        // Graft alternative: a fresh vertex (subsequent steps then graft
+        // too, since the new vertex has no other neighbors).
+        MappingPath grafted = path;
+        const VertexId nv =
+            grafted.AddVertex(cs.relation, cur, cs.fk, cs.is_from_side);
+        std::vector<VertexId> next_visited = visited;
+        next_visited.push_back(nv);
+        rec(std::move(grafted), nv, step + 1, std::move(next_visited));
+      };
+  rec(base, anchor_proj->vertex, 0, {anchor_proj->vertex});
+}
+
+}  // namespace
+
+Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
+    const graph::SchemaGraph& schema_graph,
+    const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
+    const EnumOptions& options, EnumStats* stats) {
+  const size_t m = attrs_per_column.size();
+  EnumStats local;
+  local.candidates_per_level.assign(m + 1, 0);
+  auto finish = [&](Status status) {
+    if (stats != nullptr) *stats = local;
+    return status;
+  };
+  if (m == 0) {
+    return finish(Status::InvalidArgument("no target columns"));
+  }
+
+  if (m == 1) {
+    std::vector<MappingPath> out;
+    for (const text::AttributeRef& attr : attrs_per_column[0]) {
+      MappingPath path = MappingPath::SingleVertex(attr.relation);
+      path.AddProjection(0, 0, attr.attribute);
+      out.push_back(std::move(path));
+    }
+    local.num_candidates = out.size();
+    local.candidates_per_level[1] = out.size();
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  const core::LocationMap locations =
+      core::LocationMap::FromAttributes(attrs_per_column);
+  const PairwiseMappingMap pmpm = core::GeneratePairwiseMappingPaths(
+      schema_graph, locations, options.pmnj);
+
+  // Pre-strip pairwise paths into attachment chains per (anchor, new)
+  // column ordered pair, deduplicated.
+  std::map<std::pair<int, int>, std::vector<Chain>> chains;
+  {
+    std::map<std::pair<int, int>, std::set<std::string>> seen;
+    auto add_chain = [&](int anchor, int added, Chain chain) {
+      std::string key = "R" + std::to_string(chain.anchor_relation);
+      for (const ChainStep& s : chain.steps) {
+        key += "|" + std::to_string(s.relation) + "," +
+               std::to_string(s.fk) + "," + (s.is_from_side ? "f" : "t");
+      }
+      key += "|a" + std::to_string(chain.end_attr);
+      if (seen[{anchor, added}].insert(std::move(key)).second) {
+        chains[{anchor, added}].push_back(std::move(chain));
+      }
+    };
+    for (const auto& [pair, mappings] : pmpm) {
+      for (const MappingPath& mp : mappings) {
+        add_chain(pair.first, pair.second,
+                  ChainFromPairwise(mp, pair.first, pair.second));
+        add_chain(pair.second, pair.first,
+                  ChainFromPairwise(mp, pair.second, pair.first));
+      }
+    }
+  }
+
+  // Level 2: the pairwise paths themselves.
+  std::vector<MappingPath> level;
+  size_t live_total = 0;
+  {
+    std::set<std::string> seen;
+    for (const auto& [pair, mappings] : pmpm) {
+      for (const MappingPath& mp : mappings) {
+        if (seen.insert(mp.Canonical()).second) level.push_back(mp);
+      }
+    }
+  }
+  live_total += level.size();
+  local.candidates_per_level[2] = level.size();
+  if (m == 2) local.num_candidates = level.size();
+
+  for (size_t n = 2; n < m; ++n) {
+    std::vector<MappingPath> next;
+    std::set<std::string> seen;
+    for (const MappingPath& base : level) {
+      const std::vector<int> base_cols = base.TargetColumns();
+      for (int anchor : base_cols) {
+        for (size_t j = 0; j < m; ++j) {
+          const int new_col = static_cast<int>(j);
+          if (std::find(base_cols.begin(), base_cols.end(), new_col) !=
+              base_cols.end()) {
+            continue;
+          }
+          auto it = chains.find({anchor, new_col});
+          if (it == chains.end()) continue;
+          for (const Chain& chain : it->second) {
+            std::vector<MappingPath> attached;
+            AttachAllWays(base, anchor, new_col, chain, &attached);
+            for (MappingPath& mp : attached) {
+              if (seen.insert(mp.Canonical()).second) {
+                next.push_back(std::move(mp));
+                ++live_total;
+                if (options.max_candidates > 0 &&
+                    live_total > options.max_candidates) {
+                  local.candidates_per_level[n + 1] = next.size();
+                  local.num_candidates = next.size();
+                  return finish(Status::ResourceExhausted(
+                      "naive candidate enumeration exceeded the memory "
+                      "budget of " +
+                      std::to_string(options.max_candidates) +
+                      " mapping paths"));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    local.candidates_per_level[n + 1] = next.size();
+    level = std::move(next);
+  }
+
+  local.num_candidates = level.size();
+  if (stats != nullptr) *stats = local;
+  return level;
+}
+
+}  // namespace mweaver::baselines

@@ -1,0 +1,49 @@
+// Schema-level enumeration of complete candidate mapping paths — the
+// "candidate network" generation of DISCOVER-style keyword search ([17] in
+// the paper), which the naive baseline of Section 6.3 is built on.
+//
+// Enumerates exactly the mapping-path family TPW searches: complete paths
+// constructible by starting from a pairwise path (<= PMNJ joins between the
+// two projected attributes) and repeatedly attaching each remaining target
+// column via a connection chain of <= PMNJ joins, with every structural
+// merge/graft alternative explored. Unlike TPW, no instance information
+// prunes the enumeration, so the candidate count explodes combinatorially —
+// which is the point of the comparison.
+#ifndef MWEAVER_BASELINES_CANDIDATE_ENUM_H_
+#define MWEAVER_BASELINES_CANDIDATE_ENUM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping_path.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::baselines {
+
+struct EnumOptions {
+  int pmnj = 2;
+  /// Abort with ResourceExhausted once this many distinct candidates exist
+  /// (0 = unlimited). Emulates the paper's naive algorithm running out of
+  /// memory beyond target size 4-5.
+  size_t max_candidates = 0;
+};
+
+struct EnumStats {
+  /// Distinct complete candidate mapping paths enumerated ("# Naive MP").
+  size_t num_candidates = 0;
+  /// Candidates enumerated per level (level n = n columns covered).
+  std::vector<size_t> candidates_per_level;
+};
+
+/// \brief Enumerates every complete candidate mapping path where column i
+/// projects one of `attrs_per_column[i]`. Returns ResourceExhausted when
+/// `max_candidates` is exceeded (stats still reports the count reached).
+Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
+    const graph::SchemaGraph& schema_graph,
+    const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
+    const EnumOptions& options, EnumStats* stats);
+
+}  // namespace mweaver::baselines
+
+#endif  // MWEAVER_BASELINES_CANDIDATE_ENUM_H_

@@ -1,0 +1,62 @@
+// An Eirene-style mapping designer (Alexe et al., SIGMOD 2011 — reference
+// [8] of the paper): fits project-join mappings to fully-specified data
+// examples, each pairing a set of source tuples with one target tuple.
+//
+// Contrast with MWeaver (Section 2): the user must know the source schema
+// well enough to supply the source side of every example and to link the
+// tuples through join values — which is where its extra interaction cost in
+// the user study comes from.
+#ifndef MWEAVER_BASELINES_EIRENE_H_
+#define MWEAVER_BASELINES_EIRENE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping_path.h"
+#include "storage/database.h"
+
+namespace mweaver::baselines {
+
+/// \brief One data example: the source tuples the user copied out of the
+/// source instance, plus the target tuple they should produce.
+struct DataExample {
+  std::vector<std::pair<storage::RelationId, storage::RowId>> source_tuples;
+  /// One value per target column; empty strings are unconstrained.
+  std::vector<std::string> target_tuple;
+};
+
+struct EireneOptions {
+  /// Maximum FK edges considered between the example's tuples before
+  /// aborting (guards degenerate examples).
+  size_t max_edges = 64;
+};
+
+/// \brief Fits project-join mappings to data examples over one database.
+class EireneFitter {
+ public:
+  /// \brief `db` must outlive the fitter.
+  explicit EireneFitter(const storage::Database* db,
+                        EireneOptions options = {});
+
+  /// \brief Mapping paths consistent with *every* example: for each
+  /// example, the mapping's relation path is a spanning tree of the
+  /// example's source tuples (joined through FK value equality) and each
+  /// specified target value equals the projected source value exactly.
+  /// Returns an empty vector when no mapping fits.
+  Result<std::vector<core::MappingPath>> Fit(
+      const std::vector<DataExample>& examples) const;
+
+  /// \brief Fits a single example.
+  Result<std::vector<core::MappingPath>> FitOne(
+      const DataExample& example) const;
+
+ private:
+  const storage::Database* db_;
+  EireneOptions options_;
+};
+
+}  // namespace mweaver::baselines
+
+#endif  // MWEAVER_BASELINES_EIRENE_H_

@@ -1,0 +1,164 @@
+#include "baselines/matchdriven.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <set>
+
+#include "baselines/matchers.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace mweaver::baselines {
+
+MatchDrivenMapper::MatchDrivenMapper(const text::FullTextEngine* engine,
+                                     const graph::SchemaGraph* schema_graph,
+                                     MatchOptions options)
+    : engine_(engine), schema_graph_(schema_graph), options_(options) {
+  MW_CHECK(engine != nullptr);
+  MW_CHECK(schema_graph != nullptr);
+}
+
+namespace {
+
+// Splits CamelCase boundaries before lowercasing so "ReleaseDate" aligns
+// with "release_date".
+std::string BreakCamelCase(const std::string& name) {
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (i > 0 && std::isupper(static_cast<unsigned char>(name[i])) &&
+        std::islower(static_cast<unsigned char>(name[i - 1]))) {
+      out += ' ';
+    }
+    out += name[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+double MatchDrivenMapper::NameSimilarity(const std::string& target_name,
+                                         const std::string& attr_name) {
+  const std::string a = ToLower(BreakCamelCase(target_name));
+  const std::string b = ToLower(BreakCamelCase(attr_name));
+  if (a == b) return 1.0;
+  // Token-level: best alignment of target tokens onto attribute tokens
+  // handles snake_case vs CamelCase vs spaced names.
+  const std::vector<std::string> ta = text::Tokenize(a);
+  const std::vector<std::string> tb = text::Tokenize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& x : ta) {
+    double best = 0.0;
+    for (const std::string& y : tb) {
+      double sim = EditSimilarity(x, y);
+      // Substring containment (e.g. "name" in "fullname") counts strongly.
+      if (x.size() >= 3 && y.find(x) != std::string::npos) {
+        sim = std::max(sim, 0.8);
+      }
+      best = std::max(best, sim);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+std::vector<std::vector<Correspondence>>
+MatchDrivenMapper::ProposeCorrespondences(
+    const std::vector<std::string>& target_column_names,
+    const std::vector<std::vector<std::string>>& instance_values) const {
+  const storage::Database& db = engine_->db();
+
+  // Assemble the matcher stack from the configured weights (LSD/COMA-style
+  // combination; see baselines/matchers.h).
+  CompositeMatcher matcher;
+  if (options_.name_weight > 0.0) {
+    matcher.Add(std::make_unique<NameMatcher>(), options_.name_weight);
+  }
+  if (options_.instance_weight > 0.0) {
+    matcher.Add(std::make_unique<InstanceOverlapMatcher>(),
+                options_.instance_weight);
+  }
+  if (options_.shape_weight > 0.0) {
+    matcher.Add(std::make_unique<ShapeMatcher>(), options_.shape_weight);
+  }
+
+  std::vector<std::vector<Correspondence>> proposals(
+      target_column_names.size());
+  for (size_t col = 0; col < target_column_names.size(); ++col) {
+    MatchTarget target;
+    target.column_name = target_column_names[col];
+    if (col < instance_values.size()) {
+      target.instances = instance_values[col];
+    }
+    std::vector<Correspondence> scored;
+    for (size_t r = 0; r < db.num_relations(); ++r) {
+      const storage::RelationId rel_id = static_cast<storage::RelationId>(r);
+      const storage::Relation& rel = db.relation(rel_id);
+      for (size_t a = 0; a < rel.schema().num_attributes(); ++a) {
+        const storage::AttributeSchema& attr_schema =
+            rel.schema().attributes()[a];
+        if (attr_schema.type != storage::ValueType::kString ||
+            !attr_schema.searchable) {
+          continue;
+        }
+        const text::AttributeRef ref{rel_id,
+                                     static_cast<storage::AttributeId>(a)};
+        const double score = matcher.Score(target, ref, *engine_);
+        if (score <= 0.0) continue;
+        scored.push_back(
+            Correspondence{static_cast<int>(col), ref, score});
+      }
+    }
+    std::sort(scored.begin(), scored.end(),
+              [&](const Correspondence& x, const Correspondence& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return engine_->AttributeName(x.attr) <
+                       engine_->AttributeName(y.attr);
+              });
+    if (scored.size() > options_.top_k) scored.resize(options_.top_k);
+    proposals[col] = std::move(scored);
+  }
+  return proposals;
+}
+
+Result<std::vector<core::MappingPath>> MatchDrivenMapper::EnumerateMappings(
+    const std::vector<Correspondence>& confirmed) const {
+  if (confirmed.empty()) {
+    return Status::InvalidArgument("no confirmed correspondences");
+  }
+  // One attribute per column, ordered by target column index.
+  std::vector<Correspondence> sorted = confirmed;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Correspondence& a, const Correspondence& b) {
+              return a.target_column < b.target_column;
+            });
+  std::vector<std::vector<text::AttributeRef>> attrs_per_column;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].target_column != static_cast<int>(i)) {
+      return Status::InvalidArgument(
+          "confirmed correspondences must cover target columns 0..m-1 "
+          "exactly once");
+    }
+    attrs_per_column.push_back({sorted[i].attr});
+  }
+
+  EnumOptions enum_options;
+  enum_options.pmnj = options_.pmnj;
+  enum_options.max_candidates = options_.max_mappings;
+  MW_ASSIGN_OR_RETURN(std::vector<core::MappingPath> mappings,
+                      EnumerateCandidateMappings(*schema_graph_,
+                                                 attrs_per_column,
+                                                 enum_options, nullptr));
+  std::sort(mappings.begin(), mappings.end(),
+            [](const core::MappingPath& a, const core::MappingPath& b) {
+              if (a.num_joins() != b.num_joins()) {
+                return a.num_joins() < b.num_joins();
+              }
+              return a.Canonical() < b.Canonical();
+            });
+  return mappings;
+}
+
+}  // namespace mweaver::baselines

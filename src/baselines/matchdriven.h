@@ -1,0 +1,79 @@
+// A match-driven mapping tool in the Clio / IBM InfoSphere Data Architect
+// mold (Figure 3 of the paper): first a matching phase proposing
+// attribute-level correspondences from schema- and instance-based
+// similarity, then a mapping phase enumerating the join structures that
+// realize the user-confirmed correspondences.
+//
+// In the user study this tool is driven by a simulated user who must review
+// each proposed correspondence and disambiguate the join path — the
+// workflow whose cost MWeaver's sample-driven interaction avoids.
+#ifndef MWEAVER_BASELINES_MATCHDRIVEN_H_
+#define MWEAVER_BASELINES_MATCHDRIVEN_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/candidate_enum.h"
+#include "common/result.h"
+#include "core/mapping_path.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::baselines {
+
+/// \brief One proposed attribute-level correspondence.
+struct Correspondence {
+  int target_column = -1;
+  text::AttributeRef attr;
+  double score = 0.0;
+};
+
+struct MatchOptions {
+  /// Correspondence proposals per target column.
+  size_t top_k = 5;
+  /// Weights of the similarity signals (see baselines/matchers.h); a
+  /// weight of 0 disables the signal.
+  double name_weight = 0.5;
+  double instance_weight = 0.35;
+  double shape_weight = 0.15;
+  /// Join search depth and candidate bound for the mapping phase.
+  int pmnj = 2;
+  size_t max_mappings = 10000;
+};
+
+/// \brief Match-driven (Clio-style) schema mapper.
+class MatchDrivenMapper {
+ public:
+  /// \brief `engine` and `schema_graph` must outlive the mapper.
+  MatchDrivenMapper(const text::FullTextEngine* engine,
+                    const graph::SchemaGraph* schema_graph,
+                    MatchOptions options = {});
+
+  /// \brief Matching phase: for each target column name (optionally with a
+  /// few known instance values), the top-k source attributes ranked by
+  /// combined name/instance similarity. result[i] is sorted best-first.
+  std::vector<std::vector<Correspondence>> ProposeCorrespondences(
+      const std::vector<std::string>& target_column_names,
+      const std::vector<std::vector<std::string>>& instance_values = {}) const;
+
+  /// \brief Mapping phase: all join structures (within PMNJ) realizing one
+  /// confirmed correspondence per column, sorted by ascending join count —
+  /// the tool "usually picks one mapping" (the first); the alternatives are
+  /// what the user must disambiguate.
+  Result<std::vector<core::MappingPath>> EnumerateMappings(
+      const std::vector<Correspondence>& confirmed) const;
+
+  /// \brief Name similarity in [0,1] between a target column name and a
+  /// source attribute name (token-based edit similarity; exposed for tests).
+  static double NameSimilarity(const std::string& target_name,
+                               const std::string& attr_name);
+
+ private:
+  const text::FullTextEngine* engine_;
+  const graph::SchemaGraph* schema_graph_;
+  MatchOptions options_;
+};
+
+}  // namespace mweaver::baselines
+
+#endif  // MWEAVER_BASELINES_MATCHDRIVEN_H_

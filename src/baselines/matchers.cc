@@ -1,0 +1,69 @@
+#include "baselines/matchers.h"
+
+#include "baselines/matchdriven.h"
+#include "common/logging.h"
+
+namespace mweaver::baselines {
+
+double NameMatcher::Score(const MatchTarget& target,
+                          const text::AttributeRef& attr,
+                          const text::FullTextEngine& engine) const {
+  const storage::Relation& rel = engine.db().relation(attr.relation);
+  return MatchDrivenMapper::NameSimilarity(
+      target.column_name, rel.schema().attribute(attr.attribute).name);
+}
+
+double InstanceOverlapMatcher::Score(const MatchTarget& target,
+                                     const text::AttributeRef& attr,
+                                     const text::FullTextEngine& engine) const {
+  if (target.instances.empty()) return 0.0;
+  size_t contained = 0;
+  for (const std::string& value : target.instances) {
+    if (!engine.MatchingRows(attr, value).empty()) ++contained;
+  }
+  return static_cast<double>(contained) /
+         static_cast<double>(target.instances.size());
+}
+
+double ShapeMatcher::Score(const MatchTarget& target,
+                           const text::AttributeRef& attr,
+                           const text::FullTextEngine& engine) const {
+  if (target.instances.empty()) return 0.0;
+  const storage::ColumnStats source = storage::ComputeColumnStats(
+      engine.db().relation(attr.relation), attr.attribute);
+  const storage::ColumnStats wanted =
+      storage::ComputeValueStats(target.instances);
+  return storage::ShapeSimilarity(source, wanted);
+}
+
+CompositeMatcher& CompositeMatcher::Add(
+    std::unique_ptr<AttributeMatcher> matcher, double weight) {
+  MW_CHECK(matcher != nullptr);
+  MW_CHECK_GT(weight, 0.0);
+  components_.push_back(Component{std::move(matcher), weight});
+  return *this;
+}
+
+double CompositeMatcher::Score(const MatchTarget& target,
+                               const text::AttributeRef& attr,
+                               const text::FullTextEngine& engine) const {
+  if (components_.empty()) return 0.0;
+  double total = 0.0;
+  double weight_total = 0.0;
+  for (const Component& component : components_) {
+    total += component.weight * component.matcher->Score(target, attr,
+                                                         engine);
+    weight_total += component.weight;
+  }
+  return total / weight_total;
+}
+
+CompositeMatcher CompositeMatcher::Default() {
+  CompositeMatcher composite;
+  composite.Add(std::make_unique<NameMatcher>(), 0.5);
+  composite.Add(std::make_unique<InstanceOverlapMatcher>(), 0.35);
+  composite.Add(std::make_unique<ShapeMatcher>(), 0.15);
+  return composite;
+}
+
+}  // namespace mweaver::baselines

@@ -1,0 +1,100 @@
+// Pluggable attribute matchers for the match-driven (Clio/InfoSphere-style)
+// baseline, in the families the paper's related work surveys (§2):
+// schema-based (name similarity, cf. Cupid/COMA), instance-based (value
+// overlap, cf. LSD; value-shape statistics for opaque column names, cf.
+// Kang & Naughton), and weighted combinations thereof.
+#ifndef MWEAVER_BASELINES_MATCHERS_H_
+#define MWEAVER_BASELINES_MATCHERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/stats.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::baselines {
+
+/// \brief What a matcher sees about the target column being matched.
+struct MatchTarget {
+  std::string column_name;
+  /// Instance values of the target column, when available (e.g. samples
+  /// the user already typed).
+  std::vector<std::string> instances;
+};
+
+/// \brief Scores how well one source attribute corresponds to a target
+/// column. Implementations are stateless w.r.t. targets and reusable.
+class AttributeMatcher {
+ public:
+  virtual ~AttributeMatcher() = default;
+
+  /// \brief Similarity in [0,1] between `target` and the source attribute
+  /// `attr` of `engine`'s database.
+  virtual double Score(const MatchTarget& target,
+                       const text::AttributeRef& attr,
+                       const text::FullTextEngine& engine) const = 0;
+
+  /// \brief Short identifier ("name", "instance", "shape", ...).
+  virtual std::string id() const = 0;
+};
+
+/// \brief Schema-based: token-level name similarity (CamelCase/snake_case
+/// aware). Ignores instances.
+class NameMatcher : public AttributeMatcher {
+ public:
+  double Score(const MatchTarget& target, const text::AttributeRef& attr,
+               const text::FullTextEngine& engine) const override;
+  std::string id() const override { return "name"; }
+};
+
+/// \brief Instance-based: the fraction of the target's instance values that
+/// the source column noisily contains. 0 when no instances are given.
+class InstanceOverlapMatcher : public AttributeMatcher {
+ public:
+  double Score(const MatchTarget& target, const text::AttributeRef& attr,
+               const text::FullTextEngine& engine) const override;
+  std::string id() const override { return "instance"; }
+};
+
+/// \brief Instance-based for opaque names: compares the *shape* of the
+/// target instances (length, numeric fraction, character classes) against
+/// the source column's statistics. 0 when no instances are given.
+class ShapeMatcher : public AttributeMatcher {
+ public:
+  double Score(const MatchTarget& target, const text::AttributeRef& attr,
+               const text::FullTextEngine& engine) const override;
+  std::string id() const override { return "shape"; }
+};
+
+/// \brief Weighted combination of matchers (the LSD/COMA pattern).
+/// Weights need not sum to 1; scores are normalized by the weight total.
+class CompositeMatcher : public AttributeMatcher {
+ public:
+  CompositeMatcher() = default;
+
+  /// \brief Adds a component with the given weight (> 0).
+  CompositeMatcher& Add(std::unique_ptr<AttributeMatcher> matcher,
+                        double weight);
+
+  double Score(const MatchTarget& target, const text::AttributeRef& attr,
+               const text::FullTextEngine& engine) const override;
+  std::string id() const override { return "composite"; }
+
+  size_t num_components() const { return components_.size(); }
+
+  /// \brief The default stack used by MatchDrivenMapper: name 0.5,
+  /// instance overlap 0.35, value shape 0.15.
+  static CompositeMatcher Default();
+
+ private:
+  struct Component {
+    std::unique_ptr<AttributeMatcher> matcher;
+    double weight;
+  };
+  std::vector<Component> components_;
+};
+
+}  // namespace mweaver::baselines
+
+#endif  // MWEAVER_BASELINES_MATCHERS_H_

@@ -1,0 +1,74 @@
+#include "baselines/naive_search.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/location_map.h"
+#include "query/executor.h"
+
+namespace mweaver::baselines {
+
+Result<std::vector<core::MappingPath>> NaiveSampleSearch(
+    const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
+    const std::vector<std::string>& sample_tuple, const NaiveOptions& options,
+    NaiveStats* stats) {
+  NaiveStats local;
+  auto publish = [&]() {
+    if (stats != nullptr) *stats = local;
+  };
+
+  for (size_t i = 0; i < sample_tuple.size(); ++i) {
+    if (sample_tuple[i].empty()) {
+      publish();
+      return Status::InvalidArgument(
+          StrFormat("naive search requires a fully populated sample tuple; "
+                    "column %zu is empty",
+                    i));
+    }
+  }
+
+  Stopwatch total;
+  Stopwatch phase;
+
+  // Step 1 is shared with TPW: locate the samples.
+  const core::LocationMap locations =
+      core::LocationMap::Build(engine, sample_tuple);
+  std::vector<std::vector<text::AttributeRef>> attrs_per_column;
+  attrs_per_column.reserve(locations.num_columns());
+  for (size_t i = 0; i < locations.num_columns(); ++i) {
+    attrs_per_column.push_back(locations.AttributesOf(i));
+  }
+
+  // Enumerate every candidate network, blind to the instance.
+  Result<std::vector<core::MappingPath>> candidates =
+      EnumerateCandidateMappings(schema_graph, attrs_per_column,
+                                 options.enumeration, &local.enumeration);
+  local.enumerate_ms = phase.ElapsedMillis();
+  if (!candidates.ok()) {
+    local.exhausted = candidates.status().IsResourceExhausted();
+    local.total_ms = total.ElapsedMillis();
+    publish();
+    return candidates.status();
+  }
+
+  // Validate each candidate with a keyword-constrained existence query.
+  phase.Restart();
+  query::SampleMap samples;
+  for (size_t i = 0; i < sample_tuple.size(); ++i) {
+    samples.emplace(static_cast<int>(i), sample_tuple[i]);
+  }
+  query::PathExecutor executor(&engine);
+  std::vector<core::MappingPath> valid;
+  for (const core::MappingPath& mapping : *candidates) {
+    MW_ASSIGN_OR_RETURN(bool supported,
+                        executor.HasSupport(mapping, samples));
+    if (supported) valid.push_back(mapping);
+  }
+  local.num_valid = valid.size();
+  local.validate_ms = phase.ElapsedMillis();
+  local.total_ms = total.ElapsedMillis();
+  publish();
+  return valid;
+}
+
+}  // namespace mweaver::baselines

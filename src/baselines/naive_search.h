@@ -1,0 +1,45 @@
+// The naive sample-search baseline of Section 6.3: enumerate every complete
+// candidate mapping path the way DISCOVER-style "candidate networks" are
+// generated, then validate each one with a database query. Exponentially
+// many candidates must be validated through expensive execution, which is
+// what TPW's early instance-level pruning avoids.
+#ifndef MWEAVER_BASELINES_NAIVE_SEARCH_H_
+#define MWEAVER_BASELINES_NAIVE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/candidate_enum.h"
+#include "common/result.h"
+#include "core/mapping_path.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::baselines {
+
+struct NaiveOptions {
+  EnumOptions enumeration;
+};
+
+struct NaiveStats {
+  EnumStats enumeration;      // "# Naive MP" and per-level counts
+  size_t num_valid = 0;       // candidates surviving validation
+  double enumerate_ms = 0.0;
+  double validate_ms = 0.0;
+  double total_ms = 0.0;
+  /// True when enumeration blew the memory budget (the paper's "-" cells).
+  bool exhausted = false;
+};
+
+/// \brief Runs the naive algorithm for one sample tuple. Returns the valid
+/// complete mapping paths (the same set TPW finds), or ResourceExhausted
+/// when the candidate enumeration exceeds the memory budget — `stats` is
+/// populated either way.
+Result<std::vector<core::MappingPath>> NaiveSampleSearch(
+    const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
+    const std::vector<std::string>& sample_tuple, const NaiveOptions& options,
+    NaiveStats* stats);
+
+}  // namespace mweaver::baselines
+
+#endif  // MWEAVER_BASELINES_NAIVE_SEARCH_H_

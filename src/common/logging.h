@@ -1,0 +1,87 @@
+// Minimal leveled logging and invariant checks (MW_CHECK aborts with a
+// message; MW_DCHECK compiles out of release builds).
+#ifndef MWEAVER_COMMON_LOGGING_H_
+#define MWEAVER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mweaver {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level below which log statements are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MW_LOG(level)                                               \
+  ::mweaver::internal::LogMessage(::mweaver::LogLevel::k##level,    \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when `condition` is false.
+#define MW_CHECK(condition)                                         \
+  for (bool _mw_ok = static_cast<bool>(condition); !_mw_ok;)        \
+  ::mweaver::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define MW_CHECK_EQ(a, b) MW_CHECK((a) == (b))
+#define MW_CHECK_NE(a, b) MW_CHECK((a) != (b))
+#define MW_CHECK_LT(a, b) MW_CHECK((a) < (b))
+#define MW_CHECK_LE(a, b) MW_CHECK((a) <= (b))
+#define MW_CHECK_GT(a, b) MW_CHECK((a) > (b))
+#define MW_CHECK_GE(a, b) MW_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define MW_DCHECK(condition) \
+  while (false) MW_CHECK(condition)
+#else
+#define MW_DCHECK(condition) MW_CHECK(condition)
+#endif
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_LOGGING_H_

@@ -1,0 +1,22 @@
+// Minimal data-parallel helper: run a function over [0, n) on a fixed
+// number of worker threads. Used to parallelize the per-mapping approximate
+// search queries of TPW's pairwise step (by far its dominant cost).
+#ifndef MWEAVER_COMMON_PARALLEL_H_
+#define MWEAVER_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace mweaver {
+
+/// \brief Invokes `fn(i)` for every i in [0, n), distributing work-stealing
+/// style over `num_threads` threads (<= 1 runs inline on the caller).
+/// Blocks until all invocations finish. `fn` must be safe to call
+/// concurrently from multiple threads for distinct i.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_PARALLEL_H_

@@ -1,0 +1,32 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace mweaver {
+
+size_t Rng::ZipfIndex(size_t size, double theta) {
+  MW_DCHECK(size > 0);
+  if (size == 1) return 0;
+  // Inverse-CDF sampling over the truncated zipf weights. Sizes used by the
+  // generators are modest, so the O(size) normalization is computed lazily
+  // per call only for small sizes; larger sizes use the rejection-free
+  // approximation via the continuous power-law quantile.
+  if (size <= 64) {
+    double norm = 0.0;
+    for (size_t r = 0; r < size; ++r) norm += std::pow(r + 1.0, -theta);
+    double u = UniformDouble() * norm;
+    for (size_t r = 0; r < size; ++r) {
+      u -= std::pow(r + 1.0, -theta);
+      if (u <= 0.0) return r;
+    }
+    return size - 1;
+  }
+  // Continuous approximation: X = floor(size^(U)) biased toward small ranks.
+  const double u = UniformDouble();
+  const double exponent = 1.0 / (1.0 + theta);
+  const double x = std::pow(static_cast<double>(size), std::pow(u, exponent));
+  size_t idx = static_cast<size_t>(x) - 1;
+  return idx >= size ? size - 1 : idx;
+}
+
+}  // namespace mweaver

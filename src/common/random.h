@@ -1,0 +1,66 @@
+// Deterministic pseudo-random helpers. Every experiment seeds its own Rng so
+// that benchmarks and tests are reproducible run-to-run.
+#ifndef MWEAVER_COMMON_RANDOM_H_
+#define MWEAVER_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mweaver {
+
+/// \brief Seeded wrapper around std::mt19937_64 with the sampling helpers the
+/// generators and simulated users need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MW_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// \brief True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// \brief Uniformly chosen index into a non-empty container size.
+  size_t Index(size_t size) {
+    MW_DCHECK(size > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(size) - 1));
+  }
+
+  /// \brief Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  /// \brief Zipf-like skewed index in [0, size): rank r with weight
+  /// 1/(r+1)^theta. Used to give generated values realistic popularity skew.
+  size_t ZipfIndex(size_t size, double theta);
+
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_RANDOM_H_

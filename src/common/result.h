@@ -1,0 +1,81 @@
+// Result<T>: a value or a failing Status, in the style of arrow::Result.
+#ifndef MWEAVER_COMMON_RESULT_H_
+#define MWEAVER_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mweaver {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Access the value with ValueOrDie()/operator* only after checking ok();
+/// accessing the value of a failed Result aborts the process (see MW_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a failing Status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    MW_CHECK(!this->status().ok())
+        << "Result constructed from an OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief Returns the error (or OK if this result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    MW_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    MW_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    MW_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value, or `alternative` if this Result failed.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates
+/// its error out of the enclosing function.
+#define MW_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  MW_ASSIGN_OR_RETURN_IMPL(                              \
+      MW_CONCAT_NAME(_result_, __LINE__), lhs, rexpr)
+
+#define MW_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define MW_CONCAT_NAME_INNER(x, y) x##y
+#define MW_CONCAT_NAME(x, y) MW_CONCAT_NAME_INNER(x, y)
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_RESULT_H_

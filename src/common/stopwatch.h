@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the response-time experiments (Tables 2-3).
+#ifndef MWEAVER_COMMON_STOPWATCH_H_
+#define MWEAVER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mweaver {
+
+/// \brief Measures elapsed wall-clock time from construction or Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_STOPWATCH_H_

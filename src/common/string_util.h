@@ -1,0 +1,48 @@
+// String helpers shared across the library: case folding, tokenizing,
+// joining, trimming, and bounded edit distance (used by the noisy-contain
+// match policies).
+#ifndef MWEAVER_COMMON_STRING_UTIL_H_
+#define MWEAVER_COMMON_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mweaver {
+
+/// \brief ASCII lowercase copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// \brief Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// \brief Splits on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True iff `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// \brief True iff the two strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Levenshtein distance, early-exiting once it would exceed
+/// `max_distance`; returns max_distance + 1 in that case.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_distance);
+
+/// \brief Edit-distance similarity in [0,1]: 1 - dist/max(len); 1.0 for two
+/// empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_STRING_UTIL_H_

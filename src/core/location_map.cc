@@ -1,0 +1,60 @@
+#include "core/location_map.h"
+
+namespace mweaver::core {
+
+LocationMap LocationMap::Build(const text::FullTextEngine& engine,
+                               const std::vector<std::string>& sample_tuple) {
+  LocationMap map;
+  map.columns_.reserve(sample_tuple.size());
+  for (size_t i = 0; i < sample_tuple.size(); ++i) {
+    ColumnLocations col;
+    col.target_column = static_cast<int>(i);
+    col.sample = sample_tuple[i];
+    if (!col.sample.empty()) {
+      col.occurrences = engine.FindOccurrences(col.sample);
+    }
+    map.columns_.push_back(std::move(col));
+  }
+  return map;
+}
+
+LocationMap LocationMap::FromAttributes(
+    const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
+    const std::vector<std::string>& samples) {
+  LocationMap map;
+  map.columns_.reserve(attrs_per_column.size());
+  for (size_t i = 0; i < attrs_per_column.size(); ++i) {
+    ColumnLocations col;
+    col.target_column = static_cast<int>(i);
+    if (i < samples.size()) col.sample = samples[i];
+    for (const text::AttributeRef& attr : attrs_per_column[i]) {
+      col.occurrences.push_back(text::Occurrence{attr, {}});
+    }
+    map.columns_.push_back(std::move(col));
+  }
+  return map;
+}
+
+std::vector<text::AttributeRef> LocationMap::AttributesOf(size_t i) const {
+  std::vector<text::AttributeRef> attrs;
+  attrs.reserve(columns_[i].occurrences.size());
+  for (const text::Occurrence& occ : columns_[i].occurrences) {
+    attrs.push_back(occ.attr);
+  }
+  return attrs;
+}
+
+bool LocationMap::Contains(size_t i, const text::AttributeRef& attr) const {
+  for (const text::Occurrence& occ : columns_[i].occurrences) {
+    if (occ.attr == attr) return true;
+  }
+  return false;
+}
+
+size_t LocationMap::TotalOccurrences() const {
+  size_t total = 0;
+  for (const ColumnLocations& col : columns_) total += col.occurrences.size();
+  return total;
+}
+
+}  // namespace mweaver::core

@@ -1,0 +1,56 @@
+// LocateSamples (Algorithm 1): the location map L, where L(i) is the set of
+// source attributes (with their verified matching rows) that noisily
+// contain sample E_i.
+#ifndef MWEAVER_CORE_LOCATION_MAP_H_
+#define MWEAVER_CORE_LOCATION_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "text/fulltext_engine.h"
+
+namespace mweaver::core {
+
+/// \brief L(i) for one target column.
+struct ColumnLocations {
+  int target_column = -1;
+  std::string sample;
+  std::vector<text::Occurrence> occurrences;
+};
+
+/// \brief The location map L for a sample tuple.
+class LocationMap {
+ public:
+  /// \brief Runs Algorithm 1: one full-text lookup per sample. Empty
+  /// samples yield empty occurrence lists (the caller decides whether that
+  /// is an error; the Session requires a fully-populated first row).
+  static LocationMap Build(const text::FullTextEngine& engine,
+                           const std::vector<std::string>& sample_tuple);
+
+  /// \brief Builds a location map from explicit attribute sets (no
+  /// occurrence rows). Used by schema-level enumeration (the naive baseline
+  /// and the match-driven tool), where the per-column attributes are given
+  /// rather than discovered.
+  static LocationMap FromAttributes(
+      const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
+      const std::vector<std::string>& samples = {});
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnLocations& column(size_t i) const { return columns_[i]; }
+
+  /// \brief All attributes in L(i).
+  std::vector<text::AttributeRef> AttributesOf(size_t i) const;
+
+  /// \brief True iff attribute `attr` contains sample i.
+  bool Contains(size_t i, const text::AttributeRef& attr) const;
+
+  /// \brief Total number of (column, attribute) occurrence entries.
+  size_t TotalOccurrences() const;
+
+ private:
+  std::vector<ColumnLocations> columns_;
+};
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_LOCATION_MAP_H_

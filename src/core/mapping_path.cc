@@ -1,0 +1,146 @@
+#include "core/mapping_path.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/path_internal.h"
+
+namespace mweaver::core {
+
+using internal::AdjEdge;
+using internal::BuildAdjacency;
+using internal::CanonicalEncoding;
+
+MappingPath MappingPath::SingleVertex(storage::RelationId relation) {
+  MappingPath path;
+  path.vertices_.push_back(PathVertex{relation, kNoVertex, -1, false});
+  return path;
+}
+
+VertexId MappingPath::AddVertex(storage::RelationId relation, VertexId parent,
+                                storage::ForeignKeyId fk, bool is_from_side) {
+  MW_CHECK_GE(parent, 0);
+  MW_CHECK_LT(static_cast<size_t>(parent), vertices_.size());
+  vertices_.push_back(PathVertex{relation, parent, fk, is_from_side});
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+void MappingPath::AddProjection(int target_column, VertexId vertex,
+                                storage::AttributeId attribute) {
+  MW_CHECK(FindProjection(target_column) == nullptr)
+      << "duplicate projection for target column " << target_column;
+  MW_CHECK_GE(vertex, 0);
+  MW_CHECK_LT(static_cast<size_t>(vertex), vertices_.size());
+  projections_.push_back(Projection{target_column, vertex, attribute});
+  std::sort(projections_.begin(), projections_.end(),
+            [](const Projection& a, const Projection& b) {
+              return a.target_column < b.target_column;
+            });
+}
+
+const Projection* MappingPath::FindProjection(int target_column) const {
+  for (const Projection& p : projections_) {
+    if (p.target_column == target_column) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<int> MappingPath::TargetColumns() const {
+  std::vector<int> cols;
+  cols.reserve(projections_.size());
+  for (const Projection& p : projections_) cols.push_back(p.target_column);
+  return cols;
+}
+
+std::vector<VertexId> MappingPath::Children(VertexId v) const {
+  std::vector<VertexId> children;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].parent == v) {
+      children.push_back(static_cast<VertexId>(i));
+    }
+  }
+  return children;
+}
+
+size_t MappingPath::Degree(VertexId v) const {
+  size_t degree = Children(v).size();
+  if (vertices_[static_cast<size_t>(v)].parent != kNoVertex) ++degree;
+  return degree;
+}
+
+bool MappingPath::TerminalsProjected() const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const VertexId v = static_cast<VertexId>(i);
+    const bool is_terminal = vertices_.size() == 1 || Degree(v) == 1;
+    if (!is_terminal) continue;
+    bool projected = false;
+    for (const Projection& p : projections_) {
+      if (p.vertex == v) {
+        projected = true;
+        break;
+      }
+    }
+    if (!projected) return false;
+  }
+  return true;
+}
+
+std::string MappingPath::Canonical() const {
+  std::vector<std::string> labels(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    std::string label = "R" + std::to_string(vertices_[i].relation);
+    std::vector<std::string> projs;
+    for (const Projection& p : projections_) {
+      if (p.vertex == static_cast<VertexId>(i)) {
+        projs.push_back(std::to_string(p.target_column) + ":" +
+                        std::to_string(p.attribute));
+      }
+    }
+    std::sort(projs.begin(), projs.end());
+    if (!projs.empty()) label += "[" + Join(projs, ",") + "]";
+    labels[i] = std::move(label);
+  }
+  return CanonicalEncoding(vertices_, labels);
+}
+
+std::string MappingPath::ToString(const storage::Database& db) const {
+  if (vertices_.empty()) return "(empty)";
+  const auto adj = BuildAdjacency(vertices_);
+  std::vector<std::string> labels(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const PathVertex& v = vertices_[i];
+    const storage::Relation& rel = db.relation(v.relation);
+    std::string label = rel.name();
+    std::vector<std::string> projs;
+    for (const Projection& p : projections_) {
+      if (p.vertex == static_cast<VertexId>(i)) {
+        projs.push_back(std::to_string(p.target_column) + ":" +
+                        rel.schema().attribute(p.attribute).name);
+      }
+    }
+    if (!projs.empty()) label += "[" + Join(projs, ",") + "]";
+    labels[i] = std::move(label);
+  }
+
+  // Depth-first rendering from vertex 0; branch points in braces.
+  std::function<std::string(VertexId, VertexId)> render =
+      [&](VertexId v, VertexId parent) -> std::string {
+    std::string s = labels[static_cast<size_t>(v)];
+    std::vector<std::string> branches;
+    for (const AdjEdge& e : adj[static_cast<size_t>(v)]) {
+      if (e.neighbor == parent) continue;
+      branches.push_back(render(e.neighbor, v));
+    }
+    if (branches.size() == 1) {
+      s += "--" + branches[0];
+    } else if (branches.size() > 1) {
+      s += "{" + Join(branches, " ; ") + "}";
+    }
+    return s;
+  };
+  return render(0, kNoVertex);
+}
+
+}  // namespace mweaver::core

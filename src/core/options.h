@@ -1,0 +1,43 @@
+// Tunables of the TPW sample-search pipeline.
+#ifndef MWEAVER_CORE_OPTIONS_H_
+#define MWEAVER_CORE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace mweaver::core {
+
+/// \brief Options controlling sample search (Section 4.5) and ranking.
+struct SearchOptions {
+  /// Pairwise Maximal Number of Joins (Section 4.5.2): the BFS depth limit
+  /// when connecting a pair of projected attributes. The paper uses 2.
+  int pmnj = 2;
+
+  /// Ranking weights (Section 4.5.5): score = matching_weight * mean match
+  /// score + complexity_weight * 1/(1 + #joins).
+  double matching_weight = 0.7;
+  double complexity_weight = 0.3;
+
+  /// Upper bound on tuple paths created per pairwise mapping (0 = no
+  /// bound). When hit, SearchStats::truncated is set; completeness is no
+  /// longer guaranteed.
+  size_t max_tuple_paths_per_mapping = 0;
+
+  /// Upper bound on tuple paths held across all levels of the weave (0 = no
+  /// bound); emulates a memory budget. When hit, SearchStats::truncated is
+  /// set.
+  size_t max_total_tuple_paths = 0;
+
+  /// How many supporting tuple paths each returned candidate retains for
+  /// display/explanation (scores are computed over all of them regardless).
+  size_t retained_tuple_paths_per_mapping = 3;
+
+  /// Worker threads for the pairwise tuple-path creation step (the
+  /// dominant cost of sample search: one approximate-search query per
+  /// pairwise mapping). 1 = sequential. Results are deterministic
+  /// regardless of the thread count.
+  size_t num_threads = 1;
+};
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_OPTIONS_H_

@@ -1,0 +1,171 @@
+#include "core/pairwise.h"
+
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace mweaver::core {
+
+namespace {
+
+// One step of a schema-graph walk: the relation reached, the FK used, and
+// which side of the FK the new vertex occupies.
+struct WalkStep {
+  storage::RelationId relation;
+  storage::ForeignKeyId fk;
+  bool is_from_side;
+};
+
+// Builds the chain mapping path for a walk from `start_rel` (projecting
+// column i from `start_attr`) to the walk's endpoint (projecting column j
+// from `end_attr`).
+MappingPath BuildChain(storage::RelationId start_rel,
+                       const std::vector<WalkStep>& walk, int i,
+                       storage::AttributeId start_attr, int j,
+                       storage::AttributeId end_attr) {
+  MappingPath path = MappingPath::SingleVertex(start_rel);
+  VertexId last = 0;
+  for (const WalkStep& step : walk) {
+    last = path.AddVertex(step.relation, last, step.fk, step.is_from_side);
+  }
+  path.AddProjection(i, 0, start_attr);
+  path.AddProjection(j, last, end_attr);
+  return path;
+}
+
+}  // namespace
+
+PairwiseMappingMap GeneratePairwiseMappingPaths(
+    const graph::SchemaGraph& schema_graph, const LocationMap& locations,
+    int pmnj) {
+  const storage::Database& db = schema_graph.db();
+  const size_t m = locations.num_columns();
+  PairwiseMappingMap pmpm;
+  // Canonical forms already emitted, per column pair.
+  std::map<ColumnPair, std::set<std::string>> seen;
+
+  // Attributes of L(j) grouped by relation, for endpoint lookups.
+  std::vector<std::map<storage::RelationId, std::vector<storage::AttributeId>>>
+      attrs_by_relation(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (const text::AttributeRef& attr : locations.AttributesOf(j)) {
+      attrs_by_relation[j][attr.relation].push_back(attr.attribute);
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    for (const text::AttributeRef& start : locations.AttributesOf(i)) {
+      // Breadth-first enumeration of every walk of at most `pmnj` edges
+      // starting at the relation containing A_i (Algorithm 3). Walks may
+      // revisit relations: relation paths are occurrence trees.
+      std::vector<std::vector<WalkStep>> frontier{{}};
+      for (int depth = 0; depth <= pmnj && !frontier.empty(); ++depth) {
+        for (const std::vector<WalkStep>& walk : frontier) {
+          const storage::RelationId endpoint =
+              walk.empty() ? start.relation : walk.back().relation;
+          // Emit a pairwise mapping for every later column whose location
+          // map has attributes on the endpoint relation (Algorithm 3 line
+          // 6-11, Algorithm 4).
+          for (size_t j = i + 1; j < m; ++j) {
+            auto it = attrs_by_relation[j].find(endpoint);
+            if (it == attrs_by_relation[j].end()) continue;
+            for (storage::AttributeId end_attr : it->second) {
+              MappingPath path =
+                  BuildChain(start.relation, walk, static_cast<int>(i),
+                             start.attribute, static_cast<int>(j), end_attr);
+              const ColumnPair key{static_cast<int>(i), static_cast<int>(j)};
+              if (seen[key].insert(path.Canonical()).second) {
+                pmpm[key].push_back(std::move(path));
+              }
+            }
+          }
+        }
+        if (depth == pmnj) break;
+        // Extend every frontier walk by one schema-graph edge.
+        std::vector<std::vector<WalkStep>> next;
+        for (const std::vector<WalkStep>& walk : frontier) {
+          const storage::RelationId endpoint =
+              walk.empty() ? start.relation : walk.back().relation;
+          for (const graph::SchemaEdge& e :
+               schema_graph.Neighbors(endpoint)) {
+            const storage::ForeignKey& fk =
+                db.foreign_keys()[static_cast<size_t>(e.fk)];
+            std::vector<bool> orientations;
+            if (fk.from_relation == fk.to_relation) {
+              // Self-referencing FK: the new vertex can sit on either side
+              // (unless both sides are the same attribute).
+              orientations = fk.from_attribute == fk.to_attribute
+                                 ? std::vector<bool>{true}
+                                 : std::vector<bool>{true, false};
+            } else {
+              orientations = {e.neighbor == fk.from_relation};
+            }
+            for (bool is_from_side : orientations) {
+              std::vector<WalkStep> extended = walk;
+              extended.push_back(WalkStep{e.neighbor, e.fk, is_from_side});
+              next.push_back(std::move(extended));
+            }
+          }
+        }
+        frontier = std::move(next);
+      }
+    }
+  }
+  return pmpm;
+}
+
+Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
+    const query::PathExecutor& executor, const PairwiseMappingMap& pmpm,
+    const LocationMap& locations, const SearchOptions& options,
+    PairwiseStats* stats) {
+  // Flatten the work list so the per-mapping queries can run in parallel;
+  // results are merged back in flattened order, keeping the output
+  // deterministic for any thread count.
+  struct WorkItem {
+    ColumnPair key;
+    const MappingPath* mapping;
+    query::SampleMap samples;
+  };
+  std::vector<WorkItem> work;
+  for (const auto& [key, mappings] : pmpm) {
+    const auto& [i, j] = key;
+    query::SampleMap samples{
+        {i, locations.column(static_cast<size_t>(i)).sample},
+        {j, locations.column(static_cast<size_t>(j)).sample}};
+    for (const MappingPath& mapping : mappings) {
+      work.push_back(WorkItem{key, &mapping, samples});
+    }
+  }
+
+  query::ExecOptions exec_options;
+  exec_options.max_results = options.max_tuple_paths_per_mapping;
+  std::vector<Result<std::vector<TuplePath>>> results(
+      work.size(), Result<std::vector<TuplePath>>(std::vector<TuplePath>{}));
+  ParallelFor(work.size(), options.num_threads, [&](size_t idx) {
+    results[idx] =
+        executor.Execute(*work[idx].mapping, work[idx].samples, exec_options);
+  });
+
+  PairwiseTupleMap ptpm;
+  PairwiseStats local;
+  for (size_t idx = 0; idx < work.size(); ++idx) {
+    ++local.num_mappings;
+    MW_ASSIGN_OR_RETURN(std::vector<TuplePath> supports,
+                        std::move(results[idx]));
+    if (supports.empty()) continue;  // prune unsupported mappings
+    ++local.num_valid_mappings;
+    local.num_tuple_paths += supports.size();
+    if (options.max_tuple_paths_per_mapping > 0 &&
+        supports.size() >= options.max_tuple_paths_per_mapping) {
+      local.truncated = true;
+    }
+    std::vector<TuplePath>& bucket = ptpm[work[idx].key];
+    for (TuplePath& tp : supports) bucket.push_back(std::move(tp));
+  }
+  if (stats != nullptr) *stats = local;
+  return ptpm;
+}
+
+}  // namespace mweaver::core

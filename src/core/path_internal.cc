@@ -1,0 +1,83 @@
+#include "core/path_internal.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mweaver::core::internal {
+
+std::vector<std::vector<AdjEdge>> BuildAdjacency(
+    const std::vector<PathVertex>& vertices) {
+  std::vector<std::vector<AdjEdge>> adj(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const PathVertex& v = vertices[i];
+    if (v.parent == kNoVertex) continue;
+    const VertexId child = static_cast<VertexId>(i);
+    adj[static_cast<size_t>(v.parent)].push_back(
+        AdjEdge{child, v.fk_to_parent, v.is_from_side});
+    adj[static_cast<size_t>(child)].push_back(
+        AdjEdge{v.parent, v.fk_to_parent, !v.is_from_side});
+  }
+  return adj;
+}
+
+std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
+                       const std::vector<std::string>& labels, VertexId v,
+                       VertexId parent) {
+  std::vector<std::string> child_encodings;
+  bool skipped_parent = false;
+  for (const AdjEdge& e : adj[static_cast<size_t>(v)]) {
+    // Skip exactly one traversal edge back to the parent; further edges to
+    // the same vertex id cannot occur in a tree.
+    if (e.neighbor == parent && !skipped_parent) {
+      skipped_parent = true;
+      continue;
+    }
+    std::string edge = "-f" + std::to_string(e.fk) +
+                       (e.neighbor_is_from_side ? ">" : "<");
+    child_encodings.push_back(edge + EncodeFrom(adj, labels, e.neighbor, v));
+  }
+  std::sort(child_encodings.begin(), child_encodings.end());
+  std::string out = labels[static_cast<size_t>(v)];
+  if (!child_encodings.empty()) {
+    out += "(" + Join(child_encodings, "|") + ")";
+  }
+  return out;
+}
+
+std::string CanonicalEncoding(const std::vector<PathVertex>& vertices,
+                              const std::vector<std::string>& labels) {
+  if (vertices.empty()) return "";
+  const auto adj = BuildAdjacency(vertices);
+  std::string best;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    std::string enc =
+        EncodeFrom(adj, labels, static_cast<VertexId>(i), kNoVertex);
+    if (best.empty() || enc < best) best = std::move(enc);
+  }
+  return best;
+}
+
+std::vector<VertexId> SimplePath(const std::vector<std::vector<AdjEdge>>& adj,
+                                 VertexId from, VertexId to) {
+  std::vector<VertexId> path;
+  std::function<bool(VertexId, VertexId)> dfs = [&](VertexId v,
+                                                    VertexId parent) {
+    path.push_back(v);
+    if (v == to) return true;
+    for (const AdjEdge& e : adj[static_cast<size_t>(v)]) {
+      if (e.neighbor == parent) continue;
+      if (dfs(e.neighbor, v)) return true;
+    }
+    path.pop_back();
+    return false;
+  };
+  const bool found = dfs(from, kNoVertex);
+  MW_CHECK(found) << "vertices " << from << " and " << to
+                  << " are not connected";
+  return path;
+}
+
+}  // namespace mweaver::core::internal

@@ -1,0 +1,43 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+
+namespace mweaver::core {
+
+size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
+                        const std::string& sample,
+                        std::vector<CandidateMapping>* candidates) {
+  const size_t before = candidates->size();
+  candidates->erase(
+      std::remove_if(
+          candidates->begin(), candidates->end(),
+          [&](const CandidateMapping& c) {
+            const Projection* p = c.mapping.FindProjection(target_column);
+            if (p == nullptr) return true;  // malformed: drop
+            const storage::RelationId rel =
+                c.mapping.vertex(p->vertex).relation;
+            return engine
+                .MatchingRows(text::AttributeRef{rel, p->attribute}, sample)
+                .empty();
+          }),
+      candidates->end());
+  return before - candidates->size();
+}
+
+Status PruneByStructure(const query::PathExecutor& executor,
+                        const query::SampleMap& row_samples,
+                        std::vector<CandidateMapping>* candidates,
+                        size_t* num_pruned) {
+  std::vector<CandidateMapping> kept;
+  kept.reserve(candidates->size());
+  for (CandidateMapping& c : *candidates) {
+    MW_ASSIGN_OR_RETURN(bool supported,
+                        executor.HasSupport(c.mapping, row_samples));
+    if (supported) kept.push_back(std::move(c));
+  }
+  if (num_pruned != nullptr) *num_pruned = candidates->size() - kept.size();
+  *candidates = std::move(kept);
+  return Status::OK();
+}
+
+}  // namespace mweaver::core

@@ -1,0 +1,66 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace mweaver::core {
+
+double ScoreTuplePath(const TuplePath& path, const SearchOptions& options) {
+  const double matching = path.MeanMatchScore();
+  const double complexity =
+      1.0 / (1.0 + static_cast<double>(path.num_joins()));
+  return options.matching_weight * matching +
+         options.complexity_weight * complexity;
+}
+
+std::vector<CandidateMapping> RankMappings(
+    const std::vector<TuplePath>& complete_tuple_paths,
+    const SearchOptions& options) {
+  struct Group {
+    CandidateMapping candidate;
+    double score_total = 0.0;
+  };
+  std::map<std::string, Group> groups;
+  for (const TuplePath& tp : complete_tuple_paths) {
+    MappingPath mapping = tp.ExtractMappingPath();
+    std::string key = mapping.Canonical();
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    Group& group = it->second;
+    if (inserted) group.candidate.mapping = std::move(mapping);
+    group.score_total += ScoreTuplePath(tp, options);
+    ++group.candidate.support;
+    if (group.candidate.example_tuple_paths.size() <
+        options.retained_tuple_paths_per_mapping) {
+      group.candidate.example_tuple_paths.push_back(tp);
+    }
+  }
+
+  // Keep each group's canonical key alongside the candidate so the sort
+  // never recomputes canonicalization (O(n log n) comparisons).
+  std::vector<std::pair<std::string, CandidateMapping>> keyed;
+  keyed.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    group.candidate.score =
+        group.score_total / static_cast<double>(group.candidate.support);
+    keyed.emplace_back(key, std::move(group.candidate));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.score != b.second.score) {
+                return a.second.score > b.second.score;
+              }
+              if (a.second.mapping.num_joins() !=
+                  b.second.mapping.num_joins()) {
+                return a.second.mapping.num_joins() <
+                       b.second.mapping.num_joins();
+              }
+              return a.first < b.first;
+            });
+  std::vector<CandidateMapping> out;
+  out.reserve(keyed.size());
+  for (auto& [key, candidate] : keyed) out.push_back(std::move(candidate));
+  return out;
+}
+
+}  // namespace mweaver::core

@@ -1,0 +1,41 @@
+// Ranking (Section 4.5.5): extracts the distinct complete mapping paths
+// from the complete tuple paths and orders them by score.
+//
+// score(tuple path) = matching_weight * mean per-cell match score
+//                   + complexity_weight * 1 / (1 + #joins)
+// score(mapping)    = mean score over its supporting tuple paths.
+#ifndef MWEAVER_CORE_RANKING_H_
+#define MWEAVER_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/mapping_path.h"
+#include "core/options.h"
+#include "core/tuple_path.h"
+
+namespace mweaver::core {
+
+/// \brief One ranked candidate: a valid complete mapping path, its score,
+/// and (a sample of) the tuple paths supporting it.
+struct CandidateMapping {
+  MappingPath mapping;
+  double score = 0.0;
+  /// Number of supporting complete tuple paths.
+  size_t support = 0;
+  /// Up to SearchOptions::retained_tuple_paths_per_mapping examples.
+  std::vector<TuplePath> example_tuple_paths;
+};
+
+/// \brief Per-tuple-path score under `options`.
+double ScoreTuplePath(const TuplePath& path, const SearchOptions& options);
+
+/// \brief Groups complete tuple paths by their mapping path (canonical
+/// form), scores each group, and returns candidates sorted by descending
+/// score (ties broken by fewer joins, then canonical form for determinism).
+std::vector<CandidateMapping> RankMappings(
+    const std::vector<TuplePath>& complete_tuple_paths,
+    const SearchOptions& options);
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_RANKING_H_

@@ -1,0 +1,87 @@
+#include "core/sample_search.h"
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace mweaver::core {
+
+Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
+                                  const graph::SchemaGraph& schema_graph,
+                                  const std::vector<std::string>& sample_tuple,
+                                  const SearchOptions& options) {
+  if (sample_tuple.empty()) {
+    return Status::InvalidArgument("sample tuple must have at least 1 column");
+  }
+  for (size_t i = 0; i < sample_tuple.size(); ++i) {
+    if (sample_tuple[i].empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "sample search requires a fully populated first row; column %zu "
+          "is empty",
+          i));
+    }
+  }
+
+  SearchResult result;
+  Stopwatch total;
+  Stopwatch phase;
+
+  // Step 1: find sample occurrences (Algorithm 1).
+  const LocationMap locations = LocationMap::Build(engine, sample_tuple);
+  result.stats.num_occurrences = locations.TotalOccurrences();
+  result.stats.locate_ms = phase.ElapsedMillis();
+
+  const int m = static_cast<int>(sample_tuple.size());
+  if (m == 1) {
+    // Degenerate case: every attribute containing the sample yields a
+    // single-vertex mapping, supported by its matching rows.
+    std::vector<TuplePath> paths;
+    for (const text::Occurrence& occ : locations.column(0).occurrences) {
+      for (storage::RowId row : occ.rows) {
+        TuplePath tp = TuplePath::SingleVertex(occ.attr.relation, row);
+        tp.AddProjection(0, 0, occ.attr.attribute,
+                         engine.RowMatchScore(occ.attr, row,
+                                              sample_tuple[0]));
+        paths.push_back(std::move(tp));
+      }
+    }
+    result.stats.num_complete_tuple_paths = paths.size();
+    phase.Restart();
+    result.candidates = RankMappings(paths, options);
+    result.stats.rank_ms = phase.ElapsedMillis();
+    result.stats.num_valid_mappings = result.candidates.size();
+    result.stats.total_ms = total.ElapsedMillis();
+    return result;
+  }
+
+  // Step 2: pairwise mapping paths (Algorithms 2-4).
+  phase.Restart();
+  const PairwiseMappingMap pmpm =
+      GeneratePairwiseMappingPaths(schema_graph, locations, options.pmnj);
+  result.stats.pairwise_gen_ms = phase.ElapsedMillis();
+
+  // Step 3: pairwise tuple paths via approximate search queries.
+  phase.Restart();
+  query::PathExecutor executor(&engine);
+  MW_ASSIGN_OR_RETURN(
+      const PairwiseTupleMap ptpm,
+      CreatePairwiseTuplePaths(executor, pmpm, locations, options,
+                               &result.stats.pairwise));
+  result.stats.pairwise_exec_ms = phase.ElapsedMillis();
+
+  // Step 4: weave complete tuple paths (Algorithm 5).
+  phase.Restart();
+  const std::vector<TuplePath> complete =
+      GenerateCompleteTuplePaths(ptpm, m, options, &result.stats.weave);
+  result.stats.num_complete_tuple_paths = complete.size();
+  result.stats.weave_ms = phase.ElapsedMillis();
+
+  // Step 5: extract and rank mappings.
+  phase.Restart();
+  result.candidates = RankMappings(complete, options);
+  result.stats.rank_ms = phase.ElapsedMillis();
+  result.stats.num_valid_mappings = result.candidates.size();
+  result.stats.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace mweaver::core

@@ -1,0 +1,58 @@
+// SampleSearch: the full TPW pipeline (Section 4.3's five steps).
+//
+//   1. LocateSamples      -> LocationMap            (core/location_map.h)
+//   2. Pairwise mappings  -> PairwiseMappingMap     (core/pairwise.h)
+//   3. Pairwise tuples    -> PairwiseTupleMap       (core/pairwise.h)
+//   4. Complete weaving   -> complete tuple paths   (core/weaver.h)
+//   5. Ranking            -> CandidateMapping list  (core/ranking.h)
+#ifndef MWEAVER_CORE_SAMPLE_SEARCH_H_
+#define MWEAVER_CORE_SAMPLE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/location_map.h"
+#include "core/options.h"
+#include "core/pairwise.h"
+#include "core/ranking.h"
+#include "core/weaver.h"
+#include "graph/schema_graph.h"
+#include "query/executor.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::core {
+
+/// \brief End-to-end counters and timings for one sample search.
+struct SearchStats {
+  size_t num_occurrences = 0;        // location-map entries
+  PairwiseStats pairwise;            // steps 2-3
+  WeaveStats weave;                  // step 4
+  size_t num_complete_tuple_paths = 0;
+  size_t num_valid_mappings = 0;     // "# Valid MP" of Table 4
+
+  double locate_ms = 0.0;
+  double pairwise_gen_ms = 0.0;
+  double pairwise_exec_ms = 0.0;
+  double weave_ms = 0.0;
+  double rank_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// \brief Result of sample search: ranked candidates + instrumentation.
+struct SearchResult {
+  std::vector<CandidateMapping> candidates;
+  SearchStats stats;
+};
+
+/// \brief Runs TPW for the (fully populated) first sample row. Every entry
+/// of `sample_tuple` must be non-empty. m == 1 degenerates to single-vertex
+/// mappings over the sample's occurrences.
+Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
+                                  const graph::SchemaGraph& schema_graph,
+                                  const std::vector<std::string>& sample_tuple,
+                                  const SearchOptions& options = {});
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_SAMPLE_SEARCH_H_

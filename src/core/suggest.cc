@@ -1,0 +1,66 @@
+#include "core/suggest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace mweaver::core {
+
+Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
+    const query::PathExecutor& executor,
+    const std::vector<CandidateMapping>& candidates,
+    const SuggestOptions& options) {
+  std::vector<RowSuggestion> suggestions;
+  if (candidates.size() < 2) return suggestions;
+
+  // Materialize (a bounded sample of) each candidate's target instance and
+  // count per-row support. A row produced by candidate mappings it was not
+  // sampled from may be undercounted; undercounting only makes a
+  // suggestion look *more* discriminating than it is, never silently
+  // un-discriminating, and the Session re-verifies by executing the typed
+  // samples anyway.
+  std::map<std::vector<std::string>, std::set<size_t>> support;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    MW_ASSIGN_OR_RETURN(
+        std::vector<std::vector<std::string>> rows,
+        executor.EvaluateTarget(candidates[c].mapping,
+                                options.rows_per_candidate));
+    for (std::vector<std::string>& row : rows) {
+      support[std::move(row)].insert(c);
+    }
+  }
+
+  const size_t total = candidates.size();
+  for (auto& [row, supporters] : support) {
+    if (supporters.size() == total) continue;  // unanimous: no signal
+    RowSuggestion suggestion;
+    suggestion.row = row;
+    suggestion.supporting_candidates = supporters.size();
+    suggestion.total_candidates = total;
+    suggestions.push_back(std::move(suggestion));
+  }
+
+  // Best first: support closest to half the candidates (maximal expected
+  // pruning whichever way the user's knowledge falls), ties broken by more
+  // pruning, then lexicographically for determinism.
+  const double half = static_cast<double>(total) / 2.0;
+  std::sort(suggestions.begin(), suggestions.end(),
+            [&](const RowSuggestion& a, const RowSuggestion& b) {
+              const double da = std::fabs(
+                  static_cast<double>(a.supporting_candidates) - half);
+              const double db = std::fabs(
+                  static_cast<double>(b.supporting_candidates) - half);
+              if (da != db) return da < db;
+              if (a.supporting_candidates != b.supporting_candidates) {
+                return a.supporting_candidates < b.supporting_candidates;
+              }
+              return a.row < b.row;
+            });
+  if (suggestions.size() > options.limit) {
+    suggestions.resize(options.limit);
+  }
+  return suggestions;
+}
+
+}  // namespace mweaver::core

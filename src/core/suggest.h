@@ -1,0 +1,54 @@
+// Discriminating-sample suggestion — the paper's §7 future work: "we are
+// studying how to provide features that will automatically suggest
+// relevant data". When several candidate mappings remain, the most useful
+// next sample row is one produced by *some but not all* candidates: typing
+// it is guaranteed to prune the candidates that cannot produce it while
+// keeping those that can.
+#ifndef MWEAVER_CORE_SUGGEST_H_
+#define MWEAVER_CORE_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ranking.h"
+#include "query/executor.h"
+
+namespace mweaver::core {
+
+/// \brief One suggested target row.
+struct RowSuggestion {
+  /// Values per target column (ordered by column).
+  std::vector<std::string> row;
+  /// How many of the current candidates produce this row.
+  size_t supporting_candidates = 0;
+  /// Of the total candidates considered.
+  size_t total_candidates = 0;
+
+  /// Candidates eliminated if the user confirms this row (those that
+  /// cannot produce it).
+  size_t candidates_pruned_if_confirmed() const {
+    return total_candidates - supporting_candidates;
+  }
+};
+
+struct SuggestOptions {
+  /// Target rows materialized per candidate (bounds the work).
+  size_t rows_per_candidate = 64;
+  /// Maximum suggestions returned.
+  size_t limit = 5;
+};
+
+/// \brief Computes suggestions for the current candidate set, best first
+/// (rows supported by about half the candidates split the hypothesis space
+/// fastest and rank highest; unanimous rows are never suggested — they
+/// carry no signal). Empty when 0 or 1 candidates remain or nothing
+/// discriminates.
+Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
+    const query::PathExecutor& executor,
+    const std::vector<CandidateMapping>& candidates,
+    const SuggestOptions& options = {});
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_SUGGEST_H_

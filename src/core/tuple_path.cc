@@ -1,0 +1,293 @@
+#include "core/tuple_path.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/path_internal.h"
+
+namespace mweaver::core {
+
+using internal::AdjEdge;
+using internal::BuildAdjacency;
+using internal::CanonicalEncoding;
+using internal::SimplePath;
+
+TuplePath TuplePath::SingleVertex(storage::RelationId relation,
+                                  storage::RowId row) {
+  TuplePath path;
+  path.vertices_.push_back(PathVertex{relation, kNoVertex, -1, false});
+  path.rows_.push_back(row);
+  return path;
+}
+
+VertexId TuplePath::AddVertex(storage::RelationId relation, storage::RowId row,
+                              VertexId parent, storage::ForeignKeyId fk,
+                              bool is_from_side) {
+  MW_CHECK_GE(parent, 0);
+  MW_CHECK_LT(static_cast<size_t>(parent), vertices_.size());
+  vertices_.push_back(PathVertex{relation, parent, fk, is_from_side});
+  rows_.push_back(row);
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+void TuplePath::AddProjection(int target_column, VertexId vertex,
+                              storage::AttributeId attribute,
+                              double match_score) {
+  MW_CHECK(FindProjection(target_column) == nullptr)
+      << "duplicate projection for target column " << target_column;
+  MW_CHECK_GE(vertex, 0);
+  MW_CHECK_LT(static_cast<size_t>(vertex), vertices_.size());
+  // Insert keeping (projections_, match_scores_) sorted by target column.
+  size_t pos = 0;
+  while (pos < projections_.size() &&
+         projections_[pos].target_column < target_column) {
+    ++pos;
+  }
+  projections_.insert(projections_.begin() + static_cast<ptrdiff_t>(pos),
+                      Projection{target_column, vertex, attribute});
+  match_scores_.insert(match_scores_.begin() + static_cast<ptrdiff_t>(pos),
+                       match_score);
+}
+
+const Projection* TuplePath::FindProjection(int target_column) const {
+  for (const Projection& p : projections_) {
+    if (p.target_column == target_column) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<int> TuplePath::TargetColumns() const {
+  std::vector<int> cols;
+  cols.reserve(projections_.size());
+  for (const Projection& p : projections_) cols.push_back(p.target_column);
+  return cols;
+}
+
+double TuplePath::MeanMatchScore() const {
+  if (match_scores_.empty()) return 1.0;
+  double total = 0.0;
+  for (double s : match_scores_) total += s;
+  return total / static_cast<double>(match_scores_.size());
+}
+
+MappingPath TuplePath::ExtractMappingPath() const {
+  MappingPath mp;
+  if (vertices_.empty()) return mp;
+  mp = MappingPath::SingleVertex(vertices_[0].relation);
+  for (size_t i = 1; i < vertices_.size(); ++i) {
+    const PathVertex& v = vertices_[i];
+    mp.AddVertex(v.relation, v.parent, v.fk_to_parent, v.is_from_side);
+  }
+  for (const Projection& p : projections_) {
+    mp.AddProjection(p.target_column, p.vertex, p.attribute);
+  }
+  return mp;
+}
+
+std::vector<std::string> TuplePath::ProjectTargetValues(
+    const storage::Database& db) const {
+  std::vector<std::string> values;
+  values.reserve(projections_.size());
+  for (const Projection& p : projections_) {
+    const storage::Relation& rel =
+        db.relation(vertices_[static_cast<size_t>(p.vertex)].relation);
+    values.push_back(
+        rel.at(rows_[static_cast<size_t>(p.vertex)], p.attribute)
+            .ToDisplayString());
+  }
+  return values;
+}
+
+std::string TuplePath::Canonical() const {
+  std::vector<std::string> labels(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    std::string label = "R" + std::to_string(vertices_[i].relation) + "#" +
+                        std::to_string(rows_[i]);
+    std::vector<std::string> projs;
+    for (const Projection& p : projections_) {
+      if (p.vertex == static_cast<VertexId>(i)) {
+        projs.push_back(std::to_string(p.target_column) + ":" +
+                        std::to_string(p.attribute));
+      }
+    }
+    std::sort(projs.begin(), projs.end());
+    if (!projs.empty()) label += "[" + Join(projs, ",") + "]";
+    labels[i] = std::move(label);
+  }
+  return CanonicalEncoding(vertices_, labels);
+}
+
+bool TuplePath::IsConsistent(const storage::Database& db) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const PathVertex& v = vertices_[i];
+    if (v.relation < 0 ||
+        static_cast<size_t>(v.relation) >= db.num_relations()) {
+      return false;
+    }
+    const storage::Relation& rel = db.relation(v.relation);
+    if (rows_[i] < 0 || static_cast<size_t>(rows_[i]) >= rel.num_rows()) {
+      return false;
+    }
+    if (v.parent == kNoVertex) continue;
+    // Join condition between this vertex and its parent.
+    const storage::ForeignKey& fk =
+        db.foreign_keys()[static_cast<size_t>(v.fk_to_parent)];
+    const storage::AttributeId my_attr =
+        v.is_from_side ? fk.from_attribute : fk.to_attribute;
+    const storage::AttributeId parent_attr =
+        v.is_from_side ? fk.to_attribute : fk.from_attribute;
+    const PathVertex& parent =
+        vertices_[static_cast<size_t>(v.parent)];
+    const storage::Value& mine = rel.at(rows_[i], my_attr);
+    const storage::Value& theirs = db.relation(parent.relation)
+                                       .at(rows_[static_cast<size_t>(
+                                               v.parent)],
+                                           parent_attr);
+    if (mine.is_null() || mine != theirs) return false;
+  }
+  // Normal form: no two same-(fk, orientation) neighbors of a vertex hold
+  // the same tuple.
+  const auto adj = BuildAdjacency(vertices_);
+  for (size_t u = 0; u < adj.size(); ++u) {
+    const auto& edges = adj[u];
+    for (size_t a = 0; a < edges.size(); ++a) {
+      for (size_t b = a + 1; b < edges.size(); ++b) {
+        if (edges[a].fk == edges[b].fk &&
+            edges[a].neighbor_is_from_side == edges[b].neighbor_is_from_side &&
+            vertex(edges[a].neighbor).relation ==
+                vertex(edges[b].neighbor).relation &&
+            row(edges[a].neighbor) == row(edges[b].neighbor)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Finds a neighbor of `at` in `path` (excluding `visited` vertices) that
+// matches (relation, row, fk, orientation); kNoVertex if none.
+VertexId FindMergeTarget(const TuplePath& path,
+                         const std::vector<std::vector<AdjEdge>>& adj,
+                         VertexId at, const std::vector<bool>& visited,
+                         storage::RelationId relation, storage::RowId row,
+                         storage::ForeignKeyId fk, bool neighbor_is_from) {
+  for (const AdjEdge& e : adj[static_cast<size_t>(at)]) {
+    if (visited[static_cast<size_t>(e.neighbor)]) continue;
+    if (e.fk != fk || e.neighbor_is_from_side != neighbor_is_from) continue;
+    const PathVertex& v = path.vertex(e.neighbor);
+    if (v.relation == relation && path.row(e.neighbor) == row) {
+      return e.neighbor;
+    }
+  }
+  return kNoVertex;
+}
+
+}  // namespace
+
+std::optional<TuplePath> TuplePath::Weave(const TuplePath& base,
+                                          const TuplePath& ptp) {
+  MW_CHECK_EQ(ptp.size(), 2u);
+  // Identify the common key k and the new key j.
+  const std::vector<int> base_cols = base.TargetColumns();
+  int common_key = -1;
+  int new_key = -1;
+  for (const Projection& p : ptp.projections_) {
+    const bool in_base =
+        std::find(base_cols.begin(), base_cols.end(), p.target_column) !=
+        base_cols.end();
+    if (in_base) {
+      MW_CHECK_EQ(common_key, -1)
+          << "weave requires exactly one common projection key";
+      common_key = p.target_column;
+    } else {
+      new_key = p.target_column;
+    }
+  }
+  MW_CHECK_NE(common_key, -1);
+  MW_CHECK_NE(new_key, -1);
+
+  const Projection* base_proj = base.FindProjection(common_key);
+  const Projection* ptp_common = ptp.FindProjection(common_key);
+  const Projection* ptp_new = ptp.FindProjection(new_key);
+
+  const VertexId fuse_base = base_proj->vertex;
+  const VertexId fuse_ptp = ptp_common->vertex;
+
+  // Line 4 of Algorithm 6: the fused vertices must be the same tuple.
+  if (base.vertex(fuse_base).relation != ptp.vertex(fuse_ptp).relation ||
+      base.row(fuse_base) != ptp.row(fuse_ptp)) {
+    return std::nullopt;
+  }
+
+  TuplePath result = base;
+  const auto base_adj = BuildAdjacency(result.vertices_);
+  const auto ptp_adj = BuildAdjacency(ptp.vertices_);
+
+  // The chain of ptp vertices from the fuse point to the new projection.
+  const std::vector<VertexId> chain =
+      SimplePath(ptp_adj, fuse_ptp, ptp_new->vertex);
+
+  std::vector<bool> visited(result.num_vertices(), false);
+  visited[static_cast<size_t>(fuse_base)] = true;
+
+  VertexId cur = fuse_base;   // current merge position in `result`
+  bool grafting = false;
+  for (size_t step = 1; step < chain.size(); ++step) {
+    const VertexId pv = chain[step];
+    // Edge metadata between chain[step-1] and pv, from pv's perspective.
+    storage::ForeignKeyId fk = -1;
+    bool pv_is_from = false;
+    for (const AdjEdge& e : ptp_adj[static_cast<size_t>(chain[step - 1])]) {
+      if (e.neighbor == pv) {
+        fk = e.fk;
+        pv_is_from = e.neighbor_is_from_side;
+        break;
+      }
+    }
+    MW_CHECK_NE(fk, -1);
+
+    if (!grafting) {
+      const VertexId merged = FindMergeTarget(
+          result, base_adj, cur, visited, ptp.vertex(pv).relation,
+          ptp.row(pv), fk, pv_is_from);
+      if (merged != kNoVertex) {
+        cur = merged;
+        visited[static_cast<size_t>(merged)] = true;
+        continue;
+      }
+      grafting = true;
+    }
+    // Graft pv as a new child of cur.
+    cur = result.AddVertex(ptp.vertex(pv).relation, ptp.row(pv), cur, fk,
+                           pv_is_from);
+  }
+
+  // The chain end now corresponds to `cur`; project the new key there.
+  const size_t ptp_new_index = static_cast<size_t>(
+      ptp_new - ptp.projections_.data());
+  result.AddProjection(new_key, cur, ptp_new->attribute,
+                       ptp.match_scores_[ptp_new_index]);
+  return result;
+}
+
+std::string TuplePath::ToString(const storage::Database& db) const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const storage::Relation& rel = db.relation(vertices_[i].relation);
+    std::string s = rel.name() + "#" + std::to_string(rows_[i]);
+    for (const Projection& p : projections_) {
+      if (p.vertex == static_cast<VertexId>(i)) {
+        s += StrFormat("[%d:%s]", p.target_column,
+                       rel.schema().attribute(p.attribute).name.c_str());
+      }
+    }
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, " - ");
+}
+
+}  // namespace mweaver::core

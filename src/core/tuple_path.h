@@ -1,0 +1,108 @@
+// Tuple paths (Definition 5) and the Weave operation (Algorithm 6).
+//
+// A tuple path instantiates a mapping path: every vertex additionally holds
+// the id of a concrete tuple of its relation, and adjacent tuples are
+// connected by the edge's foreign key in the source instance. Weaving merges
+// a pairwise tuple path onto a base tuple path at their (single) common
+// projection key, fusing vertices whose (relation occurrence, tuple, edge)
+// agree and grafting the unmergeable suffix as a new branch — producing a
+// tuple path of size |base| + 1.
+#ifndef MWEAVER_CORE_TUPLE_PATH_H_
+#define MWEAVER_CORE_TUPLE_PATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping_path.h"
+#include "storage/database.h"
+
+namespace mweaver::core {
+
+/// \brief An instantiated mapping path (Definition 5).
+///
+/// Shares the rooted-tree representation of MappingPath, with a parallel
+/// array of tuple (row) ids, plus per-projection match scores against the
+/// user's samples (filled in by the executor, consumed by ranking).
+class TuplePath {
+ public:
+  TuplePath() = default;
+
+  /// \brief Single-vertex path over (relation, row).
+  static TuplePath SingleVertex(storage::RelationId relation,
+                                storage::RowId row);
+
+  VertexId AddVertex(storage::RelationId relation, storage::RowId row,
+                     VertexId parent, storage::ForeignKeyId fk,
+                     bool is_from_side);
+
+  void AddProjection(int target_column, VertexId vertex,
+                     storage::AttributeId attribute, double match_score);
+
+  const std::vector<PathVertex>& vertices() const { return vertices_; }
+  const PathVertex& vertex(VertexId v) const {
+    return vertices_[static_cast<size_t>(v)];
+  }
+  storage::RowId row(VertexId v) const {
+    return rows_[static_cast<size_t>(v)];
+  }
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_joins() const { return vertices_.empty() ? 0
+                                                      : vertices_.size() - 1; }
+
+  const std::vector<Projection>& projections() const { return projections_; }
+  const Projection* FindProjection(int target_column) const;
+  std::vector<int> TargetColumns() const;
+  size_t size() const { return projections_.size(); }
+
+  /// \brief Mean match score across this path's projections (1.0 when no
+  /// projection carries a score).
+  double MeanMatchScore() const;
+  double match_score(size_t projection_index) const {
+    return match_scores_[projection_index];
+  }
+
+  /// \brief The schema-level mapping path this tuple path instantiates
+  /// (drops tuple ids and scores).
+  MappingPath ExtractMappingPath() const;
+
+  /// \brief The projected target tuple t_p (Definition 7): display strings
+  /// per covered target column, ordered by target column.
+  std::vector<std::string> ProjectTargetValues(
+      const storage::Database& db) const;
+
+  /// \brief Rooting-independent encoding over (relation, row, fk,
+  /// orientation, projections); used for duplicate elimination in Alg 5.
+  std::string Canonical() const;
+
+  /// \brief Instance-consistency check (the invariant behind Theorem 1):
+  /// every edge's FK join condition holds between the assigned tuples, all
+  /// row ids are in range, and no two same-FK/orientation neighbors of a
+  /// vertex share a tuple (the weave normal form). Used by tests and
+  /// debug assertions.
+  bool IsConsistent(const storage::Database& db) const;
+
+  bool operator==(const TuplePath& other) const {
+    return Canonical() == other.Canonical();
+  }
+
+  /// \brief Weaves pairwise path `ptp` onto `base` (Algorithm 6).
+  ///
+  /// Requires: ptp.size() == 2 and the projection-key sets intersect in
+  /// exactly one column. Returns nullopt when the fuse vertices disagree on
+  /// (relation, tuple). On success the result has size base.size() + 1.
+  static std::optional<TuplePath> Weave(const TuplePath& base,
+                                        const TuplePath& ptp);
+
+  std::string ToString(const storage::Database& db) const;
+
+ private:
+  std::vector<PathVertex> vertices_;
+  std::vector<storage::RowId> rows_;
+  std::vector<Projection> projections_;   // sorted by target column
+  std::vector<double> match_scores_;      // parallel to projections_
+};
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_TUPLE_PATH_H_

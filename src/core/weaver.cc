@@ -1,0 +1,80 @@
+#include "core/weaver.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace mweaver::core {
+
+std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
+                                                  int num_columns,
+                                                  const SearchOptions& options,
+                                                  WeaveStats* stats) {
+  MW_CHECK_GE(num_columns, 2);
+  const size_t m = static_cast<size_t>(num_columns);
+  WeaveStats local;
+  local.tuple_paths_per_level.assign(m + 1, 0);
+
+  // Level 2: all pairwise tuple paths, deduplicated.
+  std::vector<TuplePath> level;
+  {
+    std::set<std::string> seen;
+    for (const auto& [key, paths] : ptpm) {
+      for (const TuplePath& tp : paths) {
+        if (seen.insert(tp.Canonical()).second) level.push_back(tp);
+      }
+    }
+  }
+  local.tuple_paths_per_level[std::min<size_t>(2, m)] = level.size();
+  local.total_tuple_paths = level.size();
+
+  auto over_budget = [&]() {
+    return options.max_total_tuple_paths > 0 &&
+           local.total_tuple_paths > options.max_total_tuple_paths;
+  };
+
+  for (size_t n = 2; n < m && !level.empty(); ++n) {
+    std::vector<TuplePath> next;
+    std::set<std::string> seen;
+    for (const TuplePath& base : level) {
+      const std::vector<int> base_cols = base.TargetColumns();
+      auto covers = [&](int col) {
+        return std::find(base_cols.begin(), base_cols.end(), col) !=
+               base_cols.end();
+      };
+      for (const auto& [key, pairwise_paths] : ptpm) {
+        // Weavable iff the pairwise keys intersect the base's in exactly
+        // one column (Algorithm 5, line 8).
+        const int in_base = (covers(key.first) ? 1 : 0) +
+                            (covers(key.second) ? 1 : 0);
+        if (in_base != 1) continue;
+        for (const TuplePath& ptp : pairwise_paths) {
+          ++local.weave_attempts;
+          std::optional<TuplePath> woven = TuplePath::Weave(base, ptp);
+          if (!woven.has_value()) continue;
+          ++local.weave_successes;
+          if (seen.insert(woven->Canonical()).second) {
+            next.push_back(std::move(*woven));
+            ++local.total_tuple_paths;
+            if (over_budget()) {
+              local.truncated = true;
+              break;
+            }
+          }
+        }
+        if (local.truncated) break;
+      }
+      if (local.truncated) break;
+    }
+    local.tuple_paths_per_level[n + 1] = next.size();
+    level = std::move(next);
+    if (local.truncated) break;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return level;
+}
+
+}  // namespace mweaver::core

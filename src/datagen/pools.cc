@@ -1,0 +1,150 @@
+#include "datagen/pools.h"
+
+#include "common/string_util.h"
+
+namespace mweaver::datagen {
+
+namespace {
+
+// Function-local statics keep the pools trivially destructible from the
+// caller's perspective (constructed once, leaked at exit by design).
+template <typename... Args>
+const std::vector<std::string>& Pool(Args... items) {
+  static const std::vector<std::string>& pool =
+      *new std::vector<std::string>{items...};
+  return pool;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FirstNames() {
+  return Pool(
+      "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+      "Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+      "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+      "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
+      "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven",
+      "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+      "Kenji", "Aiko", "Rajesh", "Priya", "Olga", "Dmitri", "Amara",
+      "Kwame", "Lucia", "Mateo");
+}
+
+const std::vector<std::string>& LastNames() {
+  return Pool(
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+      "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+      "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+      "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+      "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+      "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+      "Cameron", "Burton", "Yates", "Wood", "Nolan", "Kurosawa", "Bergman",
+      "Fellini", "Varda", "Campion");
+}
+
+const std::vector<std::string>& TitleAdjectives() {
+  return Pool(
+      "Crimson", "Silent", "Golden", "Broken", "Hidden", "Midnight",
+      "Electric", "Frozen", "Scarlet", "Hollow", "Burning", "Distant",
+      "Savage", "Gentle", "Shattered", "Eternal", "Velvet", "Iron",
+      "Paper", "Glass", "Neon", "Wild", "Quiet", "Lost", "Final",
+      "Forgotten", "Endless", "Pale", "Obsidian", "Amber");
+}
+
+const std::vector<std::string>& TitleNouns() {
+  return Pool(
+      "Harbor", "Winter", "Empire", "Garden", "Horizon", "Mirror",
+      "Shadow", "River", "Mountain", "Orchard", "Station", "Voyage",
+      "Kingdom", "Lantern", "Compass", "Tempest", "Avenue", "Canyon",
+      "Meadow", "Archive", "Fortress", "Carousel", "Labyrinth", "Monsoon",
+      "Eclipse", "Aurora", "Summit", "Harvest", "Cathedral", "Bazaar",
+      "Parade", "Circus", "Railway", "Lagoon", "Glacier", "Prairie",
+      "Boulevard", "Observatory", "Expedition", "Reunion");
+}
+
+const std::vector<std::string>& Cities() {
+  return Pool(
+      "Wellington", "Auckland", "Queenstown", "Sydney", "Melbourne",
+      "London", "Manchester", "Dublin", "Paris", "Lyon", "Berlin",
+      "Munich", "Prague", "Vienna", "Rome", "Venice", "Madrid",
+      "Barcelona", "Lisbon", "Toronto", "Vancouver", "Montreal",
+      "Los Angeles", "San Francisco", "Chicago", "Boston", "Atlanta",
+      "Tokyo", "Kyoto", "Seoul", "Mumbai", "Marrakesh", "Reykjavik",
+      "Havana", "Santiago");
+}
+
+const std::vector<std::string>& Countries() {
+  return Pool(
+      "New Zealand", "Australia", "United Kingdom", "Ireland", "France",
+      "Germany", "Czech Republic", "Austria", "Italy", "Spain", "Portugal",
+      "Canada", "United States", "Japan", "South Korea", "India",
+      "Morocco", "Iceland", "Cuba", "Chile", "Mexico", "Brazil",
+      "Norway", "Sweden", "Denmark");
+}
+
+const std::vector<std::string>& GenreNames() {
+  return Pool(
+      "Drama", "Comedy", "Thriller", "Science Fiction", "Romance",
+      "Documentary", "Horror", "Western", "Animation", "Mystery",
+      "Adventure", "Musical");
+}
+
+const std::vector<std::string>& CompanySuffixes() {
+  return Pool("Pictures", "Studios", "Films", "Entertainment", "Media",
+              "Productions", "Co.", "Works");
+}
+
+const std::vector<std::string>& FillerWords() {
+  return Pool(
+      "story", "journey", "family", "secret", "discovers", "against",
+      "world", "life", "young", "finds", "must", "between", "city",
+      "dream", "past", "future", "love", "war", "truth", "hope",
+      "betrayal", "escape", "returns", "mysterious", "ancient", "small",
+      "town", "night", "memory", "promise", "fate", "courage", "silence",
+      "storm", "light", "darkness", "heart", "stranger", "letter",
+      "island");
+}
+
+std::string MakePersonName(Rng* rng) {
+  const auto& first = FirstNames();
+  const auto& last = LastNames();
+  return first[rng->ZipfIndex(first.size(), 0.6)] + " " +
+         last[rng->ZipfIndex(last.size(), 0.6)];
+}
+
+std::string MakeMovieTitle(Rng* rng) {
+  const auto& adjectives = TitleAdjectives();
+  const auto& nouns = TitleNouns();
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      return "The " + rng->Pick(adjectives) + " " + rng->Pick(nouns);
+    case 1:
+      return rng->Pick(adjectives) + " " + rng->Pick(nouns);
+    case 2:
+      return rng->Pick(nouns) + " of " + rng->Pick(nouns);
+    default:
+      return "The " + rng->Pick(nouns);
+  }
+}
+
+std::string MakeCompanyName(Rng* rng) {
+  return rng->Pick(LastNames()) + " " + rng->Pick(CompanySuffixes());
+}
+
+std::string MakeSentence(Rng* rng, size_t words, const std::string& embed) {
+  std::vector<std::string> parts;
+  const size_t embed_at = embed.empty() ? words : rng->Index(words);
+  for (size_t i = 0; i < words; ++i) {
+    if (i == embed_at) parts.push_back(embed);
+    parts.push_back(rng->Pick(FillerWords()));
+  }
+  return Join(parts, " ");
+}
+
+std::string MakeDate(Rng* rng, int year_lo, int year_hi) {
+  const int year = static_cast<int>(rng->UniformInt(year_lo, year_hi));
+  const int month = static_cast<int>(rng->UniformInt(1, 12));
+  const int day = static_cast<int>(rng->UniformInt(1, 28));
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+}  // namespace mweaver::datagen

@@ -1,0 +1,45 @@
+// Token pools for synthetic value generation: first/last names, title
+// words, places, and prose filler. Drawing values from fixed overlapping
+// pools creates the cross-attribute collisions the paper's search problem
+// feeds on (a director's surname inside a company name, a title inside a
+// logline, a family name matching a person, ...).
+#ifndef MWEAVER_DATAGEN_POOLS_H_
+#define MWEAVER_DATAGEN_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mweaver::datagen {
+
+/// \brief Access to the fixed token pools.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& TitleAdjectives();
+const std::vector<std::string>& TitleNouns();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& Countries();
+const std::vector<std::string>& GenreNames();
+const std::vector<std::string>& CompanySuffixes();
+const std::vector<std::string>& FillerWords();
+
+/// \brief "First Last", Zipf-skewed so some names are popular.
+std::string MakePersonName(Rng* rng);
+
+/// \brief A movie-like title ("The Crimson Harbor", "Echoes of Winter").
+std::string MakeMovieTitle(Rng* rng);
+
+/// \brief "Surname Pictures"-style production company name.
+std::string MakeCompanyName(Rng* rng);
+
+/// \brief One prose sentence of `words` filler words, optionally embedding
+/// `embed` verbatim (used to plant titles inside loglines).
+std::string MakeSentence(Rng* rng, size_t words, const std::string& embed = "");
+
+/// \brief "YYYY-MM-DD" date string in [year_lo, year_hi].
+std::string MakeDate(Rng* rng, int year_lo, int year_hi);
+
+}  // namespace mweaver::datagen
+
+#endif  // MWEAVER_DATAGEN_POOLS_H_

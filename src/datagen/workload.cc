@@ -1,0 +1,419 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "query/executor.h"
+
+namespace mweaver::datagen {
+
+namespace {
+
+using core::MappingPath;
+using core::VertexId;
+
+// The unique FK connecting two named relations (error when none or many).
+Result<std::pair<storage::ForeignKeyId, bool>> FindUniqueFk(
+    const storage::Database& db, storage::RelationId child,
+    storage::RelationId parent) {
+  storage::ForeignKeyId found = -1;
+  bool child_is_from = false;
+  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+    const storage::ForeignKey& fk = db.foreign_keys()[i];
+    const bool forward =
+        fk.from_relation == child && fk.to_relation == parent;
+    const bool backward =
+        fk.to_relation == child && fk.from_relation == parent;
+    if (!forward && !backward) continue;
+    if (found != -1) {
+      return Status::InvalidArgument(StrFormat(
+          "multiple foreign keys between '%s' and '%s'",
+          db.relation(child).name().c_str(),
+          db.relation(parent).name().c_str()));
+    }
+    found = static_cast<storage::ForeignKeyId>(i);
+    child_is_from = forward;
+  }
+  if (found == -1) {
+    return Status::NotFound(StrFormat(
+        "no foreign key between '%s' and '%s'",
+        db.relation(child).name().c_str(),
+        db.relation(parent).name().c_str()));
+  }
+  return std::make_pair(found, child_is_from);
+}
+
+}  // namespace
+
+Result<core::MappingPath> BuildChainMapping(
+    const storage::Database& db, const std::vector<std::string>& relations,
+    const std::vector<std::tuple<int, int, std::string>>& projections) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("chain needs at least one relation");
+  }
+  std::vector<storage::RelationId> rel_ids;
+  for (const std::string& name : relations) {
+    const storage::RelationId id = db.FindRelation(name);
+    if (id == storage::kInvalidRelation) {
+      return Status::NotFound("unknown relation '" + name + "'");
+    }
+    rel_ids.push_back(id);
+  }
+  MappingPath path = MappingPath::SingleVertex(rel_ids[0]);
+  for (size_t i = 1; i < rel_ids.size(); ++i) {
+    MW_ASSIGN_OR_RETURN(auto fk, FindUniqueFk(db, rel_ids[i],
+                                              rel_ids[i - 1]));
+    path.AddVertex(rel_ids[i], static_cast<VertexId>(i - 1), fk.first,
+                   fk.second);
+  }
+  for (const auto& [column, vertex, attr_name] : projections) {
+    if (vertex < 0 || static_cast<size_t>(vertex) >= rel_ids.size()) {
+      return Status::OutOfRange(
+          StrFormat("projection vertex %d out of range", vertex));
+    }
+    const storage::AttributeId attr =
+        db.relation(rel_ids[static_cast<size_t>(vertex)])
+            .schema()
+            .FindAttribute(attr_name);
+    if (attr == storage::kInvalidAttribute) {
+      return Status::NotFound(StrFormat(
+          "unknown attribute '%s.%s'",
+          relations[static_cast<size_t>(vertex)].c_str(),
+          attr_name.c_str()));
+    }
+    path.AddProjection(column, static_cast<VertexId>(vertex), attr);
+  }
+  if (!path.TerminalsProjected()) {
+    return Status::InvalidArgument(
+        "every terminal relation of a task mapping must project an "
+        "attribute");
+  }
+  return path;
+}
+
+Result<std::vector<TaskSet>> MakeYahooTaskSets(const storage::Database& db) {
+  std::vector<TaskSet> sets;
+
+  // Task set 1 (J=2): movie - direct - person.
+  {
+    TaskSet set;
+    set.joins = 2;
+    const std::vector<std::string> chain{"movie", "direct", "person"};
+    // Note: movie.mpaa is deliberately absent — a sample like "R" matches
+    // nearly every string attribute under the substring error model.
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "title"},        {1, 2, "name"},
+        {2, 0, "release_date"}, {3, 0, "produced_in"},
+        {4, 2, "birth_year"},   {5, 0, "runtime"},
+    };
+    for (int m = 3; m <= 6; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns;
+      for (const auto& [col, vertex, attr] : projections) {
+        columns.push_back(attr);
+      }
+      set.tasks.push_back(TaskMapping{
+          StrFormat("set1-J2-m%d", m), std::move(path), std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  // Task set 2 (J=3): person - direct - movie - review.
+  {
+    TaskSet set;
+    set.joins = 3;
+    const std::vector<std::string> chain{"person", "direct", "movie",
+                                         "review"};
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "name"},    {1, 2, "title"},      {2, 3, "headline"},
+        {3, 2, "release_date"}, {4, 3, "rating"}, {5, 0, "birth_year"},
+    };
+    for (int m = 3; m <= 6; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns;
+      for (const auto& [col, vertex, attr] : projections) {
+        columns.push_back(attr);
+      }
+      set.tasks.push_back(TaskMapping{
+          StrFormat("set2-J3-m%d", m), std::move(path), std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  // Task set 3 (J=4): company - produce - movie - direct - person.
+  {
+    TaskSet set;
+    set.joins = 4;
+    const std::vector<std::string> chain{"company", "produce", "movie",
+                                         "direct", "person"};
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "name"},         {1, 2, "title"}, {2, 4, "name"},
+        {3, 2, "release_date"}, {4, 0, "country"}, {5, 4, "birth_year"},
+    };
+    for (int m = 3; m <= 6; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns{"company"};
+      for (size_t i = 1; i < projections.size(); ++i) {
+        columns.push_back(std::get<2>(projections[i]));
+      }
+      // Disambiguate the two "name" columns for display.
+      columns[2] = "person";
+      set.tasks.push_back(TaskMapping{
+          StrFormat("set3-J4-m%d", m), std::move(path), std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  return sets;
+}
+
+Result<std::vector<TaskSet>> MakeImdbTaskSets(const storage::Database& db) {
+  std::vector<TaskSet> sets;
+
+  // Task set 1 (J=2): company_name - movie_companies - movie.
+  {
+    TaskSet set;
+    set.joins = 2;
+    const std::vector<std::string> chain{"company_name", "movie_companies",
+                                         "movie"};
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "name"},
+        {1, 2, "title"},
+        {2, 2, "production_year"},
+        {3, 1, "note"},
+        {4, 0, "country_code"},
+    };
+    for (int m = 3; m <= 5; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns;
+      for (const auto& [col, vertex, attr] : projections) {
+        columns.push_back(attr);
+      }
+      set.tasks.push_back(TaskMapping{
+          StrFormat("imdb-set1-J2-m%d", m), std::move(path),
+          std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  // Task set 2 (J=3): person - cast_info - movie - movie_info.
+  {
+    TaskSet set;
+    set.joins = 3;
+    const std::vector<std::string> chain{"person", "cast_info", "movie",
+                                         "movie_info"};
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "name"},
+        {1, 2, "title"},
+        {2, 3, "info"},
+        {3, 2, "production_year"},
+    };
+    for (int m = 3; m <= 4; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns;
+      for (const auto& [col, vertex, attr] : projections) {
+        columns.push_back(attr);
+      }
+      set.tasks.push_back(TaskMapping{
+          StrFormat("imdb-set2-J3-m%d", m), std::move(path),
+          std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  // Task set 3 (J=4): company_name - movie_companies - movie - cast_info -
+  // person. cast_info carries two FKs toward its neighbors, so the chain
+  // must be assembled around the unique FKs between consecutive pairs.
+  {
+    TaskSet set;
+    set.joins = 4;
+    const std::vector<std::string> chain{"company_name", "movie_companies",
+                                         "movie", "cast_info", "person"};
+    const std::vector<std::tuple<int, int, std::string>> all{
+        {0, 0, "name"},
+        {1, 2, "title"},
+        {2, 4, "name"},
+        {3, 2, "production_year"},
+    };
+    for (int m = 3; m <= 4; ++m) {
+      std::vector<std::tuple<int, int, std::string>> projections(
+          all.begin(), all.begin() + m);
+      MW_ASSIGN_OR_RETURN(MappingPath path,
+                          BuildChainMapping(db, chain, projections));
+      std::vector<std::string> columns{"company"};
+      for (size_t i = 1; i < projections.size(); ++i) {
+        columns.push_back(std::get<2>(projections[i]));
+      }
+      columns[2] = "person";
+      set.tasks.push_back(TaskMapping{
+          StrFormat("imdb-set3-J4-m%d", m), std::move(path),
+          std::move(columns)});
+    }
+    sets.push_back(std::move(set));
+  }
+
+  return sets;
+}
+
+Result<TaskMapping> MakeYahooStudyTask(const storage::Database& db) {
+  // Figure 11(a): company <- produce <- movie[title, release_date] ->
+  // direct -> person[name]; target (Movie, ReleaseDate, ProductionCompany,
+  // Director). Built as a chain company-produce-movie-direct-person with
+  // two projections on the movie vertex.
+  MW_ASSIGN_OR_RETURN(
+      MappingPath path,
+      BuildChainMapping(db,
+                        {"company", "produce", "movie", "direct", "person"},
+                        {{0, 2, "title"},
+                         {1, 2, "release_date"},
+                         {2, 0, "name"},
+                         {3, 4, "name"}}));
+  return TaskMapping{
+      "yahoo-study", std::move(path),
+      {"Movie", "ReleaseDate", "ProductionCompany", "Director"}};
+}
+
+Result<TaskMapping> MakeImdbStudyTask(const storage::Database& db) {
+  // Figure 11(b): movie joins movie_info (release date),
+  // movie_companies -> company_name, and cast_info -> person. A tree, not a
+  // chain, so it is assembled explicitly.
+  const storage::RelationId movie = db.FindRelation("movie");
+  const storage::RelationId movie_info = db.FindRelation("movie_info");
+  const storage::RelationId movie_companies =
+      db.FindRelation("movie_companies");
+  const storage::RelationId company_name = db.FindRelation("company_name");
+  const storage::RelationId cast_info = db.FindRelation("cast_info");
+  const storage::RelationId person = db.FindRelation("person");
+  MW_CHECK(movie != storage::kInvalidRelation);
+
+  auto fk_between = [&](const char* from, const char* from_attr,
+                        const char* to,
+                        const char* to_attr) -> storage::ForeignKeyId {
+    for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+      const storage::ForeignKey& fk = db.foreign_keys()[i];
+      const storage::RelationId f = db.FindRelation(from);
+      const storage::RelationId t = db.FindRelation(to);
+      if (fk.from_relation == f && fk.to_relation == t &&
+          db.relation(f).schema().attribute(fk.from_attribute).name ==
+              from_attr &&
+          db.relation(t).schema().attribute(fk.to_attribute).name ==
+              to_attr) {
+        return static_cast<storage::ForeignKeyId>(i);
+      }
+    }
+    MW_CHECK(false) << "missing FK " << from << "." << from_attr << " -> "
+                    << to << "." << to_attr;
+    return -1;
+  };
+
+  MappingPath path = MappingPath::SingleVertex(movie);  // v0
+  const VertexId v_info = path.AddVertex(
+      movie_info, 0, fk_between("movie_info", "mid", "movie", "mid"), true);
+  const VertexId v_mc = path.AddVertex(
+      movie_companies, 0,
+      fk_between("movie_companies", "mid", "movie", "mid"), true);
+  const VertexId v_cn = path.AddVertex(
+      company_name, v_mc,
+      fk_between("movie_companies", "cid", "company_name", "cid"), false);
+  const VertexId v_ci = path.AddVertex(
+      cast_info, 0, fk_between("cast_info", "mid", "movie", "mid"), true);
+  const VertexId v_p = path.AddVertex(
+      person, v_ci, fk_between("cast_info", "pid", "person", "pid"), false);
+
+  path.AddProjection(0, 0, db.relation(movie).schema().FindAttribute("title"));
+  path.AddProjection(1, v_info,
+                     db.relation(movie_info).schema().FindAttribute("info"));
+  path.AddProjection(
+      2, v_cn, db.relation(company_name).schema().FindAttribute("name"));
+  path.AddProjection(3, v_p,
+                     db.relation(person).schema().FindAttribute("name"));
+  MW_CHECK(path.TerminalsProjected());
+  return TaskMapping{
+      "imdb-study", std::move(path),
+      {"Movie", "ReleaseDate", "ProductionCompany", "Director"}};
+}
+
+Result<SimulationResult> SimulateUserSession(
+    const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
+    const TaskMapping& task, const SimulationOptions& options) {
+  SimulationResult result;
+  const size_t m = task.mapping.size();
+  const size_t max_samples =
+      options.max_samples > 0 ? options.max_samples : 20 * m;
+  const std::string goal_canonical = task.mapping.Canonical();
+
+  query::PathExecutor executor(&engine);
+  MW_ASSIGN_OR_RETURN(
+      std::vector<std::vector<std::string>> target,
+      executor.EvaluateTarget(task.mapping, options.target_rows_cap));
+  if (target.empty()) {
+    return Status::FailedPrecondition(
+        "goal mapping '" + task.name + "' produces an empty target");
+  }
+  result.target_rows = target.size();
+
+  Rng rng(options.seed);
+  core::Session session(&engine, &schema_graph, task.column_names,
+                        options.search);
+
+  // Column fill order within each row is randomized per row.
+  std::vector<size_t> column_order(m);
+  for (size_t i = 0; i < m; ++i) column_order[i] = i;
+
+  size_t row_index = 0;
+  while (result.num_samples < max_samples) {
+    const std::vector<std::string>& row = rng.Pick(target);
+    rng.Shuffle(&column_order);
+    if (row_index == 0) result.first_row = row;
+    bool stop = false;
+    for (size_t k = 0; k < m && !stop; ++k) {
+      const size_t col = column_order[k];
+      MW_RETURN_NOT_OK(session.Input(row_index, col, row[col]));
+      ++result.num_samples;
+      result.typed_values.push_back(row[col]);
+      result.candidates_after_sample.push_back(session.candidates().size());
+      if (row_index == 0) {
+        if (k + 1 == m) {
+          result.search_ms = session.last_search_ms();
+          result.search_stats = session.search_stats();
+        }
+      } else {
+        result.prune_ms.push_back(session.last_prune_ms());
+      }
+      if (session.state() == core::SessionState::kConverged) {
+        result.discovered = true;
+        result.converged_to_goal =
+            session.best().mapping.Canonical() == goal_canonical;
+        stop = true;
+      } else if (session.state() == core::SessionState::kNoMapping) {
+        stop = true;  // samples contradicted every candidate
+      }
+      if (result.num_samples >= max_samples) stop = true;
+    }
+    if (result.discovered ||
+        session.state() == core::SessionState::kNoMapping) {
+      break;
+    }
+    ++row_index;
+  }
+  return result;
+}
+
+}  // namespace mweaver::datagen

@@ -1,0 +1,105 @@
+// The synthetic mapping-task workload of Section 6.2 and the simulated
+// sample-typing user that drives it: three task sets whose goal mappings
+// share a relation path of J = 2, 3, 4 joins, each with target sizes
+// m = 3..6; the simulated user repeatedly samples rows of the goal target
+// instance and types them into a Session until the goal mapping is
+// discovered.
+#ifndef MWEAVER_DATAGEN_WORKLOAD_H_
+#define MWEAVER_DATAGEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping_path.h"
+#include "core/options.h"
+#include "core/session.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::datagen {
+
+/// \brief One goal mapping task: the mapping to be discovered and the
+/// target schema the user sees.
+struct TaskMapping {
+  std::string name;
+  core::MappingPath mapping;
+  std::vector<std::string> column_names;
+};
+
+/// \brief A task set: mappings sharing one relation path (J joins), with
+/// target sizes 3..6.
+struct TaskSet {
+  int joins = 0;
+  std::vector<TaskMapping> tasks;
+};
+
+/// \brief Builds the three task sets over the Yahoo-Movies-like database
+/// (task set i has J = i+1 joins... specifically J = 2, 3, 4 as in the
+/// paper's Figure 12/13 legends).
+Result<std::vector<TaskSet>> MakeYahooTaskSets(const storage::Database& db);
+
+/// \brief Our addition: the analogous J = 2, 3, 4 task sets over the
+/// IMDb-like database (the paper ran the synthetic workload on Yahoo
+/// Movies only). IMDb's link tables are wider, so the same J reaches
+/// different entity combinations.
+Result<std::vector<TaskSet>> MakeImdbTaskSets(const storage::Database& db);
+
+/// \brief The Figure-11 user-study tasks: (a) over the Yahoo-like schema,
+/// (b) over the IMDb-like schema. Target: Movie, ReleaseDate,
+/// ProductionCompany, Director.
+Result<TaskMapping> MakeYahooStudyTask(const storage::Database& db);
+Result<TaskMapping> MakeImdbStudyTask(const storage::Database& db);
+
+/// \brief Builds a chain-shaped mapping by relation names; consecutive
+/// relations must be connected by exactly one FK (ambiguity is an error, to
+/// keep task definitions explicit). Projections are (column, vertex index,
+/// attribute name) triples. Exposed for tests and custom workloads.
+Result<core::MappingPath> BuildChainMapping(
+    const storage::Database& db, const std::vector<std::string>& relations,
+    const std::vector<std::tuple<int, int, std::string>>& projections);
+
+struct SimulationOptions {
+  uint64_t seed = 1;
+  /// Stop (undiscovered) after this many samples; 0 = 20 * m (the paper's
+  /// observed worst case is about 8m).
+  size_t max_samples = 0;
+  /// Cap on materialized goal-target rows.
+  size_t target_rows_cap = 2000;
+  core::SearchOptions search;
+};
+
+/// \brief Everything the experiments need from one simulated session.
+struct SimulationResult {
+  /// The session converged to a single mapping.
+  bool discovered = false;
+  /// ... and that mapping is the goal (sanity flag; should track
+  /// `discovered` whenever the samples come from the goal's target).
+  bool converged_to_goal = false;
+  /// Total samples typed, first row included (Table 1's metric).
+  size_t num_samples = 0;
+  /// Candidate-set size after each sample; 0 entries before the first
+  /// search completes (Figure 12's series).
+  std::vector<size_t> candidates_after_sample;
+  /// Initial sample-search latency (Table 2 "Searching").
+  double search_ms = 0.0;
+  /// Per-sample pruning latencies (Table 2 "Pruning").
+  std::vector<double> prune_ms;
+  /// Stats of the initial search (Tables 3-4, Figure 13).
+  core::SearchStats search_stats;
+  /// Rows materialized from the goal target.
+  size_t target_rows = 0;
+  /// The sample tuple used for the first row (reused by baseline benches).
+  std::vector<std::string> first_row;
+  /// Every value typed, in order (the user-study keystroke accounting).
+  std::vector<std::string> typed_values;
+};
+
+/// \brief Runs one simulated user session against `task`'s goal mapping.
+Result<SimulationResult> SimulateUserSession(
+    const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
+    const TaskMapping& task, const SimulationOptions& options);
+
+}  // namespace mweaver::datagen
+
+#endif  // MWEAVER_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,55 @@
+#include "graph/schema_graph.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace mweaver::graph {
+
+SchemaGraph::SchemaGraph(const storage::Database* db) : db_(db) {
+  MW_CHECK(db != nullptr);
+  adjacency_.resize(db->num_relations());
+  for (size_t i = 0; i < db->foreign_keys().size(); ++i) {
+    const storage::ForeignKey& fk = db->foreign_keys()[i];
+    const storage::ForeignKeyId fk_id = static_cast<storage::ForeignKeyId>(i);
+    adjacency_[static_cast<size_t>(fk.from_relation)].push_back(
+        SchemaEdge{fk.to_relation, fk_id});
+    // A self-referencing FK contributes a single (self-loop) entry.
+    if (fk.to_relation != fk.from_relation) {
+      adjacency_[static_cast<size_t>(fk.to_relation)].push_back(
+          SchemaEdge{fk.from_relation, fk_id});
+    }
+  }
+}
+
+storage::AttributeId SchemaGraph::JoinAttributeOn(
+    storage::ForeignKeyId fk_id, storage::RelationId relation) const {
+  const storage::ForeignKey& fk =
+      db_->foreign_keys()[static_cast<size_t>(fk_id)];
+  if (relation == fk.from_relation) return fk.from_attribute;
+  MW_CHECK_EQ(relation, fk.to_relation);
+  return fk.to_attribute;
+}
+
+int SchemaGraph::Distance(storage::RelationId from,
+                          storage::RelationId to) const {
+  if (from == to) return 0;
+  std::vector<int> dist(num_vertices(), -1);
+  dist[static_cast<size_t>(from)] = 0;
+  std::deque<storage::RelationId> queue{from};
+  while (!queue.empty()) {
+    const storage::RelationId u = queue.front();
+    queue.pop_front();
+    for (const SchemaEdge& e : Neighbors(u)) {
+      if (dist[static_cast<size_t>(e.neighbor)] == -1) {
+        dist[static_cast<size_t>(e.neighbor)] =
+            dist[static_cast<size_t>(u)] + 1;
+        if (e.neighbor == to) return dist[static_cast<size_t>(e.neighbor)];
+        queue.push_back(e.neighbor);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace mweaver::graph

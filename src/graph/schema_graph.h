@@ -1,0 +1,57 @@
+// SchemaGraph (Definition 2): an undirected multigraph with one vertex per
+// relation and one edge per foreign-key-to-primary-key relationship. Inner
+// joins are symmetric, so edge direction is dropped, but each edge remembers
+// its underlying FK so tuple-level joins know which attributes to equate.
+#ifndef MWEAVER_GRAPH_SCHEMA_GRAPH_H_
+#define MWEAVER_GRAPH_SCHEMA_GRAPH_H_
+
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace mweaver::graph {
+
+/// \brief One incident edge as seen from a vertex: the neighbor relation and
+/// the foreign key realizing the join. Two relations connected by several
+/// distinct FKs contribute several entries (a multigraph).
+struct SchemaEdge {
+  storage::RelationId neighbor = storage::kInvalidRelation;
+  storage::ForeignKeyId fk = -1;
+};
+
+/// \brief Undirected multigraph over a Database's relations and FKs.
+class SchemaGraph {
+ public:
+  /// \brief Builds the graph from `db`'s catalog. `db` must outlive the
+  /// graph and must not gain relations or FKs afterwards.
+  explicit SchemaGraph(const storage::Database* db);
+
+  const storage::Database& db() const { return *db_; }
+
+  size_t num_vertices() const { return adjacency_.size(); }
+  size_t num_edges() const { return db_->foreign_keys().size(); }
+
+  /// \brief Edges incident to `relation` (each FK appears from both sides).
+  const std::vector<SchemaEdge>& Neighbors(storage::RelationId relation) const {
+    return adjacency_[static_cast<size_t>(relation)];
+  }
+
+  /// \brief Join attribute of `fk` on the `relation` side. For a self-
+  /// referencing FK this cannot disambiguate; the path structures carry
+  /// explicit orientation instead (see core/mapping_path.h).
+  storage::AttributeId JoinAttributeOn(storage::ForeignKeyId fk,
+                                       storage::RelationId relation) const;
+
+  /// \brief Shortest hop distance between two relations (-1 if unreachable).
+  /// Used by tests and by the match-driven baseline's path selection.
+  int Distance(storage::RelationId from, storage::RelationId to) const;
+
+ private:
+  const storage::Database* db_;
+  std::vector<std::vector<SchemaEdge>> adjacency_;
+};
+
+}  // namespace mweaver::graph
+
+#endif  // MWEAVER_GRAPH_SCHEMA_GRAPH_H_

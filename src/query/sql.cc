@@ -1,0 +1,81 @@
+#include "query/sql.h"
+
+#include "common/string_util.h"
+
+namespace mweaver::query {
+
+namespace {
+
+std::string Escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSql(const storage::Database& db,
+                  const core::MappingPath& mapping,
+                  const std::map<int, std::string>& target_columns,
+                  const std::map<int, std::string>& samples) {
+  using core::Projection;
+  using core::VertexId;
+
+  auto alias = [](VertexId v) { return "t" + std::to_string(v); };
+
+  std::vector<std::string> select_items;
+  for (const Projection& p : mapping.projections()) {
+    const storage::Relation& rel =
+        db.relation(mapping.vertex(p.vertex).relation);
+    std::string out_name = "col" + std::to_string(p.target_column);
+    auto it = target_columns.find(p.target_column);
+    if (it != target_columns.end()) out_name = it->second;
+    select_items.push_back(
+        alias(p.vertex) + "." + rel.schema().attribute(p.attribute).name +
+        " AS " + out_name);
+  }
+
+  std::string sql = "SELECT DISTINCT " + Join(select_items, ", ");
+  const storage::Relation& root = db.relation(mapping.vertex(0).relation);
+  sql += "\nFROM " + root.name() + " AS " + alias(0);
+  for (size_t v = 1; v < mapping.num_vertices(); ++v) {
+    const core::PathVertex& pv = mapping.vertex(static_cast<VertexId>(v));
+    const storage::Relation& rel = db.relation(pv.relation);
+    const storage::ForeignKey& fk =
+        db.foreign_keys()[static_cast<size_t>(pv.fk_to_parent)];
+    const storage::AttributeId my_attr =
+        pv.is_from_side ? fk.from_attribute : fk.to_attribute;
+    const storage::AttributeId parent_attr =
+        pv.is_from_side ? fk.to_attribute : fk.from_attribute;
+    const storage::Relation& parent_rel =
+        db.relation(mapping.vertex(pv.parent).relation);
+    sql += StrFormat(
+        "\nJOIN %s AS %s ON %s.%s = %s.%s", rel.name().c_str(),
+        alias(static_cast<VertexId>(v)).c_str(),
+        alias(static_cast<VertexId>(v)).c_str(),
+        rel.schema().attribute(my_attr).name.c_str(),
+        alias(pv.parent).c_str(),
+        parent_rel.schema().attribute(parent_attr).name.c_str());
+  }
+
+  std::vector<std::string> predicates;
+  for (const Projection& p : mapping.projections()) {
+    auto it = samples.find(p.target_column);
+    if (it == samples.end() || it->second.empty()) continue;
+    const storage::Relation& rel =
+        db.relation(mapping.vertex(p.vertex).relation);
+    predicates.push_back(
+        alias(p.vertex) + "." + rel.schema().attribute(p.attribute).name +
+        " LIKE '%" + Escaped(it->second) + "%'");
+  }
+  if (!predicates.empty()) {
+    sql += "\nWHERE " + Join(predicates, " AND ");
+  }
+  sql += ";";
+  return sql;
+}
+
+}  // namespace mweaver::query

@@ -1,0 +1,30 @@
+// SQL rendering of mapping paths: the executable transformation handed to
+// the user when the interaction converges ("a mapping path is equivalent to
+// a schema mapping in that it can be translated to a SQL query", §4.4).
+#ifndef MWEAVER_QUERY_SQL_H_
+#define MWEAVER_QUERY_SQL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mapping_path.h"
+#include "storage/database.h"
+
+namespace mweaver::query {
+
+/// \brief Renders `mapping` as a SELECT over `db`.
+///
+/// `target_columns` names the output columns by target index (missing
+/// entries fall back to "col<i>"). Projected attributes become the SELECT
+/// list; the relation path becomes the FROM/JOIN clauses with one alias per
+/// vertex (t0, t1, ...); optional `samples` become LIKE predicates mirroring
+/// the approximate-search constraints.
+std::string ToSql(const storage::Database& db,
+                  const core::MappingPath& mapping,
+                  const std::map<int, std::string>& target_columns = {},
+                  const std::map<int, std::string>& samples = {});
+
+}  // namespace mweaver::query
+
+#endif  // MWEAVER_QUERY_SQL_H_

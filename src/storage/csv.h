@@ -1,0 +1,31 @@
+// CSV import/export so example programs can map real files. RFC-4180-style
+// quoting (double quotes, embedded quotes doubled).
+#ifndef MWEAVER_STORAGE_CSV_H_
+#define MWEAVER_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace mweaver::storage {
+
+/// \brief Parses one CSV record (no trailing newline) into fields.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// \brief Renders fields as one CSV record, quoting when needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// \brief Loads `path` into a new relation named `relation_name`. The first
+/// record is the header; every column is typed kString.
+Result<Relation> LoadCsvRelation(const std::string& path,
+                                 const std::string& relation_name);
+
+/// \brief Writes `relation` (header + rows, display strings) to `path`.
+Status SaveCsvRelation(const Relation& relation, const std::string& path);
+
+}  // namespace mweaver::storage
+
+#endif  // MWEAVER_STORAGE_CSV_H_

@@ -1,0 +1,76 @@
+// Database: catalog of relations plus declared foreign keys — the source
+// database DS with schema SS of the paper.
+#ifndef MWEAVER_STORAGE_DATABASE_H_
+#define MWEAVER_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace mweaver::storage {
+
+/// \brief An in-memory relational database: named relations and the
+/// FK->PK relationships among them.
+class Database {
+ public:
+  explicit Database(std::string name = "db") : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Registers a new empty relation; fails on duplicate names.
+  Result<RelationId> AddRelation(RelationSchema schema);
+
+  /// \brief Declares a foreign key; fails when any endpoint is unknown or
+  /// the attribute types disagree.
+  Result<ForeignKeyId> AddForeignKey(const std::string& from_relation,
+                                     const std::string& from_attribute,
+                                     const std::string& to_relation,
+                                     const std::string& to_attribute);
+
+  size_t num_relations() const { return relations_.size(); }
+  const Relation& relation(RelationId id) const {
+    return relations_[static_cast<size_t>(id)];
+  }
+  Relation* mutable_relation(RelationId id) {
+    return &relations_[static_cast<size_t>(id)];
+  }
+
+  /// \brief Relation id for `name`, or kInvalidRelation.
+  RelationId FindRelation(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  const ForeignKey& foreign_key(ForeignKeyId id) const {
+    return foreign_keys_[static_cast<size_t>(id)];
+  }
+
+  /// \brief Total attribute count across all relations (the paper reports
+  /// "43 relations and 131 attributes" for Yahoo Movies).
+  size_t TotalAttributes() const;
+  /// \brief Total row count across all relations.
+  size_t TotalRows() const;
+
+  /// \brief Verifies that every non-null FK value references an existing
+  /// key on the referenced side. O(total rows); used by generator tests.
+  Status CheckReferentialIntegrity() const;
+
+ private:
+  std::string name_;
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, RelationId> relations_by_name_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace mweaver::storage
+
+#endif  // MWEAVER_STORAGE_DATABASE_H_

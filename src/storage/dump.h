@@ -1,0 +1,40 @@
+// Whole-database serialization: a line-oriented text format holding the
+// catalog (relations, attribute types, primary keys, foreign keys) and
+// every row. Lets a generated or CSV-assembled source database be saved
+// once and reloaded across sessions and benchmark runs.
+//
+// Format (one record per line, CSV-quoted where needed):
+//   mweaverdb 1
+//   relation,<name>,<num_attrs>
+//   attr,<name>,<type>,<searchable>
+//   pk,<attr_index>[,<attr_index>...]
+//   row,<v1>,<v2>,...            # typed by the declared attribute types
+//   fk,<from_rel>,<from_attr>,<to_rel>,<to_attr>
+#ifndef MWEAVER_STORAGE_DUMP_H_
+#define MWEAVER_STORAGE_DUMP_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace mweaver::storage {
+
+/// \brief Writes `db` to `out` in the dump format.
+Status DumpDatabase(const Database& db, std::ostream* out);
+
+/// \brief Writes `db` to `path`.
+Status DumpDatabaseToFile(const Database& db, const std::string& path);
+
+/// \brief Reads a database back from `in`. Validates the header, attribute
+/// types, arities and foreign keys; null cells round-trip as nulls.
+Result<Database> LoadDatabase(std::istream* in);
+
+/// \brief Reads a database from `path`.
+Result<Database> LoadDatabaseFromFile(const std::string& path);
+
+}  // namespace mweaver::storage
+
+#endif  // MWEAVER_STORAGE_DUMP_H_

@@ -1,0 +1,55 @@
+#include "storage/relation.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mweaver::storage {
+
+namespace {
+const std::vector<RowId> kNoRows;
+}  // namespace
+
+const std::vector<RowId>& HashIndex::Lookup(const Value& value) const {
+  auto it = map_.find(value);
+  return it == map_.end() ? kNoRows : it->second;
+}
+
+Status Relation::Append(Row row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "relation '%s' expects %zu attributes, got %zu",
+        schema_.name().c_str(), schema_.num_attributes(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (!v.is_null() && v.type() != schema_.attributes()[i].type) {
+      return Status::InvalidArgument(StrFormat(
+          "relation '%s' attribute '%s' expects %s, got %s",
+          schema_.name().c_str(), schema_.attributes()[i].name.c_str(),
+          ValueTypeName(schema_.attributes()[i].type),
+          ValueTypeName(v.type())));
+    }
+  }
+  MW_CHECK(indexes_.empty())
+      << "appending to relation '" << name() << "' after indexes were built";
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const HashIndex& Relation::IndexOn(AttributeId attribute) const {
+  MW_CHECK_GE(attribute, 0);
+  MW_CHECK_LT(static_cast<size_t>(attribute), schema_.num_attributes());
+  std::lock_guard<std::mutex> lock(*index_mutex_);
+  if (indexes_.empty()) indexes_.resize(schema_.num_attributes());
+  auto& slot = indexes_[static_cast<size_t>(attribute)];
+  if (slot == nullptr) {
+    slot = std::make_unique<HashIndex>();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Value& v = rows_[r][static_cast<size_t>(attribute)];
+      if (!v.is_null()) slot->Insert(v, static_cast<RowId>(r));
+    }
+  }
+  return *slot;
+}
+
+}  // namespace mweaver::storage

@@ -1,0 +1,12 @@
+#include "storage/schema.h"
+
+namespace mweaver::storage {
+
+AttributeId RelationSchema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<AttributeId>(i);
+  }
+  return kInvalidAttribute;
+}
+
+}  // namespace mweaver::storage

@@ -1,0 +1,83 @@
+// Schema metadata: attributes, relation schemas, and foreign keys. These are
+// the S(R_i), SS objects of the paper's Section 4.1.
+#ifndef MWEAVER_STORAGE_SCHEMA_H_
+#define MWEAVER_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace mweaver::storage {
+
+/// Index of a relation within a Database catalog.
+using RelationId = int32_t;
+/// Index of an attribute within its relation's schema.
+using AttributeId = int32_t;
+/// Index of a row within a relation instance.
+using RowId = int64_t;
+/// Index of a foreign key within a Database catalog.
+using ForeignKeyId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+inline constexpr AttributeId kInvalidAttribute = -1;
+
+/// \brief One column: name + declared type. `searchable` marks string
+/// attributes that participate in full-text indexing (non-searchable columns
+/// still join but never contain samples).
+struct AttributeSchema {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool searchable = true;
+};
+
+/// \brief A source-relation schema S(R): named, ordered attributes plus an
+/// optional primary key.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeSchema> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeSchema>& attributes() const {
+    return attributes_;
+  }
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSchema& attribute(AttributeId id) const {
+    return attributes_[static_cast<size_t>(id)];
+  }
+
+  /// \brief Attribute id for `name`, or kInvalidAttribute.
+  AttributeId FindAttribute(const std::string& name) const;
+
+  /// \brief Declares `attribute_ids` as the primary key.
+  void SetPrimaryKey(std::vector<AttributeId> attribute_ids) {
+    primary_key_ = std::move(attribute_ids);
+  }
+  const std::vector<AttributeId>& primary_key() const { return primary_key_; }
+
+ private:
+  std::string name_;
+  std::vector<AttributeSchema> attributes_;
+  std::vector<AttributeId> primary_key_;
+};
+
+/// \brief A foreign-key-to-primary-key relationship: the edges of the schema
+/// graph (Definition 2). Single-attribute keys, as in the paper.
+struct ForeignKey {
+  RelationId from_relation = kInvalidRelation;  // referencing side
+  AttributeId from_attribute = kInvalidAttribute;
+  RelationId to_relation = kInvalidRelation;  // referenced side
+  AttributeId to_attribute = kInvalidAttribute;
+
+  bool operator==(const ForeignKey& other) const = default;
+};
+
+}  // namespace mweaver::storage
+
+#endif  // MWEAVER_STORAGE_SCHEMA_H_

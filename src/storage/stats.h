@@ -1,0 +1,53 @@
+// Column statistics: cardinalities and value-shape summaries. Consumed by
+// the instance-based schema matchers (opaque-column-name matching needs
+// value-shape histograms, cf. Kang & Naughton [20] in the paper) and by
+// tests/EXPLAIN diagnostics.
+#ifndef MWEAVER_STORAGE_STATS_H_
+#define MWEAVER_STORAGE_STATS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace mweaver::storage {
+
+/// \brief Summary statistics of one attribute column.
+struct ColumnStats {
+  size_t num_rows = 0;
+  size_t num_nulls = 0;
+  size_t num_distinct = 0;
+  /// Mean display-string length of non-null values.
+  double avg_length = 0.0;
+  /// Fraction of non-null values that parse entirely as numbers.
+  double numeric_fraction = 0.0;
+  /// Character-class distribution over all non-null display characters:
+  /// [letters, digits, whitespace, other]. Sums to 1 when any characters
+  /// exist.
+  std::array<double, 4> char_classes{};
+
+  double null_fraction() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(num_nulls) /
+                               static_cast<double>(num_rows);
+  }
+};
+
+/// \brief Computes statistics for `attribute` of `relation` (O(rows)).
+ColumnStats ComputeColumnStats(const Relation& relation,
+                               AttributeId attribute);
+
+/// \brief Same summary over a bag of display strings (e.g. user-typed
+/// instances of a target column).
+ColumnStats ComputeValueStats(const std::vector<std::string>& values);
+
+/// \brief Similarity of two columns' value *shapes* in [0,1]: closeness of
+/// average length, numeric fraction and character-class histograms. Used
+/// for matching opaquely named columns by their data alone.
+double ShapeSimilarity(const ColumnStats& a, const ColumnStats& b);
+
+}  // namespace mweaver::storage
+
+#endif  // MWEAVER_STORAGE_STATS_H_

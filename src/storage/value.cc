@@ -1,0 +1,67 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/hash_util.h"
+#include "common/string_util.h"
+
+namespace mweaver::storage {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      // Trim trailing zeros so 2.5 renders as "2.5" and 3.0 as "3".
+      std::string s = StrFormat("%g", AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      HashCombine(&seed, AsInt64());
+      break;
+    case ValueType::kDouble:
+      HashCombine(&seed, AsDouble());
+      break;
+    case ValueType::kString:
+      HashCombine(&seed, AsString());
+      break;
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  if (value.is_null()) return os << "NULL";
+  if (value.type() == ValueType::kString) {
+    return os << '\'' << value.AsString() << '\'';
+  }
+  return os << value.ToDisplayString();
+}
+
+}  // namespace mweaver::storage

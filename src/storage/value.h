@@ -1,0 +1,70 @@
+// Value: a single relational cell. The paper's samples are strings, but the
+// engine also stores integers (surrogate keys) and doubles so FK joins are
+// typed. Values are immutable once constructed.
+#ifndef MWEAVER_STORAGE_VALUE_H_
+#define MWEAVER_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mweaver::storage {
+
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief One relational cell: null, int64, double, or string.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong accessor is a programming error
+  /// (checked in debug builds via std::get's exception->abort on mismatch).
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// \brief Renders any value as text (NULL -> "", numbers via to_string).
+  /// This is the representation the full-text engine indexes and the
+  /// spreadsheet displays.
+  std::string ToDisplayString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Ordering across types follows the variant index (null < int < double <
+  /// string); within a type, the natural order.
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace mweaver::storage
+
+template <>
+struct std::hash<mweaver::storage::Value> {
+  size_t operator()(const mweaver::storage::Value& v) const {
+    return v.Hash();
+  }
+};
+
+#endif  // MWEAVER_STORAGE_VALUE_H_

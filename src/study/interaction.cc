@@ -1,0 +1,48 @@
+#include "study/interaction.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace mweaver::study {
+
+std::vector<Subject> DefaultSubjects() {
+  std::vector<Subject> subjects;
+  Rng rng(2012);  // deterministic panel
+  auto jitter = [&](double base, double spread) {
+    return base * (1.0 + spread * (rng.UniformDouble() - 0.5));
+  };
+  for (int d = 1; d <= 2; ++d) {
+    Subject s;
+    s.id = "D" + std::to_string(d);
+    s.expert = true;
+    s.keystroke_s = jitter(0.16, 0.3);
+    s.click_s = jitter(0.85, 0.3);
+    s.decision_s = jitter(2.0, 0.3);
+    subjects.push_back(s);
+  }
+  for (int n = 1; n <= 8; ++n) {
+    Subject s;
+    s.id = "N" + std::to_string(n);
+    s.expert = false;
+    s.keystroke_s = jitter(0.26, 0.5);
+    s.click_s = jitter(1.2, 0.5);
+    s.decision_s = jitter(3.2, 0.6);
+    subjects.push_back(s);
+  }
+  return subjects;
+}
+
+size_t KeystrokesWithAutocomplete(const std::string& text) {
+  if (text.empty()) return 1;
+  // The completion list is backed by the source's value dictionary: typing
+  // about a third of the value (at least 3 characters) narrows it to a
+  // handful, then one arrow key + one accept.
+  const size_t typed = std::min(text.size(),
+                                std::max<size_t>(3, text.size() / 3));
+  return typed + 2;
+}
+
+size_t KeystrokesPlain(const std::string& text) { return text.size() + 1; }
+
+}  // namespace mweaver::study

@@ -1,0 +1,289 @@
+#include "study/user_study.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/path_internal.h"
+#include "query/executor.h"
+
+namespace mweaver::study {
+
+namespace {
+
+// Per-subject seed so different subjects make different (deterministic)
+// sample choices.
+uint64_t MixSeed(uint64_t seed, const Subject& subject) {
+  size_t h = seed;
+  HashCombine(&h, subject.id);
+  return static_cast<uint64_t>(h);
+}
+
+}  // namespace
+
+UserStudy::UserStudy(const text::FullTextEngine* engine,
+                     const graph::SchemaGraph* schema_graph)
+    : engine_(engine), schema_graph_(schema_graph) {
+  MW_CHECK(engine != nullptr);
+  MW_CHECK(schema_graph != nullptr);
+}
+
+Result<ToolRun> UserStudy::RunMWeaver(const Subject& subject,
+                                      const datagen::TaskMapping& task,
+                                      uint64_t seed) const {
+  datagen::SimulationOptions options;
+  options.seed = MixSeed(seed, subject);
+  MW_ASSIGN_OR_RETURN(
+      datagen::SimulationResult sim,
+      datagen::SimulateUserSession(*engine_, *schema_graph_, task, options));
+
+  ToolRun run;
+  run.subject = subject.id;
+  run.tool = "MWeaver";
+  run.success = sim.discovered && sim.converged_to_goal;
+  InteractionCost& cost = run.cost;
+  cost.setup_s = subject.expert ? 5.0 : 10.0;
+
+  // Define the target spreadsheet: type each column header.
+  for (const std::string& name : task.column_names) {
+    cost.AddTyping(KeystrokesPlain(name));
+    cost.AddClicks(1);
+  }
+  // Type the samples; navigation between cells is a hot key (1 keystroke),
+  // which is why MWeaver needs so few clicks.
+  const size_t m = task.column_names.size();
+  for (const std::string& value : sim.typed_values) {
+    cost.AddTyping(KeystrokesWithAutocomplete(value) + 1);
+    cost.AddDecision(kRecallSampleWeight);
+  }
+  // Glance at the mapping-status bar after each row of samples.
+  const size_t rows = (sim.typed_values.size() + m - 1) / m;
+  for (size_t r = 0; r < rows; ++r) cost.AddDecision(kCheckStatusWeight);
+  // Expand the mapping list once, inspect the final mapping, accept it.
+  cost.AddClicks(3);
+  cost.AddDecision(kJudgeJoinPathWeight);  // read the converged mapping once
+
+  run.time_s = cost.TimeSeconds(subject);
+  return run;
+}
+
+Result<ToolRun> UserStudy::RunEirene(const Subject& subject,
+                                     const datagen::TaskMapping& task,
+                                     uint64_t seed) const {
+  const storage::Database& db = engine_->db();
+  query::PathExecutor executor(engine_);
+
+  // The pool of ground-truth tuple paths the simulated user draws its
+  // examples from (the user "knows" the data they want mapped).
+  query::ExecOptions exec_options;
+  exec_options.max_results = 64;
+  MW_ASSIGN_OR_RETURN(
+      std::vector<core::TuplePath> paths,
+      executor.Execute(task.mapping, query::SampleMap{}, exec_options));
+  if (paths.empty()) {
+    return Status::FailedPrecondition("goal mapping has no tuple paths");
+  }
+  Rng rng(MixSeed(seed, subject));
+  rng.Shuffle(&paths);
+
+  ToolRun run;
+  run.subject = subject.id;
+  run.tool = "Eirene";
+  InteractionCost& cost = run.cost;
+  cost.setup_s = subject.expert ? 15.0 : 25.0;
+
+  // Define the target schema (as every tool must).
+  for (const std::string& name : task.column_names) {
+    cost.AddTyping(KeystrokesPlain(name));
+    cost.AddClicks(1);
+  }
+
+  baselines::EireneFitter fitter(&db);
+  std::vector<baselines::DataExample> examples;
+  const std::string goal_canonical = task.mapping.Canonical();
+  std::vector<core::MappingPath> fitted;
+
+  for (const core::TuplePath& tp : paths) {
+    // Build the example from the tuple path: the user locates each source
+    // tuple, adds it to the canvas, and types its join/projection values.
+    baselines::DataExample example;
+    std::set<std::pair<storage::RelationId, storage::RowId>> tuples;
+    const auto adj = core::internal::BuildAdjacency(tp.vertices());
+    for (size_t v = 0; v < tp.num_vertices(); ++v) {
+      const core::VertexId vid = static_cast<core::VertexId>(v);
+      const storage::RelationId rel_id = tp.vertex(vid).relation;
+      const storage::RowId row = tp.row(vid);
+      if (!tuples.insert({rel_id, row}).second) continue;
+      example.source_tuples.emplace_back(rel_id, row);
+
+      // Attributes the user must fill in: the FK attributes of every
+      // incident edge, plus any projected attributes of this vertex.
+      std::set<storage::AttributeId> attrs;
+      for (const core::internal::AdjEdge& e : adj[v]) {
+        const storage::ForeignKey& fk =
+            db.foreign_keys()[static_cast<size_t>(e.fk)];
+        attrs.insert(e.neighbor_is_from_side ? fk.to_attribute
+                                             : fk.from_attribute);
+      }
+      for (const core::Projection& p : tp.projections()) {
+        if (p.vertex == vid) attrs.insert(p.attribute);
+      }
+      cost.AddDecision(kLocateSourceTupleWeight);
+      // Find the tuple in the source instance: type an identifying value
+      // into the search box (the longest display string of the row, e.g. a
+      // title or name), then pick the relation and add the row.
+      std::string lookup;
+      const storage::Relation& rel = db.relation(rel_id);
+      for (size_t a = 0; a < rel.schema().num_attributes(); ++a) {
+        const std::string text =
+            rel.at(row, static_cast<storage::AttributeId>(a))
+                .ToDisplayString();
+        if (text.size() > lookup.size()) lookup = text;
+      }
+      cost.AddTyping(KeystrokesPlain(lookup));
+      cost.AddClicks(3);  // search, add the row to the canvas, focus it
+      for (storage::AttributeId a : attrs) {
+        cost.AddTyping(KeystrokesPlain(
+            db.relation(rel_id).at(row, a).ToDisplayString()));
+        cost.AddClicks(1);  // focus the field
+      }
+    }
+    // Verify the join linkage: for each edge of the example the user must
+    // check that the two tuples agree on the key values they just typed —
+    // Eirene's core burden ("the user has to ... explicitly specify join
+    // paths by linking related tables using data with the same value", §2).
+    for (size_t e = 0; e + 1 < example.source_tuples.size(); ++e) {
+      cost.AddDecision(kJudgeJoinPathWeight);
+    }
+    // Type the target tuple of the example.
+    example.target_tuple = tp.ProjectTargetValues(db);
+    for (const std::string& v : example.target_tuple) {
+      cost.AddTyping(KeystrokesPlain(v));
+    }
+    cost.AddClicks(2);  // add example, run fitting
+    cost.AddDecision(kCheckStatusWeight);
+
+    examples.push_back(std::move(example));
+    MW_ASSIGN_OR_RETURN(fitted, fitter.Fit(examples));
+    if (fitted.size() <= 1) break;
+  }
+
+  run.success = fitted.size() == 1 &&
+                fitted.front().Canonical() == goal_canonical;
+  cost.AddClicks(1);  // accept the fitted mapping
+  cost.AddDecision(kJudgeJoinPathWeight);
+  run.time_s = cost.TimeSeconds(subject);
+  return run;
+}
+
+Result<ToolRun> UserStudy::RunInfoSphere(const Subject& subject,
+                                         const datagen::TaskMapping& task,
+                                         uint64_t seed) const {
+  (void)seed;  // the match-driven flow is deterministic
+  const storage::Database& db = engine_->db();
+  baselines::MatchDrivenMapper mapper(engine_, schema_graph_);
+
+  ToolRun run;
+  run.subject = subject.id;
+  run.tool = "InfoSphere";
+  InteractionCost& cost = run.cost;
+  cost.setup_s = subject.expert ? 20.0 : 35.0;
+
+  // Define the target schema (as every tool must).
+  for (const std::string& name : task.column_names) {
+    cost.AddTyping(KeystrokesPlain(name));
+    cost.AddClicks(1);
+  }
+
+  // The goal correspondences, per target column.
+  std::vector<baselines::Correspondence> confirmed;
+  const auto proposals = mapper.ProposeCorrespondences(task.column_names);
+  for (size_t col = 0; col < task.column_names.size(); ++col) {
+    const core::Projection* p =
+        task.mapping.FindProjection(static_cast<int>(col));
+    MW_CHECK(p != nullptr);
+    const text::AttributeRef goal_attr{
+        task.mapping.vertex(p->vertex).relation, p->attribute};
+
+    // Filter the (large) source schema tree down before reviewing: the
+    // user types the attribute name they expect into the search box.
+    cost.AddTyping(KeystrokesPlain(task.column_names[col]));
+    cost.AddClicks(1);
+
+    // Review proposals in order until the right one appears.
+    size_t rank = proposals[col].size();
+    for (size_t r = 0; r < proposals[col].size(); ++r) {
+      if (proposals[col][r].attr == goal_attr) {
+        rank = r;
+        break;
+      }
+    }
+    if (rank < proposals[col].size()) {
+      for (size_t r = 0; r <= rank; ++r) {
+        cost.AddDecision(kJudgeCorrespondenceWeight);
+        cost.AddClicks(1);
+      }
+      cost.AddClicks(1);  // accept
+    } else {
+      // The matcher missed: review everything proposed, then hunt through
+      // the source schema tree by hand.
+      for (size_t r = 0; r < proposals[col].size(); ++r) {
+        cost.AddDecision(kJudgeCorrespondenceWeight);
+        cost.AddClicks(1);
+      }
+      cost.AddTyping(KeystrokesPlain(
+          db.relation(goal_attr.relation)
+              .schema()
+              .attribute(goal_attr.attribute)
+              .name));  // search box
+      cost.AddClicks(db.num_relations() / 3);  // expand schema tree nodes
+      cost.AddDecision(2.0 * kJudgeCorrespondenceWeight);
+      cost.AddClicks(2);  // select + connect
+    }
+    // Draw the correspondence line on the canvas.
+    cost.AddClicks(2);
+    confirmed.push_back(baselines::Correspondence{
+        static_cast<int>(col), goal_attr, 1.0});
+  }
+
+  // Mapping phase: the tool enumerates join structures; the user inspects
+  // the alternatives until the desired one is found.
+  MW_ASSIGN_OR_RETURN(std::vector<core::MappingPath> mappings,
+                      mapper.EnumerateMappings(confirmed));
+  const std::string goal_canonical = task.mapping.Canonical();
+  size_t index = mappings.size();
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    if (mappings[i].Canonical() == goal_canonical) {
+      index = i;
+      break;
+    }
+  }
+  run.success = index < mappings.size();
+  const size_t inspected = run.success ? index + 1 : mappings.size();
+  for (size_t i = 0; i < inspected; ++i) {
+    cost.AddDecision(kJudgeJoinPathWeight);
+    cost.AddClicks(1);  // expand the alternative; judging it is think time
+  }
+  cost.AddClicks(1);  // confirm
+  run.time_s = cost.TimeSeconds(subject);
+  return run;
+}
+
+Result<std::vector<ToolRun>> UserStudy::RunAll(
+    const datagen::TaskMapping& task, uint64_t seed) const {
+  std::vector<ToolRun> runs;
+  for (const Subject& subject : DefaultSubjects()) {
+    MW_ASSIGN_OR_RETURN(ToolRun mweaver, RunMWeaver(subject, task, seed));
+    runs.push_back(std::move(mweaver));
+    MW_ASSIGN_OR_RETURN(ToolRun eirene, RunEirene(subject, task, seed));
+    runs.push_back(std::move(eirene));
+    MW_ASSIGN_OR_RETURN(ToolRun infosphere,
+                        RunInfoSphere(subject, task, seed));
+    runs.push_back(std::move(infosphere));
+  }
+  return runs;
+}
+
+}  // namespace mweaver::study

@@ -1,0 +1,75 @@
+// The user-study harness (Section 6.2 / Figure 10): drives the Figure-11
+// mapping task through all three tools — MWeaver (core::Session), Eirene
+// (baselines::EireneFitter), and an InfoSphere-style match-driven tool
+// (baselines::MatchDrivenMapper) — with a simulated subject, recording
+// overall time, keystrokes and mouse clicks per run.
+#ifndef MWEAVER_STUDY_USER_STUDY_H_
+#define MWEAVER_STUDY_USER_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/eirene.h"
+#include "baselines/matchdriven.h"
+#include "common/result.h"
+#include "core/session.h"
+#include "datagen/workload.h"
+#include "graph/schema_graph.h"
+#include "study/interaction.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::study {
+
+/// \brief Outcome of one (subject, tool, task) run.
+struct ToolRun {
+  std::string subject;
+  std::string tool;  // "MWeaver" | "Eirene" | "InfoSphere"
+  InteractionCost cost;
+  double time_s = 0.0;
+  /// The run ended with the goal mapping identified.
+  bool success = false;
+};
+
+/// \brief Drives the three tools over one database.
+class UserStudy {
+ public:
+  /// \brief `engine` and `schema_graph` must outlive the study; both wrap
+  /// the same database.
+  UserStudy(const text::FullTextEngine* engine,
+            const graph::SchemaGraph* schema_graph);
+
+  /// \brief MWeaver: the subject types target samples into the input
+  /// spreadsheet until the candidate list converges (Session +
+  /// SimulateUserSession drive the real TPW pipeline).
+  Result<ToolRun> RunMWeaver(const Subject& subject,
+                             const datagen::TaskMapping& task,
+                             uint64_t seed) const;
+
+  /// \brief Eirene: the subject assembles fully-specified data examples —
+  /// locating and typing complete source tuples plus the target tuple —
+  /// until the fitter pins down a single mapping.
+  Result<ToolRun> RunEirene(const Subject& subject,
+                            const datagen::TaskMapping& task,
+                            uint64_t seed) const;
+
+  /// \brief InfoSphere-style: the subject reviews proposed attribute
+  /// correspondences for each target column (falling back to browsing the
+  /// source schema when the right attribute is not proposed), then
+  /// disambiguates among the enumerated join paths.
+  Result<ToolRun> RunInfoSphere(const Subject& subject,
+                                const datagen::TaskMapping& task,
+                                uint64_t seed) const;
+
+  /// \brief Runs all tools for all subjects; rows ordered subject-major
+  /// (D1, D2, N1..N8), tool order MWeaver, Eirene, InfoSphere.
+  Result<std::vector<ToolRun>> RunAll(const datagen::TaskMapping& task,
+                                      uint64_t seed) const;
+
+ private:
+  const text::FullTextEngine* engine_;
+  const graph::SchemaGraph* schema_graph_;
+};
+
+}  // namespace mweaver::study
+
+#endif  // MWEAVER_STUDY_USER_STUDY_H_

@@ -1,0 +1,43 @@
+// Value auto-completion over the source instance. The paper's input
+// spreadsheet aids the user with completions ("MWEAVER requires only target
+// sample entry aided by auto-completion", §6.2), and its future work asks
+// for "features that will automatically suggest relevant data" (§7): this
+// dictionary suggests source values for a typed prefix.
+#ifndef MWEAVER_TEXT_AUTOCOMPLETE_H_
+#define MWEAVER_TEXT_AUTOCOMPLETE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace mweaver::text {
+
+/// \brief A sorted dictionary of every distinct display value of a
+/// database's searchable string attributes.
+class ValueDictionary {
+ public:
+  /// \brief Builds the dictionary (O(total values log distinct values)).
+  /// `db` must outlive the dictionary.
+  explicit ValueDictionary(const storage::Database* db);
+
+  /// \brief Up to `limit` distinct values starting with `prefix`
+  /// (case-insensitively), lexicographically ordered. An empty prefix
+  /// returns the dictionary's head.
+  std::vector<std::string> Suggest(const std::string& prefix,
+                                   size_t limit = 8) const;
+
+  /// \brief True iff `value` appears verbatim somewhere in the source — the
+  /// relevance signal behind Session's irrelevant-sample warning.
+  bool Contains(const std::string& value) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  // (lowercased key, original value), sorted by key then value.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_AUTOCOMPLETE_H_

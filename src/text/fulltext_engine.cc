@@ -1,0 +1,149 @@
+#include "text/fulltext_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.h"
+#include "text/numeric.h"
+
+namespace mweaver::text {
+
+namespace {
+const std::vector<storage::RowId> kNoRows;
+}  // namespace
+
+FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy)
+    : db_(db), policy_(policy) {
+  MW_CHECK(db != nullptr);
+  for (size_t r = 0; r < db->num_relations(); ++r) {
+    const storage::RelationId rel_id = static_cast<storage::RelationId>(r);
+    const storage::Relation& rel = db->relation(rel_id);
+    for (size_t a = 0; a < rel.schema().num_attributes(); ++a) {
+      const storage::AttributeSchema& attr_schema =
+          rel.schema().attributes()[a];
+      if (!attr_schema.searchable) continue;
+      const AttributeRef ref{rel_id, static_cast<storage::AttributeId>(a)};
+      if (attr_schema.type == storage::ValueType::kString) {
+        index_of_attr_[ref] = indexes_.size();
+        indexed_attrs_.push_back(ref);
+        indexes_.push_back(
+            std::make_unique<InvertedIndex>(rel, ref.attribute));
+      } else if (attr_schema.type == storage::ValueType::kInt64 ||
+                 attr_schema.type == storage::ValueType::kDouble) {
+        numeric_attrs_.push_back(ref);
+      }
+    }
+  }
+}
+
+std::string FullTextEngine::CellText(const AttributeRef& attr,
+                                     storage::RowId row) const {
+  return db_->relation(attr.relation).at(row, attr.attribute)
+      .ToDisplayString();
+}
+
+std::vector<Occurrence> FullTextEngine::FindOccurrences(
+    const std::string& sample) const {
+  std::vector<Occurrence> occurrences;
+  for (const AttributeRef& attr : indexed_attrs_) {
+    const std::vector<storage::RowId>& rows = MatchingRows(attr, sample);
+    if (!rows.empty()) {
+      occurrences.push_back(Occurrence{attr, rows});
+    }
+  }
+  if (policy_.match_numeric && ParseNumeric(sample).has_value()) {
+    for (const AttributeRef& attr : numeric_attrs_) {
+      const std::vector<storage::RowId>& rows = MatchingRows(attr, sample);
+      if (!rows.empty()) {
+        occurrences.push_back(Occurrence{attr, rows});
+      }
+    }
+  }
+  return occurrences;
+}
+
+bool FullTextEngine::IsNumericAttr(const AttributeRef& attr) const {
+  const storage::ValueType type = db_->relation(attr.relation)
+                                      .schema()
+                                      .attribute(attr.attribute)
+                                      .type;
+  return type == storage::ValueType::kInt64 ||
+         type == storage::ValueType::kDouble;
+}
+
+std::vector<storage::RowId> FullTextEngine::NumericMatches(
+    const AttributeRef& attr, double sample) const {
+  std::vector<storage::RowId> rows;
+  const storage::Relation& rel = db_->relation(attr.relation);
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    if (NumericEquals(rel.at(static_cast<storage::RowId>(r), attr.attribute),
+                      sample)) {
+      rows.push_back(static_cast<storage::RowId>(r));
+    }
+  }
+  return rows;
+}
+
+const std::vector<storage::RowId>& FullTextEngine::MatchingRows(
+    const AttributeRef& attr, const std::string& sample) const {
+  const auto cache_key = std::make_pair(attr, sample);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto cached = match_cache_.find(cache_key);
+    if (cached != match_cache_.end()) return cached->second;
+  }
+
+  // Compute outside the lock (reads immutable indexes and relation data);
+  // a racing thread may compute the same entry — emplace keeps the first.
+  std::vector<storage::RowId> verified;
+  auto idx_it = index_of_attr_.find(attr);
+  if (idx_it == index_of_attr_.end()) {
+    // Numeric attributes are matched by a (memoized) verification scan.
+    const std::optional<double> numeric =
+        policy_.match_numeric ? ParseNumeric(sample) : std::nullopt;
+    const bool searchable_numeric =
+        numeric.has_value() &&
+        std::find(numeric_attrs_.begin(), numeric_attrs_.end(), attr) !=
+            numeric_attrs_.end();
+    if (!searchable_numeric) return kNoRows;
+    verified = NumericMatches(attr, *numeric);
+  } else {
+    const InvertedIndex& index = *indexes_[idx_it->second];
+    for (storage::RowId row : index.CandidateRows(sample, policy_)) {
+      if (NoisyContains(CellText(attr, row), sample, policy_)) {
+        verified.push_back(row);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto [it, inserted] = match_cache_.emplace(cache_key, std::move(verified));
+  return it->second;
+}
+
+bool FullTextEngine::RowContains(const AttributeRef& attr, storage::RowId row,
+                                 const std::string& sample) const {
+  if (policy_.match_numeric && IsNumericAttr(attr)) {
+    const std::optional<double> numeric = ParseNumeric(sample);
+    return numeric.has_value() &&
+           NumericEquals(db_->relation(attr.relation).at(row, attr.attribute),
+                         *numeric);
+  }
+  return NoisyContains(CellText(attr, row), sample, policy_);
+}
+
+double FullTextEngine::RowMatchScore(const AttributeRef& attr,
+                                     storage::RowId row,
+                                     const std::string& sample) const {
+  if (policy_.match_numeric && IsNumericAttr(attr)) {
+    return RowContains(attr, row, sample) ? 1.0 : 0.0;
+  }
+  return MatchScore(CellText(attr, row), sample, policy_);
+}
+
+std::string FullTextEngine::AttributeName(const AttributeRef& attr) const {
+  const storage::Relation& rel = db_->relation(attr.relation);
+  return rel.name() + "." + rel.schema().attribute(attr.attribute).name;
+}
+
+}  // namespace mweaver::text

@@ -1,0 +1,109 @@
+// FullTextEngine: approximate keyword search over every searchable attribute
+// of a Database. Provides the two primitives TPW needs from the "MySQL
+// full-text" substrate: find all occurrences of a sample (Algorithm 1), and
+// the verified matching rows of one attribute (used when executing pairwise
+// mapping queries and pruning queries).
+#ifndef MWEAVER_TEXT_FULLTEXT_ENGINE_H_
+#define MWEAVER_TEXT_FULLTEXT_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "text/inverted_index.h"
+#include "text/match.h"
+
+namespace mweaver::text {
+
+/// \brief Identifies one source attribute (the elements of the location map
+/// L(i), e.g. "person.name").
+struct AttributeRef {
+  storage::RelationId relation = storage::kInvalidRelation;
+  storage::AttributeId attribute = storage::kInvalidAttribute;
+
+  bool operator==(const AttributeRef& other) const = default;
+  bool operator<(const AttributeRef& other) const {
+    return relation != other.relation ? relation < other.relation
+                                      : attribute < other.attribute;
+  }
+};
+
+/// \brief All rows of one attribute that noisily contain a sample.
+struct Occurrence {
+  AttributeRef attr;
+  std::vector<storage::RowId> rows;  // sorted, verified matches
+};
+
+/// \brief Full-text search engine over one database instance.
+///
+/// Indexes are built eagerly at construction for every `searchable` string
+/// attribute. The engine memoizes per-(attribute, sample) verified match
+/// sets, mirroring how a production engine would cache hot keyword queries
+/// during an interactive session.
+class FullTextEngine {
+ public:
+  /// \brief Builds inverted indexes over `db`. The database must outlive the
+  /// engine and must not grow afterwards.
+  FullTextEngine(const storage::Database* db, MatchPolicy policy);
+
+  const storage::Database& db() const { return *db_; }
+  const MatchPolicy& policy() const { return policy_; }
+
+  /// \brief All attributes containing `sample`, with their verified matching
+  /// rows — one call per sample implements Algorithm 1's location map entry.
+  std::vector<Occurrence> FindOccurrences(const std::string& sample) const;
+
+  /// \brief Verified rows of one attribute that noisily contain `sample`
+  /// (sorted). Returns an empty list for non-indexed attributes.
+  const std::vector<storage::RowId>& MatchingRows(
+      const AttributeRef& attr, const std::string& sample) const;
+
+  /// \brief True iff the given row's attribute value noisily contains
+  /// `sample`.
+  bool RowContains(const AttributeRef& attr, storage::RowId row,
+                   const std::string& sample) const;
+
+  /// \brief Match score of one cell against a sample (0 when not contained).
+  double RowMatchScore(const AttributeRef& attr, storage::RowId row,
+                       const std::string& sample) const;
+
+  /// \brief "relation.attribute" display name.
+  std::string AttributeName(const AttributeRef& attr) const;
+
+  /// \brief Number of indexed (relation, attribute) columns.
+  size_t num_indexed_attributes() const { return indexes_.size(); }
+  /// \brief Searchable numeric columns considered when the policy enables
+  /// numeric-sample matching.
+  size_t num_numeric_attributes() const { return numeric_attrs_.size(); }
+
+ private:
+  std::string CellText(const AttributeRef& attr, storage::RowId row) const;
+  bool IsNumericAttr(const AttributeRef& attr) const;
+  // Verified rows of a numeric attribute matching a numeric sample.
+  std::vector<storage::RowId> NumericMatches(const AttributeRef& attr,
+                                             double sample) const;
+
+  const storage::Database* db_;
+  MatchPolicy policy_;
+  // Index storage aligned with `indexed_attrs_`.
+  std::vector<AttributeRef> indexed_attrs_;
+  std::vector<std::unique_ptr<InvertedIndex>> indexes_;
+  std::map<AttributeRef, size_t> index_of_attr_;
+  // Searchable int64/double columns (no inverted index; matched by scan).
+  std::vector<AttributeRef> numeric_attrs_;
+  // Memoized verified results: (attr, sample) -> sorted row ids. std::map
+  // keeps node addresses stable, so returned references stay valid while
+  // other threads insert; the mutex guards lookup/insert (thread safety is
+  // needed by the parallel pairwise step, core/pairwise.h).
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::pair<AttributeRef, std::string>,
+                   std::vector<storage::RowId>>
+      match_cache_;
+};
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_FULLTEXT_ENGINE_H_

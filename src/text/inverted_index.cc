@@ -1,0 +1,123 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace mweaver::text {
+
+namespace {
+
+const std::vector<storage::RowId> kNoRows;
+
+// Sorted-vector set intersection into `*acc`.
+void IntersectInto(std::vector<storage::RowId>* acc,
+                   const std::vector<storage::RowId>& other) {
+  std::vector<storage::RowId> merged;
+  merged.reserve(std::min(acc->size(), other.size()));
+  std::set_intersection(acc->begin(), acc->end(), other.begin(), other.end(),
+                        std::back_inserter(merged));
+  *acc = std::move(merged);
+}
+
+// Sorted, deduplicated union of several posting lists.
+std::vector<storage::RowId> UnionOf(
+    const std::vector<const std::vector<storage::RowId>*>& lists) {
+  std::vector<storage::RowId> out;
+  for (const auto* list : lists) out.insert(out.end(), list->begin(),
+                                            list->end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const storage::Relation& relation,
+                             storage::AttributeId attribute) {
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    const storage::Value& v =
+        relation.at(static_cast<storage::RowId>(r), attribute);
+    if (v.is_null()) continue;
+    const storage::RowId row = static_cast<storage::RowId>(r);
+    all_rows_.push_back(row);
+    ++num_indexed_rows_;
+    std::vector<std::string> tokens = Tokenize(v.ToDisplayString());
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (std::string& t : tokens) {
+      postings_[std::move(t)].push_back(row);
+    }
+  }
+  // Rows were visited in increasing order, so posting lists are sorted.
+}
+
+const std::vector<storage::RowId>& InvertedIndex::Postings(
+    const std::string& token) const {
+  auto it = postings_.find(token);
+  return it == postings_.end() ? kNoRows : it->second;
+}
+
+std::vector<const std::vector<storage::RowId>*> InvertedIndex::TokensContaining(
+    const std::string& token) const {
+  std::vector<const std::vector<storage::RowId>*> out;
+  for (const auto& [dict_token, rows] : postings_) {
+    if (dict_token.find(token) != std::string::npos) out.push_back(&rows);
+  }
+  return out;
+}
+
+std::vector<const std::vector<storage::RowId>*> InvertedIndex::TokensNear(
+    const std::string& token, size_t max_edit) const {
+  std::vector<const std::vector<storage::RowId>*> out;
+  for (const auto& [dict_token, rows] : postings_) {
+    if (BoundedEditDistance(dict_token, token, max_edit) <= max_edit) {
+      out.push_back(&rows);
+    }
+  }
+  return out;
+}
+
+std::vector<storage::RowId> InvertedIndex::CandidateRows(
+    const std::string& sample, const MatchPolicy& policy) const {
+  const std::vector<std::string> tokens = Tokenize(sample);
+  if (tokens.empty()) {
+    // Punctuation-only samples: the index cannot narrow anything down.
+    // Return every indexed row; the caller's verification pass decides.
+    return all_rows_;
+  }
+  bool first = true;
+  std::vector<storage::RowId> acc;
+  for (const std::string& t : tokens) {
+    std::vector<storage::RowId> rows_for_token;
+    switch (policy.mode) {
+      case MatchMode::kExact:
+      case MatchMode::kEqualsIgnoreCase:
+      case MatchMode::kTokenSubset:
+        rows_for_token = Postings(t);
+        break;
+      case MatchMode::kSubstring:
+        // If the sample is a substring of the value, each maximal
+        // alphanumeric run of the sample is contained inside some token of
+        // the value (the first/last runs possibly as a proper infix).
+        rows_for_token = UnionOf(TokensContaining(t));
+        break;
+      case MatchMode::kFuzzyTokenSubset: {
+        auto lists = TokensNear(t, policy.max_edit_distance);
+        rows_for_token = UnionOf(lists);
+        break;
+      }
+    }
+    if (first) {
+      acc = std::move(rows_for_token);
+      first = false;
+    } else {
+      IntersectInto(&acc, rows_for_token);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+}  // namespace mweaver::text

@@ -1,0 +1,53 @@
+// Per-(relation, attribute) inverted index: token -> sorted posting list of
+// row ids. Stands in for the MySQL full-text indexes the paper's
+// implementation relied on ("which has a pre-computed inverted-index",
+// Appendix A.1).
+#ifndef MWEAVER_TEXT_INVERTED_INDEX_H_
+#define MWEAVER_TEXT_INVERTED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "text/match.h"
+
+namespace mweaver::text {
+
+/// \brief Inverted index over the display strings of one attribute column.
+class InvertedIndex {
+ public:
+  /// \brief Indexes every non-null value of `attribute` in `relation`.
+  InvertedIndex(const storage::Relation& relation,
+                storage::AttributeId attribute);
+
+  /// \brief Sorted, duplicate-free row ids whose value could noisily contain
+  /// `sample` under `policy`. Guaranteed to be a superset of the true match
+  /// set; callers verify candidates against the raw values.
+  std::vector<storage::RowId> CandidateRows(const std::string& sample,
+                                            const MatchPolicy& policy) const;
+
+  size_t num_tokens() const { return postings_.size(); }
+  size_t num_indexed_rows() const { return num_indexed_rows_; }
+
+ private:
+  const std::vector<storage::RowId>& Postings(const std::string& token) const;
+
+  /// Tokens t in the dictionary such that `token` is a substring of t.
+  std::vector<const std::vector<storage::RowId>*> TokensContaining(
+      const std::string& token) const;
+  /// Tokens t within edit distance `max_edit` of `token`.
+  std::vector<const std::vector<storage::RowId>*> TokensNear(
+      const std::string& token, size_t max_edit) const;
+
+  std::unordered_map<std::string, std::vector<storage::RowId>> postings_;
+  // Rows whose value tokenized to nothing (e.g. punctuation-only); substring
+  // candidates must include them conservatively only when the sample itself
+  // has no tokens, in which case we fall back to all indexed rows.
+  std::vector<storage::RowId> all_rows_;
+  size_t num_indexed_rows_ = 0;
+};
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,100 @@
+#include "text/match.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace mweaver::text {
+
+namespace {
+
+// True iff each sample token matches some value token (each value token
+// usable many times: containment, not bijection), with per-token accumulated
+// similarity written to *similarity when non-null.
+bool TokensContained(std::string_view value, std::string_view sample,
+                     size_t max_edit, double* similarity) {
+  const std::vector<std::string> sample_tokens = Tokenize(sample);
+  if (sample_tokens.empty()) return false;
+  const std::vector<std::string> value_tokens = Tokenize(value);
+  double total = 0.0;
+  for (const std::string& st : sample_tokens) {
+    double best = -1.0;
+    for (const std::string& vt : value_tokens) {
+      if (st == vt) {
+        best = 1.0;
+        break;
+      }
+      if (max_edit > 0) {
+        const size_t dist = BoundedEditDistance(st, vt, max_edit);
+        if (dist <= max_edit) {
+          best = std::max(best, EditSimilarity(st, vt));
+        }
+      }
+    }
+    if (best < 0.0) return false;
+    total += best;
+  }
+  if (similarity != nullptr) {
+    *similarity = total / static_cast<double>(sample_tokens.size());
+  }
+  return true;
+}
+
+}  // namespace
+
+bool NoisyContains(std::string_view value, std::string_view sample,
+                   const MatchPolicy& policy) {
+  if (sample.empty()) return false;
+  switch (policy.mode) {
+    case MatchMode::kExact:
+      return value == sample;
+    case MatchMode::kEqualsIgnoreCase:
+      return EqualsIgnoreCase(value, sample);
+    case MatchMode::kSubstring:
+      return ContainsIgnoreCase(value, sample);
+    case MatchMode::kTokenSubset:
+      return TokensContained(value, sample, 0, nullptr);
+    case MatchMode::kFuzzyTokenSubset:
+      return TokensContained(value, sample, policy.max_edit_distance, nullptr);
+  }
+  return false;
+}
+
+double MatchScore(std::string_view value, std::string_view sample,
+                  const MatchPolicy& policy) {
+  if (sample.empty()) return 0.0;
+  switch (policy.mode) {
+    case MatchMode::kExact:
+      return value == sample ? 1.0 : 0.0;
+    case MatchMode::kEqualsIgnoreCase:
+      return EqualsIgnoreCase(value, sample) ? 1.0 : 0.0;
+    case MatchMode::kSubstring: {
+      if (!ContainsIgnoreCase(value, sample)) return 0.0;
+      // Exact-length matches score 1; a sample buried in a long value (e.g.
+      // a title inside a logline) scores by coverage, never below 0.1.
+      const double ratio = static_cast<double>(sample.size()) /
+                           static_cast<double>(std::max<size_t>(
+                               value.size(), 1));
+      return std::max(0.1, ratio);
+    }
+    case MatchMode::kTokenSubset:
+    case MatchMode::kFuzzyTokenSubset: {
+      double similarity = 0.0;
+      const size_t max_edit = policy.mode == MatchMode::kTokenSubset
+                                  ? 0
+                                  : policy.max_edit_distance;
+      if (!TokensContained(value, sample, max_edit, &similarity)) return 0.0;
+      // Weight by token coverage of the value, floored like substring mode.
+      const size_t value_tokens = Tokenize(value).size();
+      const size_t sample_tokens = Tokenize(sample).size();
+      const double coverage =
+          static_cast<double>(sample_tokens) /
+          static_cast<double>(std::max<size_t>(value_tokens, 1));
+      return std::max(0.1, similarity * std::min(1.0, coverage));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace mweaver::text

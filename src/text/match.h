@@ -1,0 +1,75 @@
+// The paper's noisy-containment operator "t[A] ⊙ E" (Section 4.1): decides
+// whether an attribute value contains a user-typed sample under a
+// configurable error model, and scores how well it matches (used by
+// ranking, Section 4.5.5).
+#ifndef MWEAVER_TEXT_MATCH_H_
+#define MWEAVER_TEXT_MATCH_H_
+
+#include <string>
+#include <string_view>
+
+namespace mweaver::text {
+
+/// \brief Error models for the ⊙ operator, from strictest to loosest.
+enum class MatchMode {
+  /// Byte-for-byte equality of the display string.
+  kExact,
+  /// Case-insensitive equality.
+  kEqualsIgnoreCase,
+  /// Case-insensitive substring ("Ed Wood" is contained in the logline
+  /// "the Ed Wood story"). This is the paper's default reading of "contains".
+  kSubstring,
+  /// Every token of the sample appears as a token of the value (full-text
+  /// style boolean AND, like the MySQL full-text engine the paper used).
+  kTokenSubset,
+  /// Like kTokenSubset but each sample token may fuzzily match a value token
+  /// within a small edit distance — forgives typos in samples.
+  kFuzzyTokenSubset,
+};
+
+/// \brief Configuration of the ⊙ operator.
+struct MatchPolicy {
+  MatchMode mode = MatchMode::kSubstring;
+  /// Max per-token edit distance for kFuzzyTokenSubset.
+  size_t max_edit_distance = 1;
+  /// When true, samples that parse as numbers also match searchable numeric
+  /// (int64/double) attributes — the paper's §7 numeric-sample extension.
+  bool match_numeric = false;
+
+  static MatchPolicy Exact() { return {MatchMode::kExact, 0, false}; }
+  static MatchPolicy IgnoreCase() {
+    return {MatchMode::kEqualsIgnoreCase, 0, false};
+  }
+  static MatchPolicy Substring() {
+    return {MatchMode::kSubstring, 0, false};
+  }
+  static MatchPolicy TokenSubset() {
+    return {MatchMode::kTokenSubset, 0, false};
+  }
+  static MatchPolicy Fuzzy(size_t distance = 1) {
+    return {MatchMode::kFuzzyTokenSubset, distance, false};
+  }
+
+  /// \brief Same policy with numeric-sample matching enabled.
+  MatchPolicy WithNumeric() const {
+    MatchPolicy copy = *this;
+    copy.match_numeric = true;
+    return copy;
+  }
+};
+
+/// \brief The ⊙ operator: true iff `value` noisily contains `sample` under
+/// `policy`. An empty sample matches nothing (the interaction model ignores
+/// empty cells).
+bool NoisyContains(std::string_view value, std::string_view sample,
+                   const MatchPolicy& policy);
+
+/// \brief Match quality in [0,1]; 0 when NoisyContains is false. Exact
+/// equality scores 1; looser matches score lower (substring by length ratio,
+/// fuzzy tokens by edit similarity).
+double MatchScore(std::string_view value, std::string_view sample,
+                  const MatchPolicy& policy);
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_MATCH_H_

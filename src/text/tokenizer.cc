@@ -1,0 +1,23 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace mweaver::text {
+
+std::vector<std::string> Tokenize(std::string_view s, size_t min_length) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      if (current.size() >= min_length) tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (current.size() >= min_length) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace mweaver::text

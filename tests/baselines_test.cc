@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "baselines/candidate_enum.h"
+#include "baselines/eirene.h"
+#include "baselines/matchdriven.h"
+#include "baselines/matchers.h"
+#include "baselines/naive_search.h"
+#include "core/sample_search.h"
+#include "graph/schema_graph.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::baselines {
+namespace {
+
+using ::mweaver::testing::MakeFigure2Db;
+using storage::Database;
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : db_(MakeFigure2Db()),
+        engine_(&db_, text::MatchPolicy::Substring()),
+        graph_(&db_) {}
+
+  Database db_;
+  text::FullTextEngine engine_;
+  graph::SchemaGraph graph_;
+};
+
+// ---------------------------------------------------------- CandidateEnum --
+
+TEST_F(BaselinesTest, EnumerationCoversBothJoinPaths) {
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  const text::AttributeRef name{db_.FindRelation("person"), 1};
+  EnumOptions options;
+  EnumStats stats;
+  auto candidates = EnumerateCandidateMappings(graph_, {{title}, {name}},
+                                               options, &stats);
+  ASSERT_TRUE(candidates.ok());
+  // director and writer chains, at least; possibly loopier ones too.
+  EXPECT_GE(candidates->size(), 2u);
+  EXPECT_EQ(stats.num_candidates, candidates->size());
+  std::set<std::string> canon;
+  for (const auto& mp : *candidates) {
+    EXPECT_TRUE(mp.TerminalsProjected());
+    canon.insert(mp.Canonical());
+  }
+  EXPECT_EQ(canon.size(), candidates->size());
+}
+
+TEST_F(BaselinesTest, EnumerationSingleColumn) {
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  EnumOptions options;
+  auto candidates =
+      EnumerateCandidateMappings(graph_, {{title}}, options, nullptr);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].num_vertices(), 1u);
+}
+
+TEST_F(BaselinesTest, EnumerationMemoryGuard) {
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  const text::AttributeRef name{db_.FindRelation("person"), 1};
+  EnumOptions options;
+  options.max_candidates = 1;
+  EnumStats stats;
+  auto candidates = EnumerateCandidateMappings(
+      graph_, {{title}, {name}, {title}}, options, &stats);
+  EXPECT_TRUE(candidates.status().IsResourceExhausted());
+}
+
+// ------------------------------------------------------------ NaiveSearch --
+
+TEST_F(BaselinesTest, NaiveAgreesWithTpwOnFigure2) {
+  const std::vector<std::string> samples{"Avatar", "James Cameron"};
+  NaiveOptions options;
+  NaiveStats stats;
+  auto naive = NaiveSampleSearch(engine_, graph_, samples, options, &stats);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+
+  auto tpw = core::SampleSearch(engine_, graph_, samples);
+  ASSERT_TRUE(tpw.ok());
+
+  std::set<std::string> naive_canon;
+  for (const auto& mp : *naive) naive_canon.insert(mp.Canonical());
+  std::set<std::string> tpw_canon;
+  for (const auto& c : tpw->candidates) {
+    tpw_canon.insert(c.mapping.Canonical());
+  }
+  EXPECT_EQ(naive_canon, tpw_canon);
+  // The naive algorithm enumerated at least as many candidates as are
+  // valid — typically far more.
+  EXPECT_GE(stats.enumeration.num_candidates, stats.num_valid);
+  EXPECT_EQ(stats.num_valid, naive->size());
+}
+
+TEST_F(BaselinesTest, NaiveReportsExhaustion) {
+  NaiveOptions options;
+  options.enumeration.max_candidates = 1;
+  NaiveStats stats;
+  auto naive = NaiveSampleSearch(
+      engine_, graph_, {"Avatar", "James Cameron", "Avatar"}, options,
+      &stats);
+  EXPECT_TRUE(naive.status().IsResourceExhausted());
+  EXPECT_TRUE(stats.exhausted);
+}
+
+TEST_F(BaselinesTest, NaiveRejectsEmptySample) {
+  NaiveOptions options;
+  EXPECT_TRUE(NaiveSampleSearch(engine_, graph_, {"Avatar", ""}, options,
+                                nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------- Eirene --
+
+TEST_F(BaselinesTest, EireneFitsExampleFromJoinedTuples) {
+  EireneFitter fitter(&db_);
+  // Avatar (movie#0) - director#0 - Cameron (person#0).
+  DataExample example;
+  example.source_tuples = {{db_.FindRelation("movie"), 0},
+                           {db_.FindRelation("director"), 0},
+                           {db_.FindRelation("person"), 0}};
+  example.target_tuple = {"Avatar", "James Cameron"};
+  auto fitted = fitter.FitOne(example);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  ASSERT_EQ(fitted->size(), 1u);
+  EXPECT_NE((*fitted)[0].ToString(db_).find("director"), std::string::npos);
+}
+
+TEST_F(BaselinesTest, EireneIntersectsAcrossExamples) {
+  EireneFitter fitter(&db_);
+  // Example over the writer path too (Cameron wrote Avatar): ambiguous on
+  // its own tuples? Each example names its own link tuple, so each fits
+  // exactly one mapping; intersecting a director example with a writer
+  // example yields nothing.
+  DataExample director_example;
+  director_example.source_tuples = {{db_.FindRelation("movie"), 0},
+                                    {db_.FindRelation("director"), 0},
+                                    {db_.FindRelation("person"), 0}};
+  director_example.target_tuple = {"Avatar", "James Cameron"};
+  DataExample writer_example;
+  writer_example.source_tuples = {{db_.FindRelation("movie"), 0},
+                                  {db_.FindRelation("writer"), 0},
+                                  {db_.FindRelation("person"), 0}};
+  writer_example.target_tuple = {"Avatar", "James Cameron"};
+
+  auto fitted = fitter.Fit({director_example, writer_example});
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_TRUE(fitted->empty());
+
+  auto same = fitter.Fit({director_example, director_example});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->size(), 1u);
+}
+
+TEST_F(BaselinesTest, EireneUnfittableValueYieldsNothing) {
+  EireneFitter fitter(&db_);
+  DataExample example;
+  example.source_tuples = {{db_.FindRelation("movie"), 0}};
+  example.target_tuple = {"Not A Value"};
+  auto fitted = fitter.FitOne(example);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_TRUE(fitted->empty());
+}
+
+TEST_F(BaselinesTest, EireneDisconnectedTuplesYieldNothing) {
+  EireneFitter fitter(&db_);
+  DataExample example;
+  // Movie and person with no connecting link tuple: no spanning tree.
+  example.source_tuples = {{db_.FindRelation("movie"), 0},
+                           {db_.FindRelation("person"), 0}};
+  example.target_tuple = {"Avatar", "James Cameron"};
+  auto fitted = fitter.FitOne(example);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_TRUE(fitted->empty());
+}
+
+TEST_F(BaselinesTest, EireneEnumeratesAllSpanningTrees) {
+  // Include BOTH link tuples (director and writer) for Avatar/Cameron: the
+  // four tuples form a diamond with four FK edges, every 3-edge subset of
+  // which is a spanning tree — so several mapping shapes fit.
+  EireneFitter fitter(&db_);
+  DataExample example;
+  example.source_tuples = {{db_.FindRelation("movie"), 0},
+                           {db_.FindRelation("director"), 0},
+                           {db_.FindRelation("writer"), 0},
+                           {db_.FindRelation("person"), 0}};
+  example.target_tuple = {"Avatar", "James Cameron"};
+  auto fitted = fitter.FitOne(example);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_GE(fitted->size(), 4u);
+  std::set<std::string> canon;
+  for (const auto& mp : *fitted) {
+    EXPECT_EQ(mp.num_vertices(), 4u);  // spanning: all four tuples used
+    canon.insert(mp.Canonical());
+  }
+  EXPECT_EQ(canon.size(), fitted->size());
+}
+
+TEST_F(BaselinesTest, EireneValidatesInput) {
+  EireneFitter fitter(&db_);
+  EXPECT_TRUE(fitter.FitOne(DataExample{}).status().IsInvalidArgument());
+  DataExample bad;
+  bad.source_tuples = {{99, 0}};
+  EXPECT_TRUE(fitter.FitOne(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(fitter.Fit({}).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- Matchers --
+
+TEST_F(BaselinesTest, NameMatcherScoresByName) {
+  const NameMatcher matcher;
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  EXPECT_DOUBLE_EQ(matcher.Score({"title", {}}, title, engine_), 1.0);
+  EXPECT_LT(matcher.Score({"salary", {}}, title, engine_), 0.5);
+}
+
+TEST_F(BaselinesTest, InstanceOverlapMatcherCountsContainedValues) {
+  const InstanceOverlapMatcher matcher;
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  EXPECT_DOUBLE_EQ(
+      matcher.Score({"x", {"Avatar", "Big Fish"}}, title, engine_), 1.0);
+  EXPECT_DOUBLE_EQ(
+      matcher.Score({"x", {"Avatar", "Nonexistent"}}, title, engine_), 0.5);
+  EXPECT_DOUBLE_EQ(matcher.Score({"x", {}}, title, engine_), 0.0);
+}
+
+TEST_F(BaselinesTest, ShapeMatcherPrefersSimilarValueShapes) {
+  const ShapeMatcher matcher;
+  const text::AttributeRef name{db_.FindRelation("person"), 1};
+  // Person-name-shaped instances resemble person.name more than
+  // date-shaped instances do.
+  const double name_like =
+      matcher.Score({"x", {"Greta Gerwig", "Bong Joon-ho"}}, name, engine_);
+  const double date_like =
+      matcher.Score({"x", {"2009-12-10", "2011-07-15"}}, name, engine_);
+  EXPECT_GT(name_like, date_like);
+}
+
+TEST_F(BaselinesTest, CompositeMatcherNormalizesWeights) {
+  // A composite of two identical matchers scores the same as one.
+  CompositeMatcher one;
+  one.Add(std::make_unique<NameMatcher>(), 1.0);
+  CompositeMatcher two;
+  two.Add(std::make_unique<NameMatcher>(), 2.0);
+  two.Add(std::make_unique<NameMatcher>(), 3.0);
+  const text::AttributeRef title{db_.FindRelation("movie"), 1};
+  const MatchTarget target{"movie title", {}};
+  EXPECT_DOUBLE_EQ(one.Score(target, title, engine_),
+                   two.Score(target, title, engine_));
+  EXPECT_EQ(CompositeMatcher::Default().num_components(), 3u);
+}
+
+// ------------------------------------------------------------ MatchDriven --
+
+TEST_F(BaselinesTest, ProposalsRankNameMatchesFirst) {
+  MatchDrivenMapper mapper(&engine_, &graph_);
+  const auto proposals = mapper.ProposeCorrespondences({"title", "name"});
+  ASSERT_EQ(proposals.size(), 2u);
+  ASSERT_FALSE(proposals[0].empty());
+  EXPECT_EQ(engine_.AttributeName(proposals[0][0].attr), "movie.title");
+  ASSERT_FALSE(proposals[1].empty());
+  EXPECT_EQ(engine_.AttributeName(proposals[1][0].attr), "person.name");
+}
+
+TEST_F(BaselinesTest, InstanceValuesImproveMatching) {
+  MatchDrivenMapper mapper(&engine_, &graph_);
+  // Target column named nothing like "title", but with movie instances.
+  const auto proposals =
+      mapper.ProposeCorrespondences({"film"}, {{"Avatar", "Big Fish"}});
+  ASSERT_EQ(proposals.size(), 1u);
+  ASSERT_FALSE(proposals[0].empty());
+  EXPECT_EQ(engine_.AttributeName(proposals[0][0].attr), "movie.title");
+}
+
+TEST_F(BaselinesTest, NameSimilarityBehaviour) {
+  EXPECT_DOUBLE_EQ(MatchDrivenMapper::NameSimilarity("title", "title"), 1.0);
+  EXPECT_GT(MatchDrivenMapper::NameSimilarity("ReleaseDate", "release_date"),
+            0.9);
+  EXPECT_GT(MatchDrivenMapper::NameSimilarity("name", "fullname"), 0.5);
+  EXPECT_LT(MatchDrivenMapper::NameSimilarity("title", "pid"), 0.5);
+}
+
+TEST_F(BaselinesTest, EnumerateMappingsListsAlternativesByJoins) {
+  MatchDrivenMapper mapper(&engine_, &graph_);
+  const std::vector<Correspondence> confirmed{
+      {0, text::AttributeRef{db_.FindRelation("movie"), 1}, 1.0},
+      {1, text::AttributeRef{db_.FindRelation("person"), 1}, 1.0}};
+  auto mappings = mapper.EnumerateMappings(confirmed);
+  ASSERT_TRUE(mappings.ok());
+  ASSERT_GE(mappings->size(), 2u);
+  // Sorted by joins: the two 2-join chains come first.
+  EXPECT_EQ((*mappings)[0].num_joins(), 2u);
+  EXPECT_EQ((*mappings)[1].num_joins(), 2u);
+  for (size_t i = 1; i < mappings->size(); ++i) {
+    EXPECT_GE((*mappings)[i].num_joins(), (*mappings)[i - 1].num_joins());
+  }
+}
+
+TEST_F(BaselinesTest, EnumerateMappingsValidatesColumns) {
+  MatchDrivenMapper mapper(&engine_, &graph_);
+  EXPECT_TRUE(mapper.EnumerateMappings({}).status().IsInvalidArgument());
+  const std::vector<Correspondence> gap{
+      {0, text::AttributeRef{0, 1}, 1.0},
+      {2, text::AttributeRef{1, 1}, 1.0}};  // missing column 1
+  EXPECT_TRUE(mapper.EnumerateMappings(gap).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mweaver::baselines

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/hash_util.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace mweaver {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::NotFound("missing");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_TRUE(st.IsNotFound());  // source unchanged
+
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsNotFound());
+
+  Status assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned.IsNotFound());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MW_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.ValueOr(9), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(9), 9);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::Internal("boom");
+    return std::string("value");
+  };
+  auto consumer = [&](bool fail) -> Result<size_t> {
+    MW_ASSIGN_OR_RETURN(std::string s, producer(fail));
+    return s.size();
+  };
+  EXPECT_EQ(*consumer(false), 5u);
+  EXPECT_TRUE(consumer(true).status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC 123 Xyz"), "abc 123 xyz");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("The Ed Wood Story", "ed wood"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("short", "longer needle"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abd"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", "ABC"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Avatar", "aVaTaR"));
+  EXPECT_FALSE(EqualsIgnoreCase("Avatar", "Avatars"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 10), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 2), 0u);
+  EXPECT_EQ(BoundedEditDistance("", "abc", 5), 3u);
+  // Early exit: reports max+1 when the bound is exceeded.
+  EXPECT_EQ(BoundedEditDistance("aaaa", "bbbb", 2), 3u);
+  EXPECT_EQ(BoundedEditDistance("abcdefgh", "x", 2), 3u);
+}
+
+TEST(StringUtilTest, EditDistanceSymmetry) {
+  const char* words[] = {"cameron", "cameran", "burton", "cam", ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      EXPECT_EQ(BoundedEditDistance(a, b, 10), BoundedEditDistance(b, a, 10))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(StringUtilTest, EditSimilarityRange) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  const double sim = EditSimilarity("cameron", "cameran");
+  EXPECT_GT(sim, 0.8);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%04d", 7), "0007");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// ---------------------------------------------------------------- Random --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ZipfIndexWithinBoundsAndSkewed) {
+  Rng rng(11);
+  size_t small_count = 0;
+  const size_t kTrials = 4000;
+  for (size_t i = 0; i < kTrials; ++i) {
+    const size_t idx = rng.ZipfIndex(50, 1.0);
+    EXPECT_LT(idx, 50u);
+    if (idx < 10) ++small_count;
+  }
+  // Skew: the first fifth of ranks should hold well over a fifth of mass.
+  EXPECT_GT(small_count, kTrials / 4);
+}
+
+TEST(RngTest, PickAndShuffleCoverElements) {
+  Rng rng(5);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  std::set<int> picked;
+  for (int i = 0; i < 200; ++i) picked.insert(rng.Pick(items));
+  EXPECT_EQ(picked.size(), items.size());
+
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- HashUtil --
+
+TEST(HashUtilTest, CombineDiffersByOrder) {
+  size_t ab = 0, ba = 0;
+  HashCombine(&ab, 1);
+  HashCombine(&ab, 2);
+  HashCombine(&ba, 2);
+  HashCombine(&ba, 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashUtilTest, HashRangeMatchesManualCombine) {
+  std::vector<int> v{1, 2, 3};
+  size_t manual = 0;
+  for (int x : v) HashCombine(&manual, x);
+  EXPECT_EQ(HashRange(v.begin(), v.end()), manual);
+}
+
+// ------------------------------------------------------------- Parallel --
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(n, threads, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, EdgeCases) {
+  bool ran = false;
+  ParallelFor(0, 4, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  ParallelFor(1, 16, [&](size_t i) { ran = (i == 0); });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<size_t> total{0};
+  ParallelFor(3, 64, [&](size_t i) {
+    total.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 6u);
+}
+
+// ------------------------------------------------------------ Stopwatch --
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch watch;
+  const double t1 = watch.ElapsedSeconds();
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+// -------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, LevelsRoundTrip) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ MW_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace mweaver

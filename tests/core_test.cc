@@ -1,0 +1,468 @@
+// Tests for the TPW pipeline: location map, pairwise generation, weaving,
+// ranking, sample search, pruning, and the interactive session.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/location_map.h"
+#include "core/pairwise.h"
+#include "core/pruning.h"
+#include "core/ranking.h"
+#include "core/sample_search.h"
+#include "core/session.h"
+#include "core/suggest.h"
+#include "core/weaver.h"
+#include "graph/schema_graph.h"
+#include "query/executor.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::core {
+namespace {
+
+using ::mweaver::testing::MakeFigure2Db;
+using storage::Database;
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : db_(MakeFigure2Db()),
+        engine_(&db_, text::MatchPolicy::Substring()),
+        graph_(&db_),
+        executor_(&engine_) {}
+
+  // Runs sample search with default options.
+  SearchResult Search(const std::vector<std::string>& samples) {
+    auto result = SampleSearch(engine_, graph_, samples);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).ValueOrDie();
+  }
+
+  Database db_;
+  text::FullTextEngine engine_;
+  graph::SchemaGraph graph_;
+  query::PathExecutor executor_;
+};
+
+// ------------------------------------------------------------ LocationMap --
+
+TEST_F(CoreTest, LocationMapFindsAttributes) {
+  const LocationMap map =
+      LocationMap::Build(engine_, {"Avatar", "James Cameron"});
+  ASSERT_EQ(map.num_columns(), 2u);
+  ASSERT_EQ(map.AttributesOf(0).size(), 1u);
+  EXPECT_EQ(engine_.AttributeName(map.AttributesOf(0)[0]), "movie.title");
+  EXPECT_EQ(engine_.AttributeName(map.AttributesOf(1)[0]), "person.name");
+  EXPECT_TRUE(map.Contains(0, map.AttributesOf(0)[0]));
+  EXPECT_FALSE(map.Contains(1, map.AttributesOf(0)[0]));
+  EXPECT_EQ(map.TotalOccurrences(), 2u);
+}
+
+TEST_F(CoreTest, LocationMapEmptySampleHasNoOccurrences) {
+  const LocationMap map = LocationMap::Build(engine_, {"", "Avatar"});
+  EXPECT_TRUE(map.AttributesOf(0).empty());
+  EXPECT_EQ(map.AttributesOf(1).size(), 1u);
+}
+
+// --------------------------------------------------------------- Pairwise --
+
+TEST_F(CoreTest, PairwiseGenerationFindsBothJoinPaths) {
+  const LocationMap map =
+      LocationMap::Build(engine_, {"Avatar", "James Cameron"});
+  const PairwiseMappingMap pmpm =
+      GeneratePairwiseMappingPaths(graph_, map, /*pmnj=*/2);
+  ASSERT_EQ(pmpm.size(), 1u);
+  const auto& paths = pmpm.at({0, 1});
+  // movie-director-person and movie-writer-person.
+  EXPECT_EQ(paths.size(), 2u);
+  for (const MappingPath& p : paths) {
+    EXPECT_EQ(p.num_joins(), 2u);
+    EXPECT_TRUE(p.TerminalsProjected());
+  }
+}
+
+TEST_F(CoreTest, PairwiseRespectsPmnj) {
+  const LocationMap map =
+      LocationMap::Build(engine_, {"Avatar", "James Cameron"});
+  // movie and person are 2 joins apart: PMNJ=1 must find nothing.
+  EXPECT_TRUE(GeneratePairwiseMappingPaths(graph_, map, 1).empty());
+  // Larger PMNJ finds more (longer, loopier) paths as well.
+  const auto wide = GeneratePairwiseMappingPaths(graph_, map, 4);
+  EXPECT_GT(wide.at({0, 1}).size(), 2u);
+}
+
+TEST_F(CoreTest, PairwiseTuplePathsPruneUnsupportedMappings) {
+  const LocationMap map =
+      LocationMap::Build(engine_, {"Harry Potter", "David Yates"});
+  const PairwiseMappingMap pmpm =
+      GeneratePairwiseMappingPaths(graph_, map, 2);
+  ASSERT_EQ(pmpm.at({0, 1}).size(), 2u);
+
+  SearchOptions options;
+  PairwiseStats stats;
+  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &stats);
+  ASSERT_TRUE(ptpm.ok());
+  EXPECT_EQ(stats.num_mappings, 2u);
+  // Yates directed Harry Potter but did not write it: only the director
+  // mapping survives.
+  EXPECT_EQ(stats.num_valid_mappings, 1u);
+  EXPECT_EQ(ptpm->at({0, 1}).size(), 1u);
+}
+
+// ----------------------------------------------------------------- Weaver --
+
+TEST_F(CoreTest, WeaverBuildsCompletePathsAcrossThreeColumns) {
+  // Columns: title, director name, writer name. For Avatar, Cameron is
+  // both, so complete paths exist.
+  const LocationMap map = LocationMap::Build(
+      engine_, {"Avatar", "James Cameron", "James Cameron"});
+  const PairwiseMappingMap pmpm =
+      GeneratePairwiseMappingPaths(graph_, map, 2);
+  SearchOptions options;
+  PairwiseStats pairwise_stats;
+  auto ptpm =
+      CreatePairwiseTuplePaths(executor_, pmpm, map, options, &pairwise_stats);
+  ASSERT_TRUE(ptpm.ok());
+
+  WeaveStats weave_stats;
+  const std::vector<TuplePath> complete =
+      GenerateCompleteTuplePaths(*ptpm, 3, options, &weave_stats);
+  EXPECT_FALSE(complete.empty());
+  for (const TuplePath& tp : complete) {
+    EXPECT_EQ(tp.size(), 3u);
+  }
+  // Dedup: all canonical forms distinct.
+  std::set<std::string> canon;
+  for (const TuplePath& tp : complete) canon.insert(tp.Canonical());
+  EXPECT_EQ(canon.size(), complete.size());
+  EXPECT_EQ(weave_stats.tuple_paths_per_level.back(), complete.size());
+  EXPECT_FALSE(weave_stats.truncated);
+}
+
+TEST_F(CoreTest, WeaverBudgetTruncates) {
+  const LocationMap map = LocationMap::Build(
+      engine_, {"Avatar", "James Cameron", "James Cameron"});
+  const auto pmpm = GeneratePairwiseMappingPaths(graph_, map, 2);
+  SearchOptions options;
+  PairwiseStats ps;
+  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &ps);
+  ASSERT_TRUE(ptpm.ok());
+
+  options.max_total_tuple_paths = 1;
+  WeaveStats stats;
+  GenerateCompleteTuplePaths(*ptpm, 3, options, &stats);
+  EXPECT_TRUE(stats.truncated);
+}
+
+// ---------------------------------------------------------------- Ranking --
+
+TEST(RankingTest, ScoresPreferExactMatchesAndFewerJoins) {
+  SearchOptions options;
+  TuplePath short_path = TuplePath::SingleVertex(0, 0);
+  short_path.AddProjection(0, 0, 1, 1.0);
+
+  TuplePath long_path = TuplePath::SingleVertex(0, 0);
+  long_path.AddVertex(2, 0, 0, 0, true);
+  long_path.AddProjection(0, 1, 1, 1.0);
+
+  EXPECT_GT(ScoreTuplePath(short_path, options),
+            ScoreTuplePath(long_path, options));
+
+  TuplePath weak_match = TuplePath::SingleVertex(0, 0);
+  weak_match.AddProjection(0, 0, 1, 0.2);
+  EXPECT_GT(ScoreTuplePath(short_path, options),
+            ScoreTuplePath(weak_match, options));
+}
+
+TEST(RankingTest, GroupsByMappingAndSortsByScore) {
+  SearchOptions options;
+  // Two tuple paths with the same mapping; one with another mapping (a
+  // different attribute id) and low match score.
+  TuplePath a1 = TuplePath::SingleVertex(0, 0);
+  a1.AddProjection(0, 0, 1, 1.0);
+  TuplePath a2 = TuplePath::SingleVertex(0, 1);
+  a2.AddProjection(0, 0, 1, 0.8);
+  TuplePath b = TuplePath::SingleVertex(0, 2);
+  b.AddProjection(0, 0, 2, 0.1);
+
+  const auto ranked = RankMappings({a1, a2, b}, options);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].support, 2u);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+  EXPECT_EQ(ranked[1].support, 1u);
+}
+
+TEST(RankingTest, RetainsLimitedExamples) {
+  SearchOptions options;
+  options.retained_tuple_paths_per_mapping = 1;
+  TuplePath a1 = TuplePath::SingleVertex(0, 0);
+  a1.AddProjection(0, 0, 1, 1.0);
+  TuplePath a2 = TuplePath::SingleVertex(0, 1);
+  a2.AddProjection(0, 0, 1, 1.0);
+  const auto ranked = RankMappings({a1, a2}, options);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].support, 2u);
+  EXPECT_EQ(ranked[0].example_tuple_paths.size(), 1u);
+}
+
+// ------------------------------------------------------------ SampleSearch --
+
+TEST_F(CoreTest, SearchFindsBothCandidatesForAmbiguousRow) {
+  // Avatar + Cameron: director and writer mappings both valid (Example 1).
+  const SearchResult result = Search({"Avatar", "James Cameron"});
+  EXPECT_EQ(result.candidates.size(), 2u);
+  EXPECT_EQ(result.stats.num_valid_mappings, 2u);
+  EXPECT_GT(result.stats.num_complete_tuple_paths, 0u);
+}
+
+TEST_F(CoreTest, SearchDisambiguatedRowYieldsOneCandidate) {
+  // Yates only directed: a single candidate immediately.
+  const SearchResult result = Search({"Harry Potter", "David Yates"});
+  ASSERT_EQ(result.candidates.size(), 1u);
+  const std::string str = result.candidates[0].mapping.ToString(db_);
+  EXPECT_NE(str.find("director"), std::string::npos);
+}
+
+TEST_F(CoreTest, SearchSingleColumnDegenerates) {
+  const SearchResult result = Search({"Avatar"});
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0].mapping.num_vertices(), 1u);
+}
+
+TEST_F(CoreTest, SearchWithZeroPmnjNeedsSameRelationSamples) {
+  // PMNJ = 0: both samples must live in one tuple. "Avatar" twice works
+  // (both columns project movie.title of the same row)...
+  SearchOptions options;
+  options.pmnj = 0;
+  auto same = SampleSearch(engine_, graph_, {"Avatar", "Avatar"}, options);
+  ASSERT_TRUE(same.ok());
+  ASSERT_EQ(same->candidates.size(), 1u);
+  EXPECT_EQ(same->candidates[0].mapping.num_vertices(), 1u);
+  EXPECT_EQ(same->candidates[0].mapping.size(), 2u);
+
+  // ...but a title/name pair requires joins, so nothing is found.
+  auto cross =
+      SampleSearch(engine_, graph_, {"Avatar", "James Cameron"}, options);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_TRUE(cross->candidates.empty());
+}
+
+TEST_F(CoreTest, PairwiseTruncationFlagOnTightBudget) {
+  const LocationMap map =
+      LocationMap::Build(engine_, {"Avatar", "James Cameron"});
+  const auto pmpm = GeneratePairwiseMappingPaths(graph_, map, 2);
+  SearchOptions options;
+  options.max_tuple_paths_per_mapping = 1;
+  PairwiseStats stats;
+  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &stats);
+  ASSERT_TRUE(ptpm.ok());
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST_F(CoreTest, SearchRejectsEmptySamples) {
+  EXPECT_TRUE(SampleSearch(engine_, graph_, {"Avatar", ""})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SampleSearch(engine_, graph_, {}).status().IsInvalidArgument());
+}
+
+TEST_F(CoreTest, SearchIsSound) {
+  // Every candidate's mapping, executed with the sample constraints, has
+  // support (Theorem 1).
+  const std::vector<std::string> samples{"Avatar", "James Cameron"};
+  const SearchResult result = Search(samples);
+  query::SampleMap sample_map{{0, samples[0]}, {1, samples[1]}};
+  for (const CandidateMapping& c : result.candidates) {
+    auto supported = executor_.HasSupport(c.mapping, sample_map);
+    ASSERT_TRUE(supported.ok());
+    EXPECT_TRUE(*supported) << c.mapping.ToString(db_);
+  }
+}
+
+// ---------------------------------------------------------------- Pruning --
+
+TEST_F(CoreTest, PruneByAttributeDropsNonContainingMappings) {
+  SearchResult result = Search({"Avatar", "James Cameron"});
+  ASSERT_EQ(result.candidates.size(), 2u);
+  // "Big Fish" exists in movie.title: no pruning on column 0.
+  EXPECT_EQ(PruneByAttribute(engine_, 0, "Big Fish", &result.candidates), 0u);
+  EXPECT_EQ(result.candidates.size(), 2u);
+  // A value found nowhere prunes everything.
+  EXPECT_EQ(PruneByAttribute(engine_, 0, "zzz", &result.candidates), 2u);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST_F(CoreTest, PruneByStructureUsesJoinEvidence) {
+  SearchResult result = Search({"Avatar", "James Cameron"});
+  ASSERT_EQ(result.candidates.size(), 2u);
+  // Big Fish was directed by Burton but written by August: the writer
+  // mapping dies (the paper's Example 7).
+  size_t pruned = 0;
+  ASSERT_TRUE(PruneByStructure(executor_,
+                               {{0, "Big Fish"}, {1, "Tim Burton"}},
+                               &result.candidates, &pruned)
+                  .ok());
+  EXPECT_EQ(pruned, 1u);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_NE(result.candidates[0].mapping.ToString(db_).find("director"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- Suggesting --
+
+TEST_F(CoreTest, SuggestsDiscriminatingRows) {
+  // Avatar/Cameron leaves the director and writer mappings; the rows that
+  // discriminate are exactly the non-shared (movie, person) pairs.
+  SearchResult result = Search({"Avatar", "James Cameron"});
+  ASSERT_EQ(result.candidates.size(), 2u);
+  auto suggestions = SuggestDiscriminatingRows(executor_, result.candidates);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_FALSE(suggestions->empty());
+  for (const RowSuggestion& s : *suggestions) {
+    // Never unanimous, never unsupported.
+    EXPECT_GT(s.supporting_candidates, 0u);
+    EXPECT_LT(s.supporting_candidates, s.total_candidates);
+    EXPECT_EQ(s.total_candidates, 2u);
+    EXPECT_EQ(s.row.size(), 2u);
+  }
+  // (Harry Potter, David Yates) is a director-only row and must appear.
+  bool found = false;
+  for (const RowSuggestion& s : *suggestions) {
+    if (s.row == std::vector<std::string>{"Harry Potter", "David Yates"}) {
+      found = true;
+    }
+    // The shared row (Avatar, James Cameron) must NOT appear.
+    EXPECT_NE(s.row,
+              (std::vector<std::string>{"Avatar", "James Cameron"}));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CoreTest, SuggestionsEmptyWhenNothingToDiscriminate) {
+  SearchResult result = Search({"Harry Potter", "David Yates"});
+  ASSERT_EQ(result.candidates.size(), 1u);
+  auto suggestions = SuggestDiscriminatingRows(executor_, result.candidates);
+  ASSERT_TRUE(suggestions.ok());
+  EXPECT_TRUE(suggestions->empty());
+}
+
+TEST_F(CoreTest, SuggestionLimitRespected) {
+  SearchResult result = Search({"Avatar", "James Cameron"});
+  SuggestOptions options;
+  options.limit = 1;
+  auto suggestions =
+      SuggestDiscriminatingRows(executor_, result.candidates, options);
+  ASSERT_TRUE(suggestions.ok());
+  EXPECT_EQ(suggestions->size(), 1u);
+}
+
+TEST_F(CoreTest, SessionSuggestRowsDrivesConvergence) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  ASSERT_EQ(session.candidates().size(), 2u);
+
+  auto suggestions = session.SuggestRows();
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_FALSE(suggestions->empty());
+  // Type the top suggestion as the next row: the candidate set must shrink.
+  const RowSuggestion& top = suggestions->front();
+  for (size_t c = 0; c < top.row.size(); ++c) {
+    ASSERT_TRUE(session.Input(1, c, top.row[c]).ok());
+  }
+  EXPECT_TRUE(session.converged());
+}
+
+// ---------------------------------------------------------------- Session --
+
+TEST_F(CoreTest, SessionLifecycle) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  EXPECT_EQ(session.state(), SessionState::kAwaitingFirstRow);
+  EXPECT_EQ(session.num_samples(), 0u);
+
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  EXPECT_EQ(session.state(), SessionState::kAwaitingFirstRow);
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  EXPECT_EQ(session.state(), SessionState::kRefining);
+  EXPECT_EQ(session.candidates().size(), 2u);
+  EXPECT_EQ(session.num_samples(), 2u);
+
+  ASSERT_TRUE(session.Input(1, 0, "Harry Potter").ok());
+  EXPECT_EQ(session.state(), SessionState::kRefining);
+  ASSERT_TRUE(session.Input(1, 1, "David Yates").ok());
+  EXPECT_EQ(session.state(), SessionState::kConverged);
+  EXPECT_TRUE(session.converged());
+  EXPECT_NE(session.best().mapping.ToString(db_).find("director"),
+            std::string::npos);
+}
+
+TEST_F(CoreTest, SessionInputValidation) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  EXPECT_TRUE(session.Input(0, 5, "x").IsOutOfRange());
+  // Lower rows before the first search are rejected.
+  EXPECT_TRUE(session.Input(1, 0, "x").IsFailedPrecondition());
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  // First row is frozen once searched.
+  EXPECT_TRUE(session.Input(0, 0, "Big Fish").IsFailedPrecondition());
+}
+
+TEST_F(CoreTest, SessionNoMappingState) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  // An impossible follow-up sample kills all candidates.
+  ASSERT_TRUE(session.Input(1, 1, "Nobody Anywhere").ok());
+  EXPECT_EQ(session.state(), SessionState::kNoMapping);
+}
+
+TEST_F(CoreTest, SessionResetRestoresInitialState) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  session.Reset();
+  EXPECT_EQ(session.state(), SessionState::kAwaitingFirstRow);
+  EXPECT_TRUE(session.candidates().empty());
+  EXPECT_EQ(session.num_samples(), 0u);
+  // The first row is editable again.
+  EXPECT_TRUE(session.Input(0, 0, "Big Fish").ok());
+}
+
+TEST_F(CoreTest, SessionRenameColumn) {
+  Session session(&engine_, &graph_, {"a", "b"});
+  ASSERT_TRUE(session.RenameColumn(0, "Name").ok());
+  EXPECT_EQ(session.column_names()[0], "Name");
+  EXPECT_TRUE(session.RenameColumn(9, "x").IsOutOfRange());
+}
+
+TEST_F(CoreTest, SessionRejectsIrrelevantSamplesWhenEnabled) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  session.set_reject_irrelevant_samples(true);
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  const size_t before = session.candidates().size();
+  ASSERT_EQ(before, 2u);
+
+  // A sample found nowhere in the source would kill every candidate: with
+  // protection on it is rejected and the candidates survive.
+  ASSERT_TRUE(session.Input(1, 1, "Nobody Anywhere").ok());
+  EXPECT_TRUE(session.last_input_rejected());
+  EXPECT_EQ(session.candidates().size(), before);
+  EXPECT_EQ(session.state(), SessionState::kRefining);
+  EXPECT_EQ(session.cell(1, 1), "");  // the cell was cleared
+
+  // A relevant sample is accepted as usual and clears the flag.
+  ASSERT_TRUE(session.Input(1, 0, "Harry Potter").ok());
+  EXPECT_FALSE(session.last_input_rejected());
+}
+
+TEST_F(CoreTest, SessionEmptyCellIsIgnored) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "").ok());
+  EXPECT_EQ(session.num_samples(), 0u);
+  EXPECT_EQ(session.cell(0, 0), "");
+}
+
+}  // namespace
+}  // namespace mweaver::core

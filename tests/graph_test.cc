@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/schema_graph.h"
+#include "test_util.h"
+
+namespace mweaver::graph {
+namespace {
+
+using ::mweaver::testing::IdAttr;
+using ::mweaver::testing::MakeFigure2Db;
+using ::mweaver::testing::StrAttr;
+using storage::Database;
+using storage::RelationSchema;
+
+TEST(SchemaGraphTest, BuildsFromFigure2) {
+  Database db = MakeFigure2Db();
+  const SchemaGraph graph(&db);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+
+  const auto movie = db.FindRelation("movie");
+  const auto person = db.FindRelation("person");
+  const auto director = db.FindRelation("director");
+  // movie touches director and writer.
+  EXPECT_EQ(graph.Neighbors(movie).size(), 2u);
+  // director touches movie and person.
+  EXPECT_EQ(graph.Neighbors(director).size(), 2u);
+  EXPECT_EQ(graph.Neighbors(person).size(), 2u);
+}
+
+TEST(SchemaGraphTest, Distances) {
+  Database db = MakeFigure2Db();
+  const SchemaGraph graph(&db);
+  const auto movie = db.FindRelation("movie");
+  const auto person = db.FindRelation("person");
+  const auto director = db.FindRelation("director");
+  EXPECT_EQ(graph.Distance(movie, movie), 0);
+  EXPECT_EQ(graph.Distance(movie, director), 1);
+  EXPECT_EQ(graph.Distance(movie, person), 2);
+}
+
+TEST(SchemaGraphTest, UnreachableVertex) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(RelationSchema("a", {IdAttr("x")})).ok());
+  ASSERT_TRUE(db.AddRelation(RelationSchema("b", {IdAttr("y")})).ok());
+  const SchemaGraph graph(&db);
+  EXPECT_EQ(graph.Distance(0, 1), -1);
+}
+
+TEST(SchemaGraphTest, JoinAttributeOnBothSides) {
+  Database db = MakeFigure2Db();
+  const SchemaGraph graph(&db);
+  const auto movie = db.FindRelation("movie");
+  const auto director = db.FindRelation("director");
+  // FK 0 is director.mid -> movie.mid.
+  EXPECT_EQ(graph.JoinAttributeOn(0, director), 0);  // director.mid
+  EXPECT_EQ(graph.JoinAttributeOn(0, movie), 0);     // movie.mid
+}
+
+TEST(SchemaGraphTest, MultiEdgeBetweenSamePair) {
+  // Two FKs between the same pair of relations produce two edges.
+  Database db;
+  ASSERT_TRUE(db.AddRelation(RelationSchema(
+                                 "flight", {IdAttr("from_city"),
+                                            IdAttr("to_city")}))
+                  .ok());
+  ASSERT_TRUE(
+      db.AddRelation(RelationSchema("city", {IdAttr("cid"), StrAttr("name")}))
+          .ok());
+  ASSERT_TRUE(db.AddForeignKey("flight", "from_city", "city", "cid").ok());
+  ASSERT_TRUE(db.AddForeignKey("flight", "to_city", "city", "cid").ok());
+  const SchemaGraph graph(&db);
+  EXPECT_EQ(graph.Neighbors(db.FindRelation("flight")).size(), 2u);
+  EXPECT_EQ(graph.Neighbors(db.FindRelation("city")).size(), 2u);
+  EXPECT_EQ(graph.Distance(0, 1), 1);
+}
+
+TEST(SchemaGraphTest, SelfReferencingFkIsSingleLoopEntry) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(RelationSchema(
+                                 "employee", {IdAttr("eid"),
+                                              IdAttr("manager_id")}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey("employee", "manager_id", "employee", "eid")
+                  .ok());
+  const SchemaGraph graph(&db);
+  EXPECT_EQ(graph.Neighbors(0).size(), 1u);
+  EXPECT_EQ(graph.Neighbors(0)[0].neighbor, 0);
+}
+
+}  // namespace
+}  // namespace mweaver::graph

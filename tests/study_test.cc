@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "datagen/movie_gen.h"
+#include "datagen/workload.h"
+#include "graph/schema_graph.h"
+#include "study/interaction.h"
+#include "study/user_study.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::study {
+namespace {
+
+// ------------------------------------------------------------ Interaction --
+
+TEST(InteractionTest, DefaultSubjectsPanel) {
+  const auto subjects = DefaultSubjects();
+  ASSERT_EQ(subjects.size(), 10u);
+  EXPECT_EQ(subjects[0].id, "D1");
+  EXPECT_EQ(subjects[1].id, "D2");
+  EXPECT_EQ(subjects[2].id, "N1");
+  EXPECT_EQ(subjects[9].id, "N8");
+  EXPECT_TRUE(subjects[0].expert);
+  EXPECT_FALSE(subjects[5].expert);
+  // Deterministic: two calls give the same panel.
+  const auto again = DefaultSubjects();
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    EXPECT_EQ(subjects[i].keystroke_s, again[i].keystroke_s);
+  }
+  // Experts are faster on every axis than the novice average.
+  double novice_key = 0;
+  for (size_t i = 2; i < 10; ++i) novice_key += subjects[i].keystroke_s;
+  novice_key /= 8;
+  EXPECT_LT(subjects[0].keystroke_s, novice_key);
+}
+
+TEST(InteractionTest, AutocompleteSavesKeystrokes) {
+  const std::string value = "James Cameron";
+  EXPECT_LT(KeystrokesWithAutocomplete(value), KeystrokesPlain(value));
+  EXPECT_EQ(KeystrokesPlain(value), value.size() + 1);
+  // Short strings are typed in full (plus the two completion keys).
+  EXPECT_EQ(KeystrokesWithAutocomplete("ab"), 4u);
+}
+
+TEST(InteractionTest, TimeModelIsLinear) {
+  Subject s;
+  s.keystroke_s = 0.2;
+  s.click_s = 1.0;
+  s.decision_s = 2.0;
+  InteractionCost cost;
+  cost.AddTyping(10);
+  cost.AddClicks(3);
+  cost.AddDecision(1.5);
+  cost.setup_s = 4.0;
+  EXPECT_DOUBLE_EQ(cost.TimeSeconds(s), 4.0 + 2.0 + 3.0 + 3.0);
+}
+
+// -------------------------------------------------------------- UserStudy --
+
+class UserStudyTest : public ::testing::Test {
+ protected:
+  UserStudyTest()
+      : db_(MakeSmallYahoo()),
+        engine_(&db_, text::MatchPolicy::Substring()),
+        graph_(&db_),
+        study_(&engine_, &graph_) {}
+
+  static storage::Database MakeSmallYahoo() {
+    datagen::YahooMoviesConfig config;
+    config.num_movies = 60;
+    return datagen::MakeYahooMovies(config);
+  }
+
+  datagen::TaskMapping Task() {
+    auto task = datagen::MakeYahooStudyTask(db_);
+    EXPECT_TRUE(task.ok()) << task.status().ToString();
+    return std::move(task).ValueOrDie();
+  }
+
+  storage::Database db_;
+  text::FullTextEngine engine_;
+  graph::SchemaGraph graph_;
+  UserStudy study_;
+};
+
+TEST_F(UserStudyTest, AllToolsSucceedOnStudyTask) {
+  const auto task = Task();
+  const auto subjects = DefaultSubjects();
+  auto mweaver = study_.RunMWeaver(subjects[0], task, 1);
+  ASSERT_TRUE(mweaver.ok()) << mweaver.status().ToString();
+  EXPECT_TRUE(mweaver->success);
+
+  auto eirene = study_.RunEirene(subjects[0], task, 1);
+  ASSERT_TRUE(eirene.ok()) << eirene.status().ToString();
+  EXPECT_TRUE(eirene->success);
+
+  auto infosphere = study_.RunInfoSphere(subjects[0], task, 1);
+  ASSERT_TRUE(infosphere.ok()) << infosphere.status().ToString();
+  EXPECT_TRUE(infosphere->success);
+}
+
+TEST_F(UserStudyTest, MWeaverIsCheaperOnEveryAxis) {
+  const auto task = Task();
+  const auto subjects = DefaultSubjects();
+  // Use a novice: the paper's headline ratios are about end-users.
+  const Subject& subject = subjects[4];
+  const auto mweaver = study_.RunMWeaver(subject, task, 2);
+  const auto eirene = study_.RunEirene(subject, task, 2);
+  const auto infosphere = study_.RunInfoSphere(subject, task, 2);
+  ASSERT_TRUE(mweaver.ok() && eirene.ok() && infosphere.ok());
+
+  EXPECT_LT(mweaver->time_s, eirene->time_s);
+  EXPECT_LT(mweaver->time_s, infosphere->time_s);
+  EXPECT_LT(mweaver->cost.keystrokes, eirene->cost.keystrokes);
+  EXPECT_LT(mweaver->cost.clicks, eirene->cost.clicks);
+  EXPECT_LT(mweaver->cost.clicks, infosphere->cost.clicks);
+}
+
+TEST_F(UserStudyTest, RunAllCoversPanelAndTools) {
+  const auto runs = study_.RunAll(Task(), 5);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs->size(), 30u);  // 10 subjects x 3 tools
+  for (size_t i = 0; i < runs->size(); i += 3) {
+    EXPECT_EQ((*runs)[i].tool, "MWeaver");
+    EXPECT_EQ((*runs)[i + 1].tool, "Eirene");
+    EXPECT_EQ((*runs)[i + 2].tool, "InfoSphere");
+    EXPECT_EQ((*runs)[i].subject, (*runs)[i + 1].subject);
+  }
+}
+
+TEST_F(UserStudyTest, RunsAreDeterministic) {
+  const auto task = Task();
+  const auto subjects = DefaultSubjects();
+  const auto a = study_.RunMWeaver(subjects[3], task, 9);
+  const auto b = study_.RunMWeaver(subjects[3], task, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->cost.keystrokes, b->cost.keystrokes);
+  EXPECT_EQ(a->cost.clicks, b->cost.clicks);
+  EXPECT_DOUBLE_EQ(a->time_s, b->time_s);
+}
+
+}  // namespace
+}  // namespace mweaver::study

@@ -1,0 +1,74 @@
+// Shared fixtures for the test suite: the Figure-2 toy database (movies and
+// people connected via both director and writer), plus small builder
+// shorthands.
+#ifndef MWEAVER_TESTS_TEST_UTIL_H_
+#define MWEAVER_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace mweaver::testing {
+
+inline storage::AttributeSchema IdAttr(const std::string& name) {
+  return {name, storage::ValueType::kInt64, /*searchable=*/false};
+}
+inline storage::AttributeSchema StrAttr(const std::string& name) {
+  return {name, storage::ValueType::kString, /*searchable=*/true};
+}
+
+inline storage::Value I(int64_t v) { return storage::Value(v); }
+inline storage::Value S(const std::string& v) { return storage::Value(v); }
+
+/// Appends a row without validation (test data is trusted).
+inline void AddRow(storage::Database* db, const std::string& relation,
+                   storage::Row row) {
+  db->mutable_relation(db->FindRelation(relation))
+      ->AppendUnchecked(std::move(row));
+}
+
+/// \brief The paper's Figure 2 database:
+///   movie(mid, title), person(pid, name),
+///   director(mid, pid), writer(mid, pid)
+/// with Avatar/Harry Potter/Big Fish and their directors & writers. Avatar
+/// was both written and directed by James Cameron (the ambiguity the
+/// running example turns on).
+inline storage::Database MakeFigure2Db() {
+  using storage::Database;
+  using storage::RelationSchema;
+
+  Database db("figure2");
+  db.AddRelation(RelationSchema("movie", {IdAttr("mid"), StrAttr("title")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("person", {IdAttr("pid"), StrAttr("name")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("director", {IdAttr("mid"), IdAttr("pid")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("writer", {IdAttr("mid"), IdAttr("pid")}))
+      .ValueOrDie();
+  db.AddForeignKey("director", "mid", "movie", "mid").ValueOrDie();
+  db.AddForeignKey("director", "pid", "person", "pid").ValueOrDie();
+  db.AddForeignKey("writer", "mid", "movie", "mid").ValueOrDie();
+  db.AddForeignKey("writer", "pid", "person", "pid").ValueOrDie();
+
+  AddRow(&db, "movie", {I(0), S("Avatar")});
+  AddRow(&db, "movie", {I(1), S("Harry Potter")});
+  AddRow(&db, "movie", {I(2), S("Big Fish")});
+  AddRow(&db, "person", {I(0), S("James Cameron")});
+  AddRow(&db, "person", {I(1), S("David Yates")});
+  AddRow(&db, "person", {I(2), S("J. K. Rowling")});
+  AddRow(&db, "person", {I(3), S("Tim Burton")});
+  AddRow(&db, "person", {I(4), S("John August")});
+  AddRow(&db, "director", {I(0), I(0)});
+  AddRow(&db, "director", {I(1), I(1)});
+  AddRow(&db, "director", {I(2), I(3)});
+  AddRow(&db, "writer", {I(0), I(0)});
+  AddRow(&db, "writer", {I(1), I(2)});
+  AddRow(&db, "writer", {I(2), I(4)});
+  return db;
+}
+
+}  // namespace mweaver::testing
+
+#endif  // MWEAVER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "test_util.h"
+#include "text/autocomplete.h"
+#include "text/fulltext_engine.h"
+#include "text/numeric.h"
+#include "text/inverted_index.h"
+#include "text/match.h"
+#include "text/tokenizer.h"
+
+namespace mweaver::text {
+namespace {
+
+using ::mweaver::testing::MakeFigure2Db;
+using ::mweaver::testing::S;
+using ::mweaver::testing::StrAttr;
+
+// ------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, BasicSplitting) {
+  EXPECT_EQ(Tokenize("Ed Wood!"), (std::vector<std::string>{"ed", "wood"}));
+  EXPECT_EQ(Tokenize("  multiple   spaces "),
+            (std::vector<std::string>{"multiple", "spaces"}));
+  EXPECT_EQ(Tokenize("a-b_c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(Tokenize("!!!").empty());
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("2009-12-10"),
+            (std::vector<std::string>{"2009", "12", "10"}));
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  EXPECT_EQ(Tokenize("a bb ccc", 2), (std::vector<std::string>{"bb", "ccc"}));
+}
+
+// ----------------------------------------------------------------- Match --
+
+TEST(MatchTest, ExactMode) {
+  const MatchPolicy p = MatchPolicy::Exact();
+  EXPECT_TRUE(NoisyContains("Avatar", "Avatar", p));
+  EXPECT_FALSE(NoisyContains("avatar", "Avatar", p));
+  EXPECT_FALSE(NoisyContains("Avatar 2", "Avatar", p));
+}
+
+TEST(MatchTest, SubstringMode) {
+  const MatchPolicy p = MatchPolicy::Substring();
+  EXPECT_TRUE(NoisyContains("the Ed Wood story", "Ed Wood", p));
+  EXPECT_TRUE(NoisyContains("Ed Wood", "ed wood", p));
+  EXPECT_FALSE(NoisyContains("Ed Woods-free zone", "Ed WoodX", p));
+  EXPECT_FALSE(NoisyContains("short", "not contained", p));
+}
+
+TEST(MatchTest, EmptySampleNeverMatches) {
+  for (MatchPolicy p : {MatchPolicy::Exact(), MatchPolicy::Substring(),
+                        MatchPolicy::TokenSubset(), MatchPolicy::Fuzzy()}) {
+    EXPECT_FALSE(NoisyContains("anything", "", p));
+    EXPECT_EQ(MatchScore("anything", "", p), 0.0);
+  }
+}
+
+TEST(MatchTest, TokenSubsetMode) {
+  const MatchPolicy p = MatchPolicy::TokenSubset();
+  EXPECT_TRUE(NoisyContains("The Crimson Harbor", "harbor crimson", p));
+  EXPECT_TRUE(NoisyContains("The Crimson Harbor", "THE", p));
+  EXPECT_FALSE(NoisyContains("The Crimson Harbor", "harbors", p));
+}
+
+TEST(MatchTest, FuzzyModeForgivesTypos) {
+  const MatchPolicy p = MatchPolicy::Fuzzy(1);
+  EXPECT_TRUE(NoisyContains("James Cameron", "james cameron", p));
+  EXPECT_TRUE(NoisyContains("James Cameron", "james cameran", p));  // typo
+  EXPECT_FALSE(NoisyContains("James Cameron", "james cmrn", p));
+}
+
+TEST(MatchTest, IgnoreCaseMode) {
+  const MatchPolicy p = MatchPolicy::IgnoreCase();
+  EXPECT_TRUE(NoisyContains("Avatar", "aVaTaR", p));
+  EXPECT_FALSE(NoisyContains("Avatar 2", "Avatar", p));
+  EXPECT_DOUBLE_EQ(MatchScore("Avatar", "AVATAR", p), 1.0);
+}
+
+// Parameterized property sweep: for every policy, every value noisily
+// contains itself, containment is invariant under sample case folding, and
+// scores stay in [0,1] consistent with containment.
+class MatchPropertyTest
+    : public ::testing::TestWithParam<MatchPolicy> {};
+
+TEST_P(MatchPropertyTest, ReflexivityAndCaseStability) {
+  const MatchPolicy& policy = GetParam();
+  const char* values[] = {"Avatar",       "James Cameron",
+                          "The Crimson Harbor",
+                          "a long logline with Avatar inside",
+                          "2009-12-10",   "x"};
+  for (const char* v : values) {
+    EXPECT_TRUE(NoisyContains(v, v, policy)) << v;
+    EXPECT_GT(MatchScore(v, v, policy), 0.0) << v;
+    // Case-folding the sample flips nothing except under kExact.
+    if (policy.mode != MatchMode::kExact) {
+      EXPECT_EQ(NoisyContains(v, v, policy),
+                NoisyContains(v, ToLower(v), policy))
+          << v;
+    }
+  }
+}
+
+TEST_P(MatchPropertyTest, ScoreBoundsRandomized) {
+  const MatchPolicy& policy = GetParam();
+  Rng rng(static_cast<uint64_t>(policy.mode) * 131 + 7);
+  const char* words[] = {"avatar", "cameron", "harbor", "2009", "x", ""};
+  for (int round = 0; round < 300; ++round) {
+    std::string value, sample;
+    for (int w = 0; w < 3; ++w) {
+      value += words[rng.Index(6)];
+      value += rng.Bernoulli(0.5) ? " " : "";
+    }
+    for (int w = 0; w < 2; ++w) {
+      sample += words[rng.Index(6)];
+      sample += rng.Bernoulli(0.3) ? " " : "";
+    }
+    const double score = MatchScore(value, sample, policy);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    EXPECT_EQ(score > 0.0, NoisyContains(value, sample, policy))
+        << "value='" << value << "' sample='" << sample << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, MatchPropertyTest,
+    ::testing::Values(MatchPolicy::Exact(), MatchPolicy::IgnoreCase(),
+                      MatchPolicy::Substring(), MatchPolicy::TokenSubset(),
+                      MatchPolicy::Fuzzy(1), MatchPolicy::Fuzzy(2)),
+    [](const ::testing::TestParamInfo<MatchPolicy>& info) {
+      return "mode" + std::to_string(static_cast<int>(info.param.mode)) +
+             "_d" + std::to_string(info.param.max_edit_distance);
+    });
+
+// Property: stricter modes imply looser ones (on token-aligned samples).
+TEST(MatchTest, ModeImplicationHierarchy) {
+  const char* values[] = {"James Cameron", "The Crimson Harbor",
+                          "story of the Crimson Harbor", "PG-13"};
+  const char* samples[] = {"James Cameron", "Crimson", "crimson harbor",
+                           "PG-13", "nothing here"};
+  for (const char* v : values) {
+    for (const char* s : samples) {
+      if (NoisyContains(v, s, MatchPolicy::Exact())) {
+        EXPECT_TRUE(NoisyContains(v, s, MatchPolicy::Substring()))
+            << v << " / " << s;
+      }
+      if (NoisyContains(v, s, MatchPolicy::Substring())) {
+        EXPECT_TRUE(NoisyContains(v, s, MatchPolicy::TokenSubset()))
+            << v << " / " << s;
+      }
+      if (NoisyContains(v, s, MatchPolicy::TokenSubset())) {
+        EXPECT_TRUE(NoisyContains(v, s, MatchPolicy::Fuzzy(1)))
+            << v << " / " << s;
+      }
+    }
+  }
+}
+
+// Property: scores are in [0,1] and positive iff contained.
+TEST(MatchTest, ScoreConsistentWithContains) {
+  const char* values[] = {"James Cameron", "a long logline about the Harbor",
+                          ""};
+  const char* samples[] = {"James Cameron", "Harbor", "zzz", "a"};
+  for (MatchPolicy p : {MatchPolicy::Exact(), MatchPolicy::Substring(),
+                        MatchPolicy::TokenSubset(), MatchPolicy::Fuzzy()}) {
+    for (const char* v : values) {
+      for (const char* s : samples) {
+        const double score = MatchScore(v, s, p);
+        EXPECT_GE(score, 0.0);
+        EXPECT_LE(score, 1.0);
+        EXPECT_EQ(score > 0.0, NoisyContains(v, s, p)) << v << "/" << s;
+      }
+    }
+  }
+}
+
+TEST(MatchTest, ExactMatchScoresHigherThanBuried) {
+  const MatchPolicy p = MatchPolicy::Substring();
+  const double exact = MatchScore("Avatar", "Avatar", p);
+  const double buried = MatchScore("a story about Avatar and more", "Avatar",
+                                   p);
+  EXPECT_GT(exact, buried);
+  EXPECT_DOUBLE_EQ(exact, 1.0);
+}
+
+// --------------------------------------------------------- InvertedIndex --
+
+storage::Relation MakeTitleRelation() {
+  storage::Relation rel(
+      storage::RelationSchema("movie", {StrAttr("title")}));
+  rel.AppendUnchecked({S("Avatar")});
+  rel.AppendUnchecked({S("The Ed Wood Story")});
+  rel.AppendUnchecked({S("Ed Wood")});
+  rel.AppendUnchecked({S("Harbor Nights")});
+  rel.AppendUnchecked({storage::Value::Null()});
+  rel.AppendUnchecked({S("...")});  // tokenizes to nothing
+  return rel;
+}
+
+TEST(InvertedIndexTest, CandidatesAreSupersetOfMatches) {
+  const storage::Relation rel = MakeTitleRelation();
+  const InvertedIndex index(rel, 0);
+  const char* samples[] = {"Ed Wood",  "wood",  "Avatar", "d Woo",
+                           "harbor",   "zzz",   "...",    "Ed"};
+  for (MatchPolicy p : {MatchPolicy::Exact(), MatchPolicy::Substring(),
+                        MatchPolicy::TokenSubset(), MatchPolicy::Fuzzy(1)}) {
+    for (const char* sample : samples) {
+      const std::vector<storage::RowId> candidates =
+          index.CandidateRows(sample, p);
+      for (size_t r = 0; r < rel.num_rows(); ++r) {
+        const storage::Value& v = rel.at(static_cast<storage::RowId>(r), 0);
+        if (v.is_null()) continue;
+        if (NoisyContains(v.ToDisplayString(), sample, p)) {
+          EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                         static_cast<storage::RowId>(r)))
+              << "sample '" << sample << "' should reach row " << r
+              << " under mode " << static_cast<int>(p.mode);
+        }
+      }
+    }
+  }
+}
+
+TEST(InvertedIndexTest, SubstringMidTokenSampleIsFound) {
+  // "d Woo" is a substring of "Ed Wood" that crosses a token boundary with
+  // partial tokens on both sides — the classic hard case for token indexes.
+  const storage::Relation rel = MakeTitleRelation();
+  const InvertedIndex index(rel, 0);
+  const auto candidates =
+      index.CandidateRows("d Woo", MatchPolicy::Substring());
+  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                 storage::RowId{2}));
+}
+
+TEST(InvertedIndexTest, CountsTokensAndRows) {
+  const storage::Relation rel = MakeTitleRelation();
+  const InvertedIndex index(rel, 0);
+  EXPECT_EQ(index.num_indexed_rows(), 5u);  // null row skipped
+  EXPECT_GT(index.num_tokens(), 4u);
+}
+
+// -------------------------------------------------------- FullTextEngine --
+
+TEST(FullTextEngineTest, FindOccurrencesLikePaperExample) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+
+  const auto occurrences = engine.FindOccurrences("James Cameron");
+  ASSERT_EQ(occurrences.size(), 1u);
+  EXPECT_EQ(engine.AttributeName(occurrences[0].attr), "person.name");
+  EXPECT_EQ(occurrences[0].rows, (std::vector<storage::RowId>{0}));
+
+  EXPECT_TRUE(engine.FindOccurrences("nonexistent xyz").empty());
+}
+
+TEST(FullTextEngineTest, MatchingRowsCachedAndVerified) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  const AttributeRef title{db.FindRelation("movie"), 1};
+  const auto& rows1 = engine.MatchingRows(title, "Harry");
+  const auto& rows2 = engine.MatchingRows(title, "Harry");
+  EXPECT_EQ(&rows1, &rows2);  // memoized
+  EXPECT_EQ(rows1, (std::vector<storage::RowId>{1}));
+}
+
+TEST(FullTextEngineTest, NonIndexedAttributeYieldsNothing) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  // movie.mid is an int64 key: not indexed.
+  const AttributeRef mid{db.FindRelation("movie"), 0};
+  EXPECT_TRUE(engine.MatchingRows(mid, "0").empty());
+  EXPECT_EQ(engine.num_indexed_attributes(), 2u);  // movie.title, person.name
+}
+
+TEST(FullTextEngineTest, RowContainsAndScore) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  const AttributeRef title{db.FindRelation("movie"), 1};
+  EXPECT_TRUE(engine.RowContains(title, 0, "Avatar"));
+  EXPECT_FALSE(engine.RowContains(title, 1, "Avatar"));
+  EXPECT_DOUBLE_EQ(engine.RowMatchScore(title, 0, "Avatar"), 1.0);
+  EXPECT_EQ(engine.RowMatchScore(title, 1, "Avatar"), 0.0);
+}
+
+// ----------------------------------------------------------- Numeric ⊙ --
+
+TEST(NumericTest, ParseNumeric) {
+  EXPECT_EQ(ParseNumeric("42"), 42.0);
+  EXPECT_EQ(ParseNumeric("-3.5"), -3.5);
+  EXPECT_EQ(ParseNumeric("1e3"), 1000.0);
+  EXPECT_FALSE(ParseNumeric("").has_value());
+  EXPECT_FALSE(ParseNumeric("42a").has_value());
+  EXPECT_FALSE(ParseNumeric("Avatar").has_value());
+  EXPECT_FALSE(ParseNumeric("inf").has_value());
+}
+
+TEST(NumericTest, NumericEquals) {
+  using storage::Value;
+  EXPECT_TRUE(NumericEquals(Value(int64_t{42}), 42.0));
+  EXPECT_FALSE(NumericEquals(Value(int64_t{42}), 42.5));
+  EXPECT_TRUE(NumericEquals(Value(2.5), 2.5));
+  EXPECT_TRUE(NumericEquals(Value(1.0 / 3.0), 1.0 / 3.0));
+  EXPECT_FALSE(NumericEquals(Value(2.5), 2.6));
+  EXPECT_FALSE(NumericEquals(Value("42"), 42.0));  // strings never match
+  EXPECT_FALSE(NumericEquals(Value::Null(), 0.0));
+}
+
+namespace {
+
+// A payroll database with *searchable* numeric columns.
+storage::Database MakePayrollDb() {
+  using storage::AttributeSchema;
+  using storage::Database;
+  using storage::RelationSchema;
+  using storage::ValueType;
+  using ::mweaver::testing::AddRow;
+  using ::mweaver::testing::I;
+  using ::mweaver::testing::IdAttr;
+  using ::mweaver::testing::S;
+  using ::mweaver::testing::StrAttr;
+
+  Database db("payroll");
+  db.AddRelation(RelationSchema(
+                     "employee",
+                     {IdAttr("eid"), StrAttr("name"),
+                      AttributeSchema{"salary", ValueType::kDouble, true},
+                      AttributeSchema{"level", ValueType::kInt64, true}}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("dept", {IdAttr("did"), StrAttr("dname")}))
+      .ValueOrDie();
+  db.AddRelation(RelationSchema("worksin", {IdAttr("eid"), IdAttr("did")}))
+      .ValueOrDie();
+  db.AddForeignKey("worksin", "eid", "employee", "eid").ValueOrDie();
+  db.AddForeignKey("worksin", "did", "dept", "did").ValueOrDie();
+  AddRow(&db, "employee",
+         {I(0), S("Ada"), storage::Value(95000.0), I(7)});
+  AddRow(&db, "employee",
+         {I(1), S("Grace"), storage::Value(120000.5), I(9)});
+  AddRow(&db, "dept", {I(0), S("Compilers")});
+  AddRow(&db, "dept", {I(1), S("Systems")});
+  AddRow(&db, "worksin", {I(0), I(0)});
+  AddRow(&db, "worksin", {I(1), I(1)});
+  return db;
+}
+
+}  // namespace
+
+TEST(NumericTest, EngineMatchesNumericSamplesWhenEnabled) {
+  storage::Database db = MakePayrollDb();
+  const FullTextEngine engine(&db,
+                              MatchPolicy::Substring().WithNumeric());
+  EXPECT_EQ(engine.num_numeric_attributes(), 2u);
+
+  const auto occurrences = engine.FindOccurrences("95000");
+  ASSERT_EQ(occurrences.size(), 1u);
+  EXPECT_EQ(engine.AttributeName(occurrences[0].attr), "employee.salary");
+  EXPECT_EQ(occurrences[0].rows, (std::vector<storage::RowId>{0}));
+
+  // Integer-typed column.
+  const auto levels = engine.FindOccurrences("9");
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(engine.AttributeName(levels[0].attr), "employee.level");
+
+  // Non-numeric samples never touch numeric columns.
+  EXPECT_EQ(engine.FindOccurrences("Ada").size(), 1u);
+}
+
+TEST(NumericTest, NumericMatchingDisabledByDefault) {
+  storage::Database db = MakePayrollDb();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  EXPECT_TRUE(engine.FindOccurrences("95000").empty());
+}
+
+TEST(NumericTest, RowContainsAndScoreOnNumericAttr) {
+  storage::Database db = MakePayrollDb();
+  const FullTextEngine engine(&db,
+                              MatchPolicy::Substring().WithNumeric());
+  const AttributeRef salary{db.FindRelation("employee"), 2};
+  EXPECT_TRUE(engine.RowContains(salary, 0, "95000"));
+  EXPECT_FALSE(engine.RowContains(salary, 1, "95000"));
+  EXPECT_DOUBLE_EQ(engine.RowMatchScore(salary, 0, "95000"), 1.0);
+  EXPECT_EQ(engine.RowMatchScore(salary, 0, "95001"), 0.0);
+}
+
+// ------------------------------------------------------- ValueDictionary --
+
+TEST(ValueDictionaryTest, SuggestsByCaseInsensitivePrefix) {
+  storage::Database db = MakeFigure2Db();
+  const ValueDictionary dict(&db);
+  EXPECT_EQ(dict.Suggest("ja"), (std::vector<std::string>{"James Cameron"}));
+  EXPECT_EQ(dict.Suggest("HARRY"),
+            (std::vector<std::string>{"Harry Potter"}));
+  EXPECT_TRUE(dict.Suggest("zzz").empty());
+}
+
+TEST(ValueDictionaryTest, LimitAndEmptyPrefix) {
+  storage::Database db = MakeFigure2Db();
+  const ValueDictionary dict(&db);
+  EXPECT_EQ(dict.Suggest("", 3).size(), 3u);
+  EXPECT_EQ(dict.size(), 8u);  // 3 titles + 5 names, all distinct
+}
+
+TEST(ValueDictionaryTest, ContainsVerbatimValues) {
+  storage::Database db = MakeFigure2Db();
+  const ValueDictionary dict(&db);
+  EXPECT_TRUE(dict.Contains("Avatar"));
+  EXPECT_FALSE(dict.Contains("avatar"));  // verbatim, case-sensitive
+  EXPECT_FALSE(dict.Contains("Avatar 2"));
+}
+
+TEST(ValueDictionaryTest, SkipsNonSearchableColumns) {
+  storage::Database db = MakeFigure2Db();
+  const ValueDictionary dict(&db);
+  // Integer key columns are not suggested.
+  EXPECT_TRUE(dict.Suggest("0").empty());
+}
+
+}  // namespace
+}  // namespace mweaver::text
