@@ -1,11 +1,21 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 
 namespace mweaver {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Emits one fully formatted line with a single stdio call. POSIX stdio
+// streams lock around each call, so concurrent log lines from service
+// worker threads interleave whole-line rather than mid-line (writing via
+// std::cerr's operator<< chains gave no such guarantee).
+void EmitLine(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,7 +52,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    EmitLine(stream_.str());
   }
 }
 
@@ -53,7 +63,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 
 FatalMessage::~FatalMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -13,12 +13,16 @@ namespace mweaver {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Process-wide minimum level below which log statements are dropped.
+/// Backed by an atomic: Get/Set are safe to call from any thread while
+/// service workers are logging.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and emits it to stderr on destruction with a
+/// single (stdio-locked) write, so concurrent lines never interleave
+/// mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -11,9 +11,15 @@
 namespace mweaver {
 
 /// \brief Invokes `fn(i)` for every i in [0, n), distributing work-stealing
-/// style over `num_threads` threads (<= 1 runs inline on the caller).
-/// Blocks until all invocations finish. `fn` must be safe to call
+/// style over at most `num_threads` runners (<= 1 runs inline on the
+/// caller). Blocks until all invocations finish. `fn` must be safe to call
 /// concurrently from multiple threads for distinct i.
+///
+/// Runs on the process-wide common::ThreadPool (the caller participates as
+/// one runner), so no threads are created per call and concurrent
+/// ParallelFor calls from different service workers share the same pool.
+/// Each i is invoked exactly once regardless of the thread count, so
+/// callers that write results indexed by i stay deterministic.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 

@@ -2,9 +2,14 @@
 #ifndef MWEAVER_CORE_OPTIONS_H_
 #define MWEAVER_CORE_OPTIONS_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 
 namespace mweaver::core {
+
+/// Clock used for search deadlines.
+using SearchClock = std::chrono::steady_clock;
 
 /// \brief Options controlling sample search (Section 4.5) and ranking.
 struct SearchOptions {
@@ -36,6 +41,30 @@ struct SearchOptions {
   /// pairwise mapping). 1 = sequential. Results are deterministic
   /// regardless of the thread count.
   size_t num_threads = 1;
+
+  /// Wall-clock deadline for the search. The pairwise-execution and weave
+  /// loops poll it and stop early once it passes: the search still returns
+  /// (a possibly empty ranked list over whatever was built in time) with
+  /// SearchStats::truncated and SearchStats::deadline_expired set, instead
+  /// of stalling its worker thread. max() = no deadline.
+  SearchClock::time_point deadline = SearchClock::time_point::max();
+
+  /// Optional cooperative cancellation token (e.g. the client hung up).
+  /// Checked at the same points as `deadline`; must outlive the search.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool has_deadline() const {
+    return deadline != SearchClock::time_point::max();
+  }
+
+  /// \brief True once the search should stop early (deadline passed or the
+  /// cancellation token fired).
+  bool ExpiredOrCancelled() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline() && SearchClock::now() >= deadline;
+  }
 };
 
 }  // namespace mweaver::core

@@ -143,13 +143,23 @@ Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
   exec_options.max_results = options.max_tuple_paths_per_mapping;
   std::vector<Result<std::vector<TuplePath>>> results(
       work.size(), Result<std::vector<TuplePath>>(std::vector<TuplePath>{}));
+  // One deadline poll per query keeps the overhead negligible (each query
+  // is orders of magnitude heavier than a clock read); `expired` caches
+  // the verdict so late work items skip without re-reading the clock.
+  std::atomic<bool> expired{false};
   ParallelFor(work.size(), options.num_threads, [&](size_t idx) {
+    if (expired.load(std::memory_order_relaxed)) return;
+    if (options.ExpiredOrCancelled()) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
     results[idx] =
         executor.Execute(*work[idx].mapping, work[idx].samples, exec_options);
   });
 
   PairwiseTupleMap ptpm;
   PairwiseStats local;
+  local.deadline_expired = expired.load(std::memory_order_relaxed);
   for (size_t idx = 0; idx < work.size(); ++idx) {
     ++local.num_mappings;
     MW_ASSIGN_OR_RETURN(std::vector<TuplePath> supports,

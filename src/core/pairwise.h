@@ -46,6 +46,9 @@ struct PairwiseStats {
   size_t num_valid_mappings = 0;  // with at least one supporting tuple path
   size_t num_tuple_paths = 0;     // total pairwise tuple paths created
   bool truncated = false;         // a per-mapping cap was hit
+  /// The deadline / cancellation token stopped execution early: mappings
+  /// not yet executed were skipped (their supports are simply missing).
+  bool deadline_expired = false;
 };
 
 /// \brief Section 4.5.3: executes each pairwise mapping as an approximate

@@ -53,6 +53,20 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
     return result;
   }
 
+  // Deadline support: every stage boundary (and the stages' own loops)
+  // polls the deadline, so an expired search returns promptly with
+  // whatever was built so far instead of stalling its worker thread.
+  const auto expired = [&]() {
+    if (!options.ExpiredOrCancelled()) return false;
+    result.stats.deadline_expired = true;
+    result.stats.truncated = true;
+    return true;
+  };
+  if (expired()) {
+    result.stats.total_ms = total.ElapsedMillis();
+    return result;
+  }
+
   // Step 2: pairwise mapping paths (Algorithms 2-4).
   phase.Restart();
   const PairwiseMappingMap pmpm =
@@ -68,7 +82,10 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
                                &result.stats.pairwise));
   result.stats.pairwise_exec_ms = phase.ElapsedMillis();
 
-  // Step 4: weave complete tuple paths (Algorithm 5).
+  // Step 4: weave complete tuple paths (Algorithm 5). Runs even when the
+  // deadline has expired mid-pairwise: the surviving pairwise paths are
+  // themselves deadline-checked, and weaving what exists yields the
+  // partial candidates the caller is owed.
   phase.Restart();
   const std::vector<TuplePath> complete =
       GenerateCompleteTuplePaths(ptpm, m, options, &result.stats.weave);
@@ -80,6 +97,13 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
   result.candidates = RankMappings(complete, options);
   result.stats.rank_ms = phase.ElapsedMillis();
   result.stats.num_valid_mappings = result.candidates.size();
+  result.stats.truncated = result.stats.truncated ||
+                           result.stats.pairwise.truncated ||
+                           result.stats.pairwise.deadline_expired ||
+                           result.stats.weave.truncated;
+  result.stats.deadline_expired = result.stats.deadline_expired ||
+                                  result.stats.pairwise.deadline_expired ||
+                                  result.stats.weave.deadline_expired;
   result.stats.total_ms = total.ElapsedMillis();
   return result;
 }

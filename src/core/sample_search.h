@@ -31,6 +31,12 @@ struct SearchStats {
   size_t num_complete_tuple_paths = 0;
   size_t num_valid_mappings = 0;     // "# Valid MP" of Table 4
 
+  /// True when any stage stopped early (per-mapping/total tuple-path caps
+  /// or the deadline), so the candidate list may be incomplete.
+  bool truncated = false;
+  /// True when the early stop was the deadline / cancellation token.
+  bool deadline_expired = false;
+
   double locate_ms = 0.0;
   double pairwise_gen_ms = 0.0;
   double pairwise_exec_ms = 0.0;

@@ -43,7 +43,8 @@ const std::string& Session::cell(size_t row, size_t col) const {
 }
 
 const CandidateMapping& Session::best() const {
-  MW_CHECK(converged());
+  static const CandidateMapping kNoMapping;
+  if (candidates_.empty()) return kNoMapping;
   return candidates_.front();
 }
 
@@ -115,9 +116,11 @@ Result<std::vector<RowSuggestion>> Session::SuggestRows(size_t limit) const {
 
 Status Session::RunSearch() {
   Stopwatch watch;
-  MW_ASSIGN_OR_RETURN(SearchResult result,
-                      SampleSearch(*engine_, *schema_graph_, grid_[0],
-                                   options_));
+  MW_ASSIGN_OR_RETURN(
+      SearchResult result,
+      search_fn_ ? search_fn_(grid_[0], options_)
+                 : SampleSearch(*engine_, *schema_graph_, grid_[0],
+                                options_));
   searched_ = true;
   candidates_ = std::move(result.candidates);
   search_stats_ = result.stats;

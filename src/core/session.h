@@ -5,6 +5,7 @@
 #ifndef MWEAVER_CORE_SESSION_H_
 #define MWEAVER_CORE_SESSION_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,19 @@ class Session {
           const graph::SchemaGraph* schema_graph,
           std::vector<std::string> column_names,
           SearchOptions options = {});
+
+  /// \brief Replaces the first-row search implementation. The service layer
+  /// installs a caching wrapper here; by default the session calls
+  /// SampleSearch() directly. The function receives the fully populated
+  /// first row and the session's current options.
+  using SearchFn = std::function<Result<SearchResult>(
+      const std::vector<std::string>& first_row, const SearchOptions&)>;
+  void set_search_fn(SearchFn fn) { search_fn_ = std::move(fn); }
+
+  /// \brief The session's search options; mutable so a caller can set a
+  /// per-request deadline (service workers do) before Input().
+  const SearchOptions& options() const { return options_; }
+  SearchOptions& mutable_options() { return options_; }
 
   /// \brief Input(i, j, c): sets the spreadsheet cell at `row`, `col` and
   /// reacts per the interaction model. Empty `value` clears a cell (ignored
@@ -84,6 +98,8 @@ class Session {
   const std::vector<std::string>& column_names() const {
     return column_names_;
   }
+  /// \brief The cell's value; out-of-range coordinates read as an (empty)
+  /// never-written cell rather than faulting.
   const std::string& cell(size_t row, size_t col) const;
   size_t num_rows() const { return grid_.size(); }
 
@@ -91,7 +107,10 @@ class Session {
   const std::vector<CandidateMapping>& candidates() const {
     return candidates_;
   }
-  /// \brief The single remaining mapping; requires converged().
+  /// \brief The single remaining mapping. Before convergence (or after all
+  /// candidates were pruned away) returns a default-constructed empty
+  /// candidate (score 0, support 0) instead of aborting, so service
+  /// handlers can probe it without pre-checking converged().
   const CandidateMapping& best() const;
 
   /// \brief Stats of the initial sample search (valid after the first row
@@ -115,6 +134,7 @@ class Session {
   const graph::SchemaGraph* schema_graph_;
   std::vector<std::string> column_names_;
   SearchOptions options_;
+  SearchFn search_fn_;
 
   std::vector<std::vector<std::string>> grid_;
   bool reject_irrelevant_ = false;

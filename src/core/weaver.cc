@@ -39,6 +39,14 @@ std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
     std::vector<TuplePath> next;
     std::set<std::string> seen;
     for (const TuplePath& base : level) {
+      // One deadline poll per base path: bases fan out into many weave
+      // attempts, so this bounds the overrun without a clock read per
+      // attempt.
+      if (options.ExpiredOrCancelled()) {
+        local.truncated = true;
+        local.deadline_expired = true;
+        break;
+      }
       const std::vector<int> base_cols = base.TargetColumns();
       auto covers = [&](int col) {
         return std::find(base_cols.begin(), base_cols.end(), col) !=

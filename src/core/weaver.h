@@ -26,8 +26,11 @@ struct WeaveStats {
   /// Weave invocations attempted / succeeded (pre-dedup).
   size_t weave_attempts = 0;
   size_t weave_successes = 0;
-  /// True when max_total_tuple_paths stopped the construction early.
+  /// True when max_total_tuple_paths or the deadline stopped the
+  /// construction early.
   bool truncated = false;
+  /// The early stop was the deadline / cancellation token.
+  bool deadline_expired = false;
 };
 
 /// \brief Runs Algorithm 5: weaves PTPM entries up to complete size

@@ -1,0 +1,199 @@
+#include "service/mapping_service.h"
+
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/sample_search.h"
+
+namespace mweaver::service {
+
+MappingService::MappingService(const text::FullTextEngine* engine,
+                               const graph::SchemaGraph* schema_graph,
+                               ServiceOptions options)
+    : engine_(engine),
+      schema_graph_(schema_graph),
+      options_(options),
+      sessions_(engine, schema_graph, options.sessions),
+      cache_(options.cache_capacity),
+      pool_(std::make_unique<ThreadPool>(options.num_workers)) {}
+
+MappingService::~MappingService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  // Joining the pool first guarantees no worker is mid-DrainOne when the
+  // leftover queue is failed below (the pool discards unstarted drain
+  // tokens; their requests are exactly the leftovers).
+  pool_.reset();
+  std::deque<QueuedRequest> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftovers.swap(queue_);
+  }
+  for (QueuedRequest& queued : leftovers) {
+    RequestResult result;
+    result.status = Status::Internal("service shutting down");
+    result.outcome = RequestOutcome::kFailed;
+    metrics_.RecordRequest(result.outcome, 0.0);
+    if (queued.done) queued.done(std::move(result));
+  }
+}
+
+namespace {
+// Whether the most recent first-row search on THIS worker thread was a
+// cache hit. The caching hook runs synchronously inside Session::Input on
+// the worker, so the flag connects the hook's verdict to the Process()
+// frame above it without widening core::Session's API.
+thread_local bool tls_last_search_was_cache_hit = false;
+}  // namespace
+
+core::Session::SearchFn MappingService::MakeCachingSearchFn() {
+  // The wrapper runs inside Session::RunSearch, i.e. under the session's
+  // mutex on a worker thread. The cache has its own lock, so concurrent
+  // sessions share results safely.
+  return [this](const std::vector<std::string>& first_row,
+                const core::SearchOptions& opts)
+             -> Result<core::SearchResult> {
+    const std::string key = ResultCache::MakeKey(first_row, opts);
+    if (std::optional<core::SearchResult> hit = cache_.Lookup(key)) {
+      metrics_.RecordCacheLookup(/*hit=*/true);
+      tls_last_search_was_cache_hit = true;
+      return std::move(*hit);
+    }
+    metrics_.RecordCacheLookup(/*hit=*/false);
+    MW_ASSIGN_OR_RETURN(
+        core::SearchResult result,
+        core::SampleSearch(*engine_, *schema_graph_, first_row, opts));
+    cache_.Insert(key, result);  // rejects truncated results itself
+    return result;
+  };
+}
+
+Result<SessionId> MappingService::CreateSession(
+    std::vector<std::string> column_names,
+    core::SearchOptions search_options) {
+  return sessions_.Create(std::move(column_names), search_options,
+                          MakeCachingSearchFn());
+}
+
+Status MappingService::CloseSession(SessionId id) {
+  return sessions_.Close(id);
+}
+
+Status MappingService::Enqueue(InputRequest request,
+                               std::function<void(RequestResult)> done) {
+  const auto now = core::SearchClock::now();
+  const std::chrono::milliseconds budget =
+      request.deadline.count() != 0 ? request.deadline
+                                    : options_.default_deadline;
+  QueuedRequest queued;
+  queued.request = std::move(request);
+  queued.done = std::move(done);
+  queued.admitted = now;
+  queued.deadline = budget.count() != 0
+                        ? now + budget
+                        : core::SearchClock::time_point::max();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      metrics_.RecordRequest(RequestOutcome::kOverloaded, 0.0);
+      return Status::ResourceExhausted(
+          "request queue full; back off and retry");
+    }
+    queue_.push_back(std::move(queued));
+    metrics_.RecordQueueDepth(queue_.size());
+  }
+  pool_->Submit([this]() { DrainOne(); });
+  return Status::OK();
+}
+
+RequestResult MappingService::Call(InputRequest request) {
+  std::promise<RequestResult> promise;
+  std::future<RequestResult> future = promise.get_future();
+  Status admitted = Enqueue(std::move(request), [&](RequestResult result) {
+    promise.set_value(std::move(result));
+  });
+  if (!admitted.ok()) {
+    RequestResult rejected;
+    rejected.status = std::move(admitted);
+    rejected.outcome = rejected.status.IsResourceExhausted()
+                           ? RequestOutcome::kOverloaded
+                           : RequestOutcome::kFailed;
+    return rejected;
+  }
+  return future.get();
+}
+
+void MappingService::DrainOne() {
+  QueuedRequest queued;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    // Every Submit pairs with exactly one queued request, and the pool
+    // never runs a drain token it discarded at shutdown.
+    MW_CHECK(!queue_.empty());
+    queued = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  RequestResult result = Process(queued);
+  metrics_.RecordRequest(result.outcome, result.latency_ms);
+  if (queued.done) queued.done(std::move(result));
+}
+
+RequestResult MappingService::Process(const QueuedRequest& queued) {
+  RequestResult result;
+  const auto finish = [&](RequestOutcome outcome, Status status) {
+    result.outcome = outcome;
+    result.status = std::move(status);
+    result.latency_ms =
+        std::chrono::duration<double, std::milli>(core::SearchClock::now() -
+                                                  queued.admitted)
+            .count();
+    return result;
+  };
+
+  // A request that waited out its whole budget in the queue is answered
+  // immediately — running the search would only waste the worker on an
+  // answer the client has given up on.
+  if (core::SearchClock::now() >= queued.deadline) {
+    result.truncated = true;
+    return finish(RequestOutcome::kTruncated, Status::OK());
+  }
+
+  tls_last_search_was_cache_hit = false;
+  Status status = sessions_.WithSession(
+      queued.request.session_id, [&](core::Session& session) {
+        const bool was_awaiting =
+            session.state() == core::SessionState::kAwaitingFirstRow;
+        session.mutable_options().deadline = queued.deadline;
+        Status input = session.Input(queued.request.row, queued.request.col,
+                                     queued.request.value);
+        session.mutable_options().deadline =
+            core::SearchClock::time_point::max();
+        result.state = session.state();
+        result.num_candidates = session.candidates().size();
+        // `truncated` describes THIS request: only the input that fired
+        // the first-row search can be cut short by the deadline (stats
+        // persist on the session afterwards, so don't re-report them for
+        // later pruning inputs).
+        const bool search_ran_now =
+            was_awaiting &&
+            session.state() != core::SessionState::kAwaitingFirstRow;
+        result.truncated = search_ran_now && session.search_stats().truncated;
+        return input;
+      });
+  result.cache_hit = tls_last_search_was_cache_hit;
+  if (!status.ok()) {
+    return finish(RequestOutcome::kFailed, std::move(status));
+  }
+  return finish(result.truncated ? RequestOutcome::kTruncated
+                                 : RequestOutcome::kOk,
+                Status::OK());
+}
+
+}  // namespace mweaver::service

@@ -1,0 +1,163 @@
+// MappingService: the concurrent front-end multiplexing many interactive
+// mapping sessions over one immutable source database.
+//
+//   clients --> bounded FIFO queue --> common::ThreadPool workers
+//                     |                     |
+//                 kOverloaded          SessionManager (per-session mutex)
+//               (explicit, never           |
+//                blocking)            ResultCache (first-row searches)
+//
+// Backpressure: admission is non-blocking. When the queue is full,
+// Enqueue() returns ResourceExhausted immediately ("kOverloaded") so the
+// client can back off — a closed-loop client retries, an interactive UI
+// greys out the spreadsheet — instead of piling latency onto the queue.
+//
+// Deadlines: each request carries a wall-clock budget measured from
+// admission (queue wait counts — a request that waited out its budget is
+// answered immediately). The worker threads the deadline into the
+// session's SearchOptions, and the pairwise/weave loops in core stop
+// early once it passes: the client gets a prompt partial result with
+// SearchStats::truncated set rather than a stalled worker.
+#ifndef MWEAVER_SERVICE_MAPPING_SERVICE_H_
+#define MWEAVER_SERVICE_MAPPING_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/options.h"
+#include "core/session.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/session_manager.h"
+
+namespace mweaver::service {
+
+struct ServiceOptions {
+  /// Dedicated worker threads processing requests.
+  size_t num_workers = 4;
+  /// Admission bound: Enqueue() returns kOverloaded beyond this many
+  /// queued-but-unstarted requests.
+  size_t max_queue_depth = 256;
+  /// LRU capacity of the first-row search cache (0 disables it).
+  size_t cache_capacity = 128;
+  /// Deadline applied to requests that don't carry their own (0 = none).
+  std::chrono::milliseconds default_deadline{0};
+  SessionManagerOptions sessions;
+};
+
+/// \brief One spreadsheet keystroke routed through the service:
+/// Input(row, col, value) on an open session.
+struct InputRequest {
+  SessionId session_id = 0;
+  size_t row = 0;
+  size_t col = 0;
+  std::string value;
+  /// Wall-clock budget from admission; 0 = use the service default. A
+  /// negative budget is already expired at admission — the request is
+  /// answered immediately with a truncated result (deterministic load
+  /// shedding, also exercised by tests).
+  std::chrono::milliseconds deadline{0};
+};
+
+/// \brief What the client gets back.
+struct RequestResult {
+  /// Request-level status: kOverloaded admission failures surface as
+  /// ResourceExhausted, unknown sessions as NotFound, session-model
+  /// violations (bad column, first-row re-entry) as their Input() status.
+  Status status;
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  core::SessionState state = core::SessionState::kAwaitingFirstRow;
+  size_t num_candidates = 0;
+  /// The search was cut short (deadline or tuple-path caps).
+  bool truncated = false;
+  /// The first-row search was answered from the result cache.
+  bool cache_hit = false;
+  /// Admission-to-completion latency (queue wait included).
+  double latency_ms = 0.0;
+};
+
+/// \brief The concurrent mapping service. All public methods are
+/// thread-safe.
+class MappingService {
+ public:
+  /// \brief `engine` and `schema_graph` must outlive the service.
+  MappingService(const text::FullTextEngine* engine,
+                 const graph::SchemaGraph* schema_graph,
+                 ServiceOptions options = {});
+
+  /// \brief Stops accepting work, then fails every still-queued request
+  /// with Internal("service shutting down") before joining the workers.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// \brief Opens a session (registry-level call, not queued: creation is
+  /// cheap and must not contend with search traffic for workers).
+  Result<SessionId> CreateSession(std::vector<std::string> column_names,
+                                  core::SearchOptions search_options = {});
+
+  /// \brief Closes a session explicitly (idle ones expire via TTL).
+  Status CloseSession(SessionId id);
+
+  /// \brief Submits a request. Returns immediately: OK when admitted
+  /// (`done` fires exactly once, on a worker thread), ResourceExhausted
+  /// when the queue is full (`done` never fires).
+  Status Enqueue(InputRequest request,
+                 std::function<void(RequestResult)> done);
+
+  /// \brief Synchronous convenience: Enqueue + wait. Overload is reported
+  /// in the returned RequestResult (status ResourceExhausted, outcome
+  /// kOverloaded).
+  RequestResult Call(InputRequest request);
+
+  /// \brief Runs an idle-session sweep; returns sessions reclaimed.
+  size_t EvictIdleSessions() { return sessions_.EvictIdle(); }
+
+  SessionManager& sessions() { return sessions_; }
+  const ResultCache& cache() const { return cache_; }
+  MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct QueuedRequest {
+    InputRequest request;
+    std::function<void(RequestResult)> done;
+    core::SearchClock::time_point admitted;
+    core::SearchClock::time_point deadline;  // max() = none
+  };
+
+  /// Pops and processes one queued request (runs on a pool worker).
+  void DrainOne();
+  RequestResult Process(const QueuedRequest& queued);
+  core::Session::SearchFn MakeCachingSearchFn();
+
+  const text::FullTextEngine* engine_;
+  const graph::SchemaGraph* schema_graph_;
+  const ServiceOptions options_;
+
+  SessionManager sessions_;
+  ResultCache cache_;
+  ServiceMetrics metrics_;
+
+  std::mutex queue_mu_;
+  std::deque<QueuedRequest> queue_;
+  bool shutdown_ = false;
+
+  // Last: workers must start after (and be joined before) everything they
+  // touch.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mweaver::service
+
+#endif  // MWEAVER_SERVICE_MAPPING_SERVICE_H_

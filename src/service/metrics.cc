@@ -1,0 +1,113 @@
+#include "service/metrics.h"
+
+#include "common/string_util.h"
+
+namespace mweaver::service {
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kOverloaded:
+      return "overloaded";
+    case RequestOutcome::kTruncated:
+      return "truncated";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+double MetricsSnapshot::CacheHitRate() const {
+  const uint64_t total = cache_hits + cache_misses;
+  return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                static_cast<double>(total);
+}
+
+double MetricsSnapshot::ApproxLatencyPercentileMs(double p) const {
+  uint64_t total = 0;
+  for (uint64_t count : latency_buckets) total += count;
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < latency_buckets.size(); ++i) {
+    seen += latency_buckets[i];
+    if (static_cast<double>(seen) >= rank) {
+      return ServiceMetrics::BucketUpperMs(i);
+    }
+  }
+  return ServiceMetrics::BucketUpperMs(latency_buckets.size() - 1);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  return StrFormat(
+      "requests: %llu ok, %llu truncated, %llu failed, %llu overloaded | "
+      "cache: %llu hits / %llu misses (%.1f%%) | queue high-water: %llu | "
+      "latency p50/p95/p99 <= %.2f/%.2f/%.2f ms",
+      static_cast<unsigned long long>(requests_ok),
+      static_cast<unsigned long long>(requests_truncated),
+      static_cast<unsigned long long>(requests_failed),
+      static_cast<unsigned long long>(requests_overloaded),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), CacheHitRate() * 100.0,
+      static_cast<unsigned long long>(queue_high_water),
+      ApproxLatencyPercentileMs(0.50), ApproxLatencyPercentileMs(0.95),
+      ApproxLatencyPercentileMs(0.99));
+}
+
+double ServiceMetrics::BucketUpperMs(size_t i) {
+  if (i + 1 >= kNumBuckets) return 1e18;  // +inf bucket
+  return 0.25 * static_cast<double>(uint64_t{1} << i);
+}
+
+void ServiceMetrics::RecordRequest(RequestOutcome outcome, double latency_ms) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestOutcome::kOverloaded:
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      return;  // rejected at admission: no latency to record
+    case RequestOutcome::kTruncated:
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestOutcome::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets && latency_ms > BucketUpperMs(bucket)) {
+    ++bucket;
+  }
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordQueueDepth(size_t depth) {
+  uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_high_water_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void ServiceMetrics::RecordCacheLookup(bool hit) {
+  (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.requests_ok = ok_.load(std::memory_order_relaxed);
+  snap.requests_overloaded = overloaded_.load(std::memory_order_relaxed);
+  snap.requests_truncated = truncated_.load(std::memory_order_relaxed);
+  snap.requests_failed = failed_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  snap.latency_buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.latency_buckets[i] = latency_buckets_[i].load(
+        std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace mweaver::service

@@ -1,0 +1,92 @@
+// ServiceMetrics: lock-free counters the mapping service updates on every
+// request, snapshotable for benches and monitoring. All mutators are safe
+// to call concurrently from any worker thread.
+#ifndef MWEAVER_SERVICE_METRICS_H_
+#define MWEAVER_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mweaver::service {
+
+/// \brief How a request left the service.
+enum class RequestOutcome {
+  /// Processed to completion (the session may still report NoMapping —
+  /// that is a mapping-design outcome, not a service failure).
+  kOk = 0,
+  /// Rejected at admission: the bounded queue was full (backpressure).
+  kOverloaded,
+  /// Processed, but the deadline (or a tuple-path cap) cut the search
+  /// short; the result is partial.
+  kTruncated,
+  /// The session rejected the request (bad column, unknown session, ...).
+  kFailed,
+};
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// \brief A point-in-time copy of the service counters.
+struct MetricsSnapshot {
+  uint64_t requests_ok = 0;
+  uint64_t requests_overloaded = 0;
+  uint64_t requests_truncated = 0;
+  uint64_t requests_failed = 0;
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  /// Deepest the request queue ever got (admission-time depth).
+  uint64_t queue_high_water = 0;
+
+  /// latency_buckets[i] counts completed requests with latency <=
+  /// ServiceMetrics::BucketUpperMs(i) (the last bucket is unbounded).
+  /// Queue wait is included; overloaded requests are not recorded.
+  std::vector<uint64_t> latency_buckets;
+
+  uint64_t TotalRequests() const {
+    return requests_ok + requests_overloaded + requests_truncated +
+           requests_failed;
+  }
+  uint64_t CompletedRequests() const {
+    return requests_ok + requests_truncated + requests_failed;
+  }
+  /// Hits / (hits + misses); 0 when the cache was never consulted.
+  double CacheHitRate() const;
+  /// Histogram-estimated latency percentile in ms (p in [0,1]); returns
+  /// the bucket upper bound containing the p-quantile, 0 with no data.
+  double ApproxLatencyPercentileMs(double p) const;
+
+  std::string ToString() const;
+};
+
+/// \brief The live counters. One instance per MappingService.
+class ServiceMetrics {
+ public:
+  /// 16 power-of-two buckets: <=0.25ms, <=0.5ms, ... <=4096ms, +inf.
+  static constexpr size_t kNumBuckets = 16;
+  static double BucketUpperMs(size_t i);
+
+  void RecordRequest(RequestOutcome outcome, double latency_ms);
+  void RecordQueueDepth(size_t depth);
+  void RecordCacheLookup(bool hit);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> overloaded_{0};
+  std::atomic<uint64_t> truncated_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> queue_high_water_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> latency_buckets_{};
+};
+
+}  // namespace mweaver::service
+
+#endif  // MWEAVER_SERVICE_METRICS_H_

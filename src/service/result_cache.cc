@@ -1,0 +1,70 @@
+#include "service/result_cache.h"
+
+#include "common/string_util.h"
+
+namespace mweaver::service {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::string ResultCache::MakeKey(const std::vector<std::string>& first_row,
+                                 const core::SearchOptions& options) {
+  // Options fingerprint: everything that can change the result set.
+  std::string key = StrFormat(
+      "m=%zu;pmnj=%d;w=%.6f/%.6f;caps=%zu/%zu;keep=%zu|",
+      first_row.size(), options.pmnj, options.matching_weight,
+      options.complexity_weight, options.max_tuple_paths_per_mapping,
+      options.max_total_tuple_paths,
+      options.retained_tuple_paths_per_mapping);
+  for (const std::string& sample : first_row) {
+    key += ToLower(sample);
+    key += '\x1f';  // unit separator: never produced by user keystrokes
+  }
+  return key;
+}
+
+std::optional<core::SearchResult> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::Insert(const std::string& key, core::SearchResult result) {
+  if (capacity_ == 0) return;
+  if (result.stats.truncated) return;  // never replay partial results
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace mweaver::service

@@ -1,0 +1,72 @@
+// ResultCache: an LRU cache over first-row sample searches. Interactive
+// traffic is heavily repetitive — many users map the same popular entities
+// against the same source — so identical first rows across sessions can
+// skip the TPW pipeline entirely.
+//
+// Cache key (see DESIGN.md "Service layer"): the target-column count, a
+// fingerprint of every search option that affects the result set (PMNJ,
+// ranking weights, tuple-path caps — NOT num_threads or the deadline,
+// which change timing but never the converged output), and the
+// NORMALIZED first-row samples (ASCII-lowercased; sound because every
+// match mode compares case-insensitively — but NOT trimmed, since the
+// engine matches samples verbatim and a stray space changes the result).
+// Truncated results are never inserted: a partial candidate list must not
+// be replayed to a client with a looser deadline.
+#ifndef MWEAVER_SERVICE_RESULT_CACHE_H_
+#define MWEAVER_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sample_search.h"
+
+namespace mweaver::service {
+
+/// \brief Thread-safe LRU cache from normalized first rows to complete
+/// SearchResults.
+class ResultCache {
+ public:
+  /// \brief Keeps at most `capacity` entries (0 disables caching: every
+  /// Lookup misses and Insert is a no-op).
+  explicit ResultCache(size_t capacity);
+
+  /// \brief Builds the canonical cache key for a first row under
+  /// `options`.
+  static std::string MakeKey(const std::vector<std::string>& first_row,
+                             const core::SearchOptions& options);
+
+  /// \brief Returns a copy of the cached result and refreshes its
+  /// recency, or nullopt on a miss.
+  std::optional<core::SearchResult> Lookup(const std::string& key);
+
+  /// \brief Inserts (or refreshes) `result` under `key`, evicting the
+  /// least-recently-used entry beyond capacity. Truncated results are
+  /// rejected (see file comment).
+  void Insert(const std::string& key, core::SearchResult result);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using Entry = std::pair<std::string, core::SearchResult>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mweaver::service
+
+#endif  // MWEAVER_SERVICE_RESULT_CACHE_H_

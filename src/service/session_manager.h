@@ -1,0 +1,106 @@
+// SessionManager: owns many named core::Sessions over one shared immutable
+// source (FullTextEngine + SchemaGraph). Sessions are identified by ids
+// from a monotonically increasing space (never reused, so a stale client
+// can never alias a newer user's session), serialized individually by a
+// per-session mutex, and evicted after an idle TTL.
+#ifndef MWEAVER_SERVICE_SESSION_MANAGER_H_
+#define MWEAVER_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/session.h"
+#include "graph/schema_graph.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::service {
+
+using SessionId = uint64_t;
+
+struct SessionManagerOptions {
+  /// Sessions untouched for this long are reclaimed by EvictIdle().
+  std::chrono::milliseconds idle_ttl{std::chrono::minutes(10)};
+  /// Create() fails with ResourceExhausted beyond this many live sessions.
+  size_t max_sessions = 4096;
+};
+
+/// \brief Concurrent registry of interactive mapping sessions.
+///
+/// Locking: a registry mutex guards the id map; each session has its own
+/// mutex serializing its Inputs (the interaction model is inherently
+/// sequential per user, but different users run in parallel). WithSession
+/// drops the registry lock before running the callback, so a slow search
+/// in one session never blocks lookups or other sessions.
+class SessionManager {
+ public:
+  /// \brief `engine` and `schema_graph` must outlive the manager.
+  SessionManager(const text::FullTextEngine* engine,
+                 const graph::SchemaGraph* schema_graph,
+                 SessionManagerOptions options = {});
+
+  /// \brief Creates a session for `column_names`, returning its id.
+  /// `search_fn` (optional) overrides the first-row search — the service
+  /// installs its caching wrapper here.
+  Result<SessionId> Create(std::vector<std::string> column_names,
+                           core::SearchOptions search_options = {},
+                           core::Session::SearchFn search_fn = nullptr);
+
+  /// \brief Removes the session. In-flight WithSession calls holding it
+  /// finish normally; later lookups return NotFound.
+  Status Close(SessionId id);
+
+  /// \brief Runs `fn` with exclusive access to the session and refreshes
+  /// its idle clock. Returns NotFound for unknown/closed/evicted ids.
+  Status WithSession(SessionId id,
+                     const std::function<Status(core::Session&)>& fn);
+
+  /// \brief Evicts every session idle longer than the TTL; returns how
+  /// many were reclaimed. Sessions currently executing a request are
+  /// skipped (their idle clock refreshes on completion anyway).
+  size_t EvictIdle();
+
+  /// \brief Live session count.
+  size_t size() const;
+
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Entry(const text::FullTextEngine* engine,
+          const graph::SchemaGraph* schema_graph,
+          std::vector<std::string> column_names,
+          core::SearchOptions search_options)
+        : session(engine, schema_graph, std::move(column_names),
+                  search_options) {}
+
+    std::mutex mu;          // serializes access to `session` and `closed`
+    core::Session session;
+    bool closed = false;    // set by Close/EvictIdle; guards the zombie
+                            // window between map erase and entry release
+    /// steady_clock nanos of the last WithSession completion (atomic so
+    /// EvictIdle can read it without taking the session mutex).
+    std::atomic<int64_t> last_used_ns{0};
+  };
+
+  static int64_t NowNs();
+
+  const text::FullTextEngine* engine_;
+  const graph::SchemaGraph* schema_graph_;
+  const SessionManagerOptions options_;
+
+  mutable std::mutex mu_;  // guards sessions_ only
+  std::map<SessionId, std::shared_ptr<Entry>> sessions_;
+  std::atomic<SessionId> next_id_{1};
+};
+
+}  // namespace mweaver::service
+
+#endif  // MWEAVER_SERVICE_SESSION_MANAGER_H_

@@ -6,6 +6,7 @@
 #include "common/hash_util.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -269,6 +270,57 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
     total.fetch_add(i + 1, std::memory_order_relaxed);
   });
   EXPECT_EQ(total.load(), 6u);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlockOnTheSharedPool) {
+  // The caller always participates as a runner, so inner ParallelFors make
+  // progress even when every shared-pool thread is occupied by outer ones.
+  std::atomic<size_t> total{0};
+  ParallelFor(8, 8, [&](size_t) {
+    ParallelFor(8, 4, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  const size_t n = 100;
+  {
+    ThreadPool pool(4);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&]() {
+        if (done.fetch_add(1, std::memory_order_relaxed) + 1 == n) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_one();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return done.load() == n; });
+  }
+  EXPECT_EQ(done.load(), n);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolQueuesWithoutRunning) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(0);
+    pool.Submit([&]() { ran.store(true); });
+    EXPECT_EQ(pool.num_threads(), 0u);
+    EXPECT_EQ(pool.queue_depth(), 1u);
+  }
+  // Destruction discards the never-started task.
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, SharedPoolHasWorkers) {
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 2u);
 }
 
 // ------------------------------------------------------------ Stopwatch --

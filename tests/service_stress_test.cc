@@ -1,0 +1,148 @@
+// Multi-threaded stress test for the service layer, designed to run under
+// TSan (ctest label "tsan"): 8 client threads hammer one SessionManager
+// and one MappingService — creating sessions, driving them to convergence,
+// racing evictions and closes — over the shared immutable Figure-2 source.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/schema_graph.h"
+#include "service/mapping_service.h"
+#include "service/session_manager.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::service {
+namespace {
+
+constexpr size_t kThreads = 8;
+constexpr size_t kSessionsPerThread = 12;
+
+struct Env {
+  Env()
+      : db(testing::MakeFigure2Db()),
+        engine(&db, text::MatchPolicy::Substring()),
+        graph(&db) {}
+  storage::Database db;
+  text::FullTextEngine engine;
+  graph::SchemaGraph graph;
+};
+
+// Drives one session through the quickstart convergence script.
+Status DriveToConvergence(core::Session& session) {
+  const std::vector<std::tuple<size_t, size_t, const char*>> keystrokes{
+      {0, 0, "Avatar"},
+      {0, 1, "James Cameron"},
+      {1, 0, "Harry Potter"},
+      {1, 1, "David Yates"},
+  };
+  for (const auto& [row, col, value] : keystrokes) {
+    MW_RETURN_NOT_OK(session.Input(row, col, value));
+  }
+  return session.converged()
+             ? Status::OK()
+             : Status::Internal("session failed to converge");
+}
+
+TEST(ServiceStressTest, ManyThreadsManySessionsThroughSessionManager) {
+  Env env;
+  SessionManagerOptions options;
+  options.idle_ttl = std::chrono::milliseconds(1);
+  options.max_sessions = kThreads * kSessionsPerThread + 1;
+  SessionManager manager(&env.engine, &env.graph, options);
+
+  std::atomic<size_t> converged{0};
+  std::atomic<size_t> evicted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (size_t s = 0; s < kSessionsPerThread; ++s) {
+        auto created = manager.Create({"Name", "Director"});
+        ASSERT_TRUE(created.ok()) << created.status();
+        const SessionId id = *created;
+        const Status status = manager.WithSession(id, DriveToConvergence);
+        // NotFound is legal: another thread's eviction sweep may reclaim
+        // this session between Create and WithSession (the TTL is ~0).
+        if (status.ok()) {
+          converged.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_TRUE(status.IsNotFound()) << status;
+        }
+        if ((t + s) % 3 == 0) {
+          evicted.fetch_add(manager.EvictIdle(), std::memory_order_relaxed);
+        } else {
+          (void)manager.Close(id);  // racing Close vs eviction is the point
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(converged.load(), 0u);
+  (void)manager.EvictIdle();
+}
+
+TEST(ServiceStressTest, ManyClientsThroughMappingService) {
+  Env env;
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue_depth = 64;
+  options.cache_capacity = 32;
+  MappingService svc(&env.engine, &env.graph, options);
+
+  std::atomic<size_t> converged{0};
+  std::atomic<size_t> overloaded{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&]() {
+      for (size_t s = 0; s < kSessionsPerThread; ++s) {
+        auto created = svc.CreateSession({"Name", "Director"});
+        ASSERT_TRUE(created.ok()) << created.status();
+        const std::vector<std::tuple<size_t, size_t, const char*>> script{
+            {0, 0, "Avatar"},
+            {0, 1, "James Cameron"},
+            {1, 0, "Harry Potter"},
+            {1, 1, "David Yates"},
+        };
+        bool failed = false;
+        RequestResult last;
+        for (const auto& [row, col, value] : script) {
+          InputRequest request;
+          request.session_id = *created;
+          request.row = row;
+          request.col = col;
+          request.value = value;
+          last = svc.Call(request);
+          while (last.outcome == RequestOutcome::kOverloaded) {
+            overloaded.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+            last = svc.Call(request);
+          }
+          if (!last.status.ok()) {
+            failed = true;
+            break;
+          }
+        }
+        ASSERT_FALSE(failed) << last.status;
+        if (last.state == core::SessionState::kConverged) {
+          converged.fetch_add(1, std::memory_order_relaxed);
+        }
+        ASSERT_TRUE(svc.CloseSession(*created).ok());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(converged.load(), kThreads * kSessionsPerThread);
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_failed, 0u);
+  // Everyone types the same first row: all but the first search hit.
+  EXPECT_GT(snapshot.cache_hits, 0u);
+  EXPECT_EQ(svc.sessions().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mweaver::service

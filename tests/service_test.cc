@@ -1,0 +1,400 @@
+// Tests for the service layer: SessionManager lifecycle and eviction, the
+// LRU result cache, deadline/backpressure semantics of MappingService, and
+// the bounds-hardened core::Session accessors the service relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/sample_search.h"
+#include "core/session.h"
+#include "graph/schema_graph.h"
+#include "service/mapping_service.h"
+#include "service/metrics.h"
+#include "service/result_cache.h"
+#include "service/session_manager.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::service {
+namespace {
+
+using core::SearchClock;
+using core::SearchOptions;
+using core::SessionState;
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : db_(testing::MakeFigure2Db()),
+        engine_(&db_, text::MatchPolicy::Substring()),
+        graph_(&db_) {}
+
+  storage::Database db_;
+  text::FullTextEngine engine_;
+  graph::SchemaGraph graph_;
+};
+
+// ------------------------------------------------------- SessionManager --
+
+TEST_F(ServiceTest, SessionIdsAreMonotonicAndNeverReused) {
+  SessionManager manager(&engine_, &graph_);
+  const SessionId a = *manager.Create({"Name", "Director"});
+  const SessionId b = *manager.Create({"Name", "Director"});
+  EXPECT_LT(a, b);
+  ASSERT_TRUE(manager.Close(a).ok());
+  const SessionId c = *manager.Create({"Name", "Director"});
+  EXPECT_LT(b, c);  // closing never recycles ids
+  EXPECT_EQ(manager.size(), 2u);
+}
+
+TEST_F(ServiceTest, WithSessionRunsUnderTheSessionAndRefreshesIdleClock) {
+  SessionManager manager(&engine_, &graph_);
+  const SessionId id = *manager.Create({"Name", "Director"});
+  Status status = manager.WithSession(id, [](core::Session& session) {
+    return session.Input(0, 0, "Avatar");
+  });
+  EXPECT_TRUE(status.ok());
+  status = manager.WithSession(id, [](core::Session& session) {
+    EXPECT_EQ(session.cell(0, 0), "Avatar");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+}
+
+TEST_F(ServiceTest, UnknownAndClosedSessionsReturnNotFound) {
+  SessionManager manager(&engine_, &graph_);
+  EXPECT_TRUE(manager
+                  .WithSession(42, [](core::Session&) {
+                    ADD_FAILURE() << "must not run";
+                    return Status::OK();
+                  })
+                  .IsNotFound());
+  const SessionId id = *manager.Create({"Name"});
+  ASSERT_TRUE(manager.Close(id).ok());
+  EXPECT_TRUE(manager.Close(id).IsNotFound());
+  EXPECT_TRUE(
+      manager.WithSession(id, [](core::Session&) { return Status::OK(); })
+          .IsNotFound());
+}
+
+TEST_F(ServiceTest, CreateFailsBeyondMaxSessions) {
+  SessionManagerOptions options;
+  options.max_sessions = 2;
+  SessionManager manager(&engine_, &graph_, options);
+  ASSERT_TRUE(manager.Create({"Name"}).ok());
+  ASSERT_TRUE(manager.Create({"Name"}).ok());
+  EXPECT_TRUE(manager.Create({"Name"}).status().IsResourceExhausted());
+}
+
+TEST_F(ServiceTest, EvictIdleReclaimsOnlyExpiredSessions) {
+  SessionManagerOptions options;
+  options.idle_ttl = std::chrono::milliseconds(0);  // everything is idle
+  SessionManager manager(&engine_, &graph_, options);
+  const SessionId a = *manager.Create({"Name"});
+  const SessionId b = *manager.Create({"Name"});
+  EXPECT_EQ(manager.size(), 2u);
+  EXPECT_EQ(manager.EvictIdle(), 2u);
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_TRUE(
+      manager.WithSession(a, [](core::Session&) { return Status::OK(); })
+          .IsNotFound());
+  EXPECT_TRUE(
+      manager.WithSession(b, [](core::Session&) { return Status::OK(); })
+          .IsNotFound());
+
+  // A long TTL keeps fresh sessions alive.
+  SessionManagerOptions fresh_options;
+  fresh_options.idle_ttl = std::chrono::hours(1);
+  SessionManager fresh(&engine_, &graph_, fresh_options);
+  (void)*fresh.Create({"Name"});
+  EXPECT_EQ(fresh.EvictIdle(), 0u);
+  EXPECT_EQ(fresh.size(), 1u);
+}
+
+// ----------------------------------------------- Session accessor bounds --
+
+TEST_F(ServiceTest, SessionCellOutOfRangeReadsAsEmpty) {
+  core::Session session(&engine_, &graph_, {"Name", "Director"});
+  EXPECT_EQ(session.cell(0, 0), "");
+  EXPECT_EQ(session.cell(99, 99), "");
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  EXPECT_EQ(session.cell(0, 0), "Avatar");
+  EXPECT_EQ(session.cell(0, 5), "");  // column beyond the grid row
+}
+
+TEST_F(ServiceTest, SessionBestBeforeConvergenceIsEmptyNotFatal) {
+  core::Session session(&engine_, &graph_, {"Name", "Director"});
+  const core::CandidateMapping& none = session.best();
+  EXPECT_EQ(none.support, 0u);
+  EXPECT_EQ(none.score, 0.0);
+  EXPECT_TRUE(none.mapping.vertices().empty());
+
+  // After a search with several surviving candidates (not converged),
+  // best() reports the leader rather than aborting.
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  ASSERT_EQ(session.state(), SessionState::kRefining);
+  EXPECT_GT(session.best().support, 0u);
+}
+
+// ------------------------------------------------------------- Deadline --
+
+TEST_F(ServiceTest, ExpiredDeadlineSearchReturnsPromptlyAndTruncated) {
+  SearchOptions options;
+  options.deadline = SearchClock::now() - std::chrono::milliseconds(1);
+  const auto started = SearchClock::now();
+  auto result = core::SampleSearch(engine_, graph_,
+                                   {"Avatar", "James Cameron"}, options);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(SearchClock::now() - started)
+          .count();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.truncated);
+  EXPECT_TRUE(result->stats.deadline_expired);
+  EXPECT_TRUE(result->candidates.empty());
+  EXPECT_LT(elapsed_ms, 250.0);  // prompt even on a loaded CI machine
+}
+
+TEST_F(ServiceTest, CancellationTokenStopsTheSearch) {
+  SearchOptions options;
+  std::atomic<bool> cancel{true};  // already cancelled
+  options.cancel = &cancel;
+  auto result = core::SampleSearch(engine_, graph_,
+                                   {"Avatar", "James Cameron"}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.truncated);
+  EXPECT_TRUE(result->stats.deadline_expired);
+}
+
+TEST_F(ServiceTest, NoDeadlineSearchIsNotTruncated) {
+  auto result =
+      core::SampleSearch(engine_, graph_, {"Avatar", "James Cameron"}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->stats.truncated);
+  EXPECT_FALSE(result->stats.deadline_expired);
+  EXPECT_FALSE(result->candidates.empty());
+}
+
+TEST_F(ServiceTest, ServiceRequestWithExpiredDeadlineAnswersImmediately) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  MappingService svc(&engine_, &graph_, options);
+  const SessionId id = *svc.CreateSession({"Name", "Director"});
+
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+  // A negative budget is expired the moment it is admitted.
+  request.deadline = std::chrono::milliseconds(-1);
+  RequestResult result = svc.Call(request);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.outcome, RequestOutcome::kTruncated);
+  EXPECT_TRUE(result.truncated);
+}
+
+// ---------------------------------------------------------- ResultCache --
+
+TEST_F(ServiceTest, CacheKeyNormalizesCaseButNotWhitespace) {
+  const SearchOptions options;
+  EXPECT_EQ(ResultCache::MakeKey({"Avatar", "CAMERON"}, options),
+            ResultCache::MakeKey({"avatar", "cameron"}, options));
+  EXPECT_NE(ResultCache::MakeKey({"Avatar "}, options),
+            ResultCache::MakeKey({"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey({"a", "b"}, options),
+            ResultCache::MakeKey({"ab"}, options));
+  SearchOptions other = options;
+  other.pmnj = 3;  // different search space -> different key
+  EXPECT_NE(ResultCache::MakeKey({"Avatar"}, options),
+            ResultCache::MakeKey({"Avatar"}, other));
+  other = options;
+  other.num_threads = 8;  // timing-only knob -> same key
+  EXPECT_EQ(ResultCache::MakeKey({"Avatar"}, options),
+            ResultCache::MakeKey({"Avatar"}, other));
+}
+
+TEST_F(ServiceTest, CacheLruEvictsOldestAndCountsHits) {
+  ResultCache cache(2);
+  core::SearchResult result;
+  cache.Insert("a", result);
+  cache.Insert("b", result);
+  EXPECT_TRUE(cache.Lookup("a").has_value());  // refreshes "a"
+  cache.Insert("c", result);                   // evicts "b"
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(ServiceTest, CacheRejectsTruncatedResults) {
+  ResultCache cache(4);
+  core::SearchResult truncated;
+  truncated.stats.truncated = true;
+  cache.Insert("partial", truncated);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("partial").has_value());
+}
+
+TEST_F(ServiceTest, CachedAndFreshSearchesReturnIdenticalCandidates) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  MappingService svc(&engine_, &graph_, options);
+
+  const auto run_first_row = [&](const char* name, const char* director) {
+    const SessionId id = *svc.CreateSession({"Name", "Director"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = name;
+    RequestResult r0 = svc.Call(request);
+    EXPECT_TRUE(r0.status.ok()) << r0.status;
+    request.col = 1;
+    request.value = director;
+    return std::make_pair(id, svc.Call(request));
+  };
+
+  auto [fresh_id, fresh] = run_first_row("Avatar", "James Cameron");
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status;
+  EXPECT_FALSE(fresh.cache_hit);
+  auto [cached_id, cached] = run_first_row("AVATAR", "james cameron");
+  ASSERT_TRUE(cached.status.ok()) << cached.status;
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(fresh.num_candidates, cached.num_candidates);
+
+  // The ranked candidate lists must be identical, mapping by mapping.
+  std::vector<std::string> fresh_forms, cached_forms;
+  std::vector<double> fresh_scores, cached_scores;
+  ASSERT_TRUE(svc.sessions()
+                  .WithSession(fresh_id,
+                               [&](core::Session& session) {
+                                 for (const auto& c : session.candidates()) {
+                                   fresh_forms.push_back(
+                                       c.mapping.Canonical());
+                                   fresh_scores.push_back(c.score);
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(svc.sessions()
+                  .WithSession(cached_id,
+                               [&](core::Session& session) {
+                                 for (const auto& c : session.candidates()) {
+                                   cached_forms.push_back(
+                                       c.mapping.Canonical());
+                                   cached_scores.push_back(c.score);
+                                 }
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_FALSE(fresh_forms.empty());
+  EXPECT_EQ(fresh_forms, cached_forms);
+  EXPECT_EQ(fresh_scores, cached_scores);
+
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+  EXPECT_EQ(snapshot.cache_misses, 1u);
+  EXPECT_GT(snapshot.CacheHitRate(), 0.0);
+}
+
+// --------------------------------------------------------- Backpressure --
+
+TEST_F(ServiceTest, FullQueueRejectsWithOverloadNotBlocking) {
+  ServiceOptions options;
+  options.num_workers = 0;  // nothing drains: deterministic overload
+  options.max_queue_depth = 2;
+  std::vector<Status> callback_statuses;
+  {
+    MappingService svc(&engine_, &graph_, options);
+    const SessionId id = *svc.CreateSession({"Name", "Director"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    const auto record = [&](RequestResult r) {
+      callback_statuses.push_back(r.status);
+    };
+    EXPECT_TRUE(svc.Enqueue(request, record).ok());
+    EXPECT_TRUE(svc.Enqueue(request, record).ok());
+    Status overflow = svc.Enqueue(request, record);
+    EXPECT_TRUE(overflow.IsResourceExhausted()) << overflow;
+
+    const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+    EXPECT_EQ(snapshot.requests_overloaded, 1u);
+    EXPECT_EQ(snapshot.queue_high_water, 2u);
+    // Destructor fails the two admitted-but-unprocessed requests.
+  }
+  ASSERT_EQ(callback_statuses.size(), 2u);
+  EXPECT_TRUE(callback_statuses[0].IsInternal());
+  EXPECT_TRUE(callback_statuses[1].IsInternal());
+}
+
+TEST_F(ServiceTest, RequestForUnknownSessionFails) {
+  MappingService svc(&engine_, &graph_);
+  InputRequest request;
+  request.session_id = 999;
+  request.value = "Avatar";
+  RequestResult result = svc.Call(request);
+  EXPECT_TRUE(result.status.IsNotFound());
+  EXPECT_EQ(result.outcome, RequestOutcome::kFailed);
+}
+
+TEST_F(ServiceTest, EndToEndConvergenceThroughTheService) {
+  MappingService svc(&engine_, &graph_);
+  const SessionId id = *svc.CreateSession({"Name", "Director"});
+  const std::vector<std::tuple<size_t, size_t, const char*>> keystrokes{
+      {0, 0, "Avatar"},
+      {0, 1, "James Cameron"},
+      {1, 0, "Harry Potter"},
+      {1, 1, "David Yates"},
+  };
+  RequestResult last;
+  for (const auto& [row, col, value] : keystrokes) {
+    InputRequest request;
+    request.session_id = id;
+    request.row = row;
+    request.col = col;
+    request.value = value;
+    last = svc.Call(request);
+    ASSERT_TRUE(last.status.ok()) << last.status;
+  }
+  EXPECT_EQ(last.state, SessionState::kConverged);
+  EXPECT_EQ(last.num_candidates, 1u);
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_ok, 4u);
+  EXPECT_EQ(snapshot.requests_failed, 0u);
+}
+
+// -------------------------------------------------------------- Metrics --
+
+TEST(ServiceMetricsTest, OutcomeCountersAndHistogram) {
+  ServiceMetrics metrics;
+  metrics.RecordRequest(RequestOutcome::kOk, 0.1);
+  metrics.RecordRequest(RequestOutcome::kOk, 3.0);
+  metrics.RecordRequest(RequestOutcome::kTruncated, 100.0);
+  metrics.RecordRequest(RequestOutcome::kFailed, 0.2);
+  metrics.RecordRequest(RequestOutcome::kOverloaded, 0.0);
+  metrics.RecordQueueDepth(3);
+  metrics.RecordQueueDepth(7);
+  metrics.RecordQueueDepth(2);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.requests_ok, 2u);
+  EXPECT_EQ(snapshot.requests_truncated, 1u);
+  EXPECT_EQ(snapshot.requests_failed, 1u);
+  EXPECT_EQ(snapshot.requests_overloaded, 1u);
+  EXPECT_EQ(snapshot.TotalRequests(), 5u);
+  EXPECT_EQ(snapshot.CompletedRequests(), 4u);
+  EXPECT_EQ(snapshot.queue_high_water, 7u);
+  uint64_t histogram_total = 0;
+  for (uint64_t count : snapshot.latency_buckets) histogram_total += count;
+  EXPECT_EQ(histogram_total, 4u);  // overloaded requests record no latency
+  EXPECT_LE(snapshot.ApproxLatencyPercentileMs(0.5),
+            snapshot.ApproxLatencyPercentileMs(0.99));
+  EXPECT_FALSE(snapshot.ToString().empty());
+}
+
+}  // namespace
+}  // namespace mweaver::service
