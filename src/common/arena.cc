@@ -1,0 +1,79 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace mweaver {
+
+Arena::Arena(size_t initial_block_bytes)
+    : initial_block_bytes_(std::max<size_t>(initial_block_bytes, 64)) {}
+
+Arena::Block& Arena::AddBlock(size_t min_bytes) {
+  size_t capacity = blocks_.empty()
+                        ? initial_block_bytes_
+                        : std::min(blocks_.back().capacity * 2, kMaxBlockBytes);
+  capacity = std::max(capacity, min_bytes);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(capacity);
+  block.capacity = capacity;
+  bytes_reserved_ += capacity;
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+void* Arena::do_allocate(size_t bytes, size_t alignment) {
+  MW_CHECK((alignment & (alignment - 1)) == 0) << "non-power-of-two alignment";
+  // Align the address, not the offset: operator new[] only guarantees
+  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block base, so over-aligned
+  // requests must account for where the block actually landed.
+  const auto align_in = [alignment](const Block& b) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+    const uintptr_t addr =
+        (base + b.used + alignment - 1) & ~(uintptr_t{alignment} - 1);
+    return static_cast<size_t>(addr - base);
+  };
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  size_t aligned = 0;
+  if (block != nullptr) {
+    aligned = align_in(*block);
+    if (aligned + bytes > block->capacity) block = nullptr;
+  }
+  if (block == nullptr) {
+    block = &AddBlock(bytes + alignment);
+    aligned = align_in(*block);
+    MW_CHECK(aligned + bytes <= block->capacity);
+  }
+  void* p = block->data.get() + aligned;
+  bytes_used_ += (aligned - block->used) + bytes;
+  block->used = aligned + bytes;
+  ++num_allocations_;
+  ++total_allocations_;
+  return p;
+}
+
+void Arena::do_deallocate(void* /*p*/, size_t /*bytes*/,
+                          size_t /*alignment*/) {
+  // Bump allocator: memory is reclaimed wholesale by Reset().
+}
+
+void Arena::Reset() {
+  if (!blocks_.empty()) {
+    // Keep only the largest block so a steady stream of similar searches
+    // stops hitting malloc after warm-up.
+    auto largest = std::max_element(
+        blocks_.begin(), blocks_.end(),
+        [](const Block& a, const Block& b) { return a.capacity < b.capacity; });
+    Block kept = std::move(*largest);
+    kept.used = 0;
+    bytes_reserved_ = kept.capacity;
+    blocks_.clear();
+    blocks_.push_back(std::move(kept));
+  }
+  bytes_used_ = 0;
+  num_allocations_ = 0;
+  ++num_resets_;
+}
+
+}  // namespace mweaver

@@ -3,14 +3,15 @@
 namespace mweaver::core {
 
 LocationMap LocationMap::Build(const text::FullTextEngine& engine,
-                               const std::vector<std::string>& sample_tuple) {
+                               const std::vector<std::string>& sample_tuple,
+                               ExecutionContext* ctx) {
   LocationMap map;
   map.columns_.reserve(sample_tuple.size());
   for (size_t i = 0; i < sample_tuple.size(); ++i) {
     ColumnLocations col;
     col.target_column = static_cast<int>(i);
     col.sample = sample_tuple[i];
-    if (!col.sample.empty()) {
+    if (!col.sample.empty() && !(ctx != nullptr && ctx->ShouldStop())) {
       col.occurrences = engine.FindOccurrences(col.sample);
     }
     map.columns_.push_back(std::move(col));

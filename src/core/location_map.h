@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_context.h"
 #include "text/fulltext_engine.h"
 
 namespace mweaver::core {
@@ -23,9 +24,12 @@ class LocationMap {
  public:
   /// \brief Runs Algorithm 1: one full-text lookup per sample. Empty
   /// samples yield empty occurrence lists (the caller decides whether that
-  /// is an error; the Session requires a fully-populated first row).
+  /// is an error; the Session requires a fully-populated first row). When
+  /// `ctx` is given, the deadline/cancel token is polled between column
+  /// lookups; remaining columns are left empty after a stop.
   static LocationMap Build(const text::FullTextEngine& engine,
-                           const std::vector<std::string>& sample_tuple);
+                           const std::vector<std::string>& sample_tuple,
+                           ExecutionContext* ctx = nullptr);
 
   /// \brief Builds a location map from explicit attribute sets (no
   /// occurrence rows). Used by schema-level enumeration (the naive baseline

@@ -1,10 +1,16 @@
 // Tunables of the TPW sample-search pipeline.
+//
+// SearchOptions is a pure, copyable value type: it describes WHAT to search
+// (search-space bounds, ranking weights, parallelism) and never carries
+// per-request runtime state. Deadlines, cancellation tokens, memory budgets
+// and tracing live in core::ExecutionContext (core/execution_context.h),
+// which is threaded through the pipeline alongside the options.
 #ifndef MWEAVER_CORE_OPTIONS_H_
 #define MWEAVER_CORE_OPTIONS_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <string>
 
 namespace mweaver::core {
 
@@ -42,29 +48,14 @@ struct SearchOptions {
   /// regardless of the thread count.
   size_t num_threads = 1;
 
-  /// Wall-clock deadline for the search. The pairwise-execution and weave
-  /// loops poll it and stop early once it passes: the search still returns
-  /// (a possibly empty ranked list over whatever was built in time) with
-  /// SearchStats::truncated and SearchStats::deadline_expired set, instead
-  /// of stalling its worker thread. max() = no deadline.
-  SearchClock::time_point deadline = SearchClock::time_point::max();
-
-  /// Optional cooperative cancellation token (e.g. the client hung up).
-  /// Checked at the same points as `deadline`; must outlive the search.
-  const std::atomic<bool>* cancel = nullptr;
-
-  bool has_deadline() const {
-    return deadline != SearchClock::time_point::max();
-  }
-
-  /// \brief True once the search should stop early (deadline passed or the
-  /// cancellation token fired).
-  bool ExpiredOrCancelled() const {
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-      return true;
-    }
-    return has_deadline() && SearchClock::now() >= deadline;
-  }
+  /// \brief Canonical encoding of every option that can change the result
+  /// SET of a search. Two option values with equal fingerprints produce
+  /// identical candidate lists for identical inputs; `num_threads` is
+  /// deliberately excluded (it changes timing, never the converged output).
+  /// service::ResultCache keys on this — when adding a field to this
+  /// struct, decide whether it is result-affecting and update Fingerprint()
+  /// accordingly (a sizeof tripwire in result_cache.cc forces the review).
+  std::string Fingerprint() const;
 };
 
 }  // namespace mweaver::core

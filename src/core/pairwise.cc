@@ -39,7 +39,8 @@ MappingPath BuildChain(storage::RelationId start_rel,
 
 PairwiseMappingMap GeneratePairwiseMappingPaths(
     const graph::SchemaGraph& schema_graph, const LocationMap& locations,
-    int pmnj) {
+    const SearchOptions& options, ExecutionContext& ctx) {
+  const int pmnj = options.pmnj;
   const storage::Database& db = schema_graph.db();
   const size_t m = locations.num_columns();
   PairwiseMappingMap pmpm;
@@ -57,11 +58,13 @@ PairwiseMappingMap GeneratePairwiseMappingPaths(
 
   for (size_t i = 0; i < m; ++i) {
     for (const text::AttributeRef& start : locations.AttributesOf(i)) {
+      if (ctx.ShouldStop()) return pmpm;
       // Breadth-first enumeration of every walk of at most `pmnj` edges
       // starting at the relation containing A_i (Algorithm 3). Walks may
       // revisit relations: relation paths are occurrence trees.
       std::vector<std::vector<WalkStep>> frontier{{}};
       for (int depth = 0; depth <= pmnj && !frontier.empty(); ++depth) {
+        if (ctx.ShouldStop()) return pmpm;
         for (const std::vector<WalkStep>& walk : frontier) {
           const storage::RelationId endpoint =
               walk.empty() ? start.relation : walk.back().relation;
@@ -119,7 +122,7 @@ PairwiseMappingMap GeneratePairwiseMappingPaths(
 Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
     const query::PathExecutor& executor, const PairwiseMappingMap& pmpm,
     const LocationMap& locations, const SearchOptions& options,
-    PairwiseStats* stats) {
+    ExecutionContext& ctx, PairwiseStats* stats) {
   // Flatten the work list so the per-mapping queries can run in parallel;
   // results are merged back in flattened order, keeping the output
   // deterministic for any thread count.
@@ -143,23 +146,21 @@ Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
   exec_options.max_results = options.max_tuple_paths_per_mapping;
   std::vector<Result<std::vector<TuplePath>>> results(
       work.size(), Result<std::vector<TuplePath>>(std::vector<TuplePath>{}));
-  // One deadline poll per query keeps the overhead negligible (each query
-  // is orders of magnitude heavier than a clock read); `expired` caches
-  // the verdict so late work items skip without re-reading the clock.
-  std::atomic<bool> expired{false};
+  // One stop check per query keeps the overhead negligible (each query is
+  // orders of magnitude heavier than a clock read, and ShouldStop itself
+  // throttles clock reads); the sticky latch inside the context makes late
+  // work items skip without re-reading the clock. ShouldStop is
+  // thread-safe (relaxed atomics), so workers poll the shared context
+  // directly.
   ParallelFor(work.size(), options.num_threads, [&](size_t idx) {
-    if (expired.load(std::memory_order_relaxed)) return;
-    if (options.ExpiredOrCancelled()) {
-      expired.store(true, std::memory_order_relaxed);
-      return;
-    }
-    results[idx] =
-        executor.Execute(*work[idx].mapping, work[idx].samples, exec_options);
+    if (ctx.ShouldStop()) return;
+    results[idx] = executor.Execute(*work[idx].mapping, work[idx].samples,
+                                    exec_options, &ctx);
   });
 
   PairwiseTupleMap ptpm;
   PairwiseStats local;
-  local.deadline_expired = expired.load(std::memory_order_relaxed);
+  local.deadline_expired = ctx.stop_requested();
   for (size_t idx = 0; idx < work.size(); ++idx) {
     ++local.num_mappings;
     MW_ASSIGN_OR_RETURN(std::vector<TuplePath> supports,

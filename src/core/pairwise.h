@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/location_map.h"
 #include "core/mapping_path.h"
 #include "core/options.h"
@@ -35,10 +36,12 @@ using PairwiseMappingMap = std::map<ColumnPair, std::vector<MappingPath>>;
 using PairwiseTupleMap = std::map<ColumnPair, std::vector<TuplePath>>;
 
 /// \brief Algorithms 2-4: enumerates every pairwise mapping path satisfying
-/// the PMNJ constraint, deduplicated per column pair by canonical form.
+/// the PMNJ constraint (options.pmnj), deduplicated per column pair by
+/// canonical form. Polls `ctx` between BFS start attributes and per depth
+/// level; a stop leaves later pairs un-enumerated.
 PairwiseMappingMap GeneratePairwiseMappingPaths(
     const graph::SchemaGraph& schema_graph, const LocationMap& locations,
-    int pmnj);
+    const SearchOptions& options, ExecutionContext& ctx);
 
 /// \brief Statistics from pairwise tuple-path creation.
 struct PairwiseStats {
@@ -57,7 +60,7 @@ struct PairwiseStats {
 Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
     const query::PathExecutor& executor, const PairwiseMappingMap& pmpm,
     const LocationMap& locations, const SearchOptions& options,
-    PairwiseStats* stats);
+    ExecutionContext& ctx, PairwiseStats* stats);
 
 }  // namespace mweaver::core
 

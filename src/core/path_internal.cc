@@ -9,7 +9,7 @@
 namespace mweaver::core::internal {
 
 std::vector<std::vector<AdjEdge>> BuildAdjacency(
-    const std::vector<PathVertex>& vertices) {
+    std::span<const PathVertex> vertices) {
   std::vector<std::vector<AdjEdge>> adj(vertices.size());
   for (size_t i = 0; i < vertices.size(); ++i) {
     const PathVertex& v = vertices[i];
@@ -47,7 +47,7 @@ std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
   return out;
 }
 
-std::string CanonicalEncoding(const std::vector<PathVertex>& vertices,
+std::string CanonicalEncoding(std::span<const PathVertex> vertices,
                               const std::vector<std::string>& labels) {
   if (vertices.empty()) return "";
   const auto adj = BuildAdjacency(vertices);

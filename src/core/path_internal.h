@@ -4,6 +4,7 @@
 #ifndef MWEAVER_CORE_PATH_INTERNAL_H_
 #define MWEAVER_CORE_PATH_INTERNAL_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,11 @@ struct AdjEdge {
   bool neighbor_is_from_side;
 };
 
-/// \brief Undirected adjacency lists of a rooted path-vertex array.
+/// \brief Undirected adjacency lists of a rooted path-vertex array. Spans
+/// so both std::vector (MappingPath) and std::pmr::vector (arena-backed
+/// TuplePath) storage work.
 std::vector<std::vector<AdjEdge>> BuildAdjacency(
-    const std::vector<PathVertex>& vertices);
+    std::span<const PathVertex> vertices);
 
 /// \brief AHU-style encoding of the subtree of `v` entered from `parent`
 /// (pass kNoVertex for the whole tree), given one label per vertex.
@@ -31,7 +34,7 @@ std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
 
 /// \brief Minimum of EncodeFrom over all rootings: canonical form of the
 /// unrooted labeled tree.
-std::string CanonicalEncoding(const std::vector<PathVertex>& vertices,
+std::string CanonicalEncoding(std::span<const PathVertex> vertices,
                               const std::vector<std::string>& labels);
 
 /// \brief Vertices on the unique simple path from `from` to `to` inclusive.

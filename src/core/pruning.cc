@@ -27,10 +27,16 @@ size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
 Status PruneByStructure(const query::PathExecutor& executor,
                         const query::SampleMap& row_samples,
                         std::vector<CandidateMapping>* candidates,
-                        size_t* num_pruned) {
+                        size_t* num_pruned, ExecutionContext* ctx) {
   std::vector<CandidateMapping> kept;
   kept.reserve(candidates->size());
   for (CandidateMapping& c : *candidates) {
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      // Unexamined candidates stay: a stop may only leave extra
+      // candidates, never remove valid ones.
+      kept.push_back(std::move(c));
+      continue;
+    }
     MW_ASSIGN_OR_RETURN(bool supported,
                         executor.HasSupport(c.mapping, row_samples));
     if (supported) kept.push_back(std::move(c));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/execution_context.h"
 #include "core/ranking.h"
 #include "query/executor.h"
 #include "text/fulltext_engine.h"
@@ -31,11 +32,13 @@ size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
 /// one spreadsheet row (column -> sample); requires >= 2 entries to convey
 /// join information, but safely degrades to attribute-style filtering for
 /// fewer. Removes candidates with no supporting tuple path. Returns the
-/// number removed via `*num_pruned`.
+/// number removed via `*num_pruned`. When `ctx` is given, the deadline is
+/// polled per candidate; candidates not examined before a stop are kept
+/// (pruning must never drop a mapping it did not disprove).
 Status PruneByStructure(const query::PathExecutor& executor,
                         const query::SampleMap& row_samples,
                         std::vector<CandidateMapping>* candidates,
-                        size_t* num_pruned);
+                        size_t* num_pruned, ExecutionContext* ctx = nullptr);
 
 }  // namespace mweaver::core
 

@@ -16,13 +16,14 @@ double ScoreTuplePath(const TuplePath& path, const SearchOptions& options) {
 
 std::vector<CandidateMapping> RankMappings(
     const std::vector<TuplePath>& complete_tuple_paths,
-    const SearchOptions& options) {
+    const SearchOptions& options, ExecutionContext* ctx) {
   struct Group {
     CandidateMapping candidate;
     double score_total = 0.0;
   };
   std::map<std::string, Group> groups;
   for (const TuplePath& tp : complete_tuple_paths) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     MappingPath mapping = tp.ExtractMappingPath();
     std::string key = mapping.Canonical();
     auto [it, inserted] = groups.try_emplace(std::move(key));

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/execution_context.h"
 #include "core/mapping_path.h"
 #include "core/options.h"
 #include "core/tuple_path.h"
@@ -23,6 +24,9 @@ struct CandidateMapping {
   /// Number of supporting complete tuple paths.
   size_t support = 0;
   /// Up to SearchOptions::retained_tuple_paths_per_mapping examples.
+  /// Always heap-backed: ranking copies arena-backed inputs, and std::pmr
+  /// copy semantics re-allocate the copy on the default resource, so these
+  /// survive the arena's reset.
   std::vector<TuplePath> example_tuple_paths;
 };
 
@@ -32,9 +36,11 @@ double ScoreTuplePath(const TuplePath& path, const SearchOptions& options);
 /// \brief Groups complete tuple paths by their mapping path (canonical
 /// form), scores each group, and returns candidates sorted by descending
 /// score (ties broken by fewer joins, then canonical form for determinism).
+/// When `ctx` is given, the deadline/cancel token is polled per input path;
+/// a stop ranks only the paths grouped so far.
 std::vector<CandidateMapping> RankMappings(
     const std::vector<TuplePath>& complete_tuple_paths,
-    const SearchOptions& options);
+    const SearchOptions& options, ExecutionContext* ctx = nullptr);
 
 }  // namespace mweaver::core
 

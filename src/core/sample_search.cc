@@ -5,10 +5,36 @@
 
 namespace mweaver::core {
 
+namespace {
+
+// Copies the per-stage trace into the stats, filling both the structured
+// trace and the legacy flat *_ms fields.
+void SnapshotTrace(const ExecutionContext& ctx, SearchStats* stats) {
+  stats->trace = ctx.trace();
+  stats->locate_ms = stats->trace.stage(SearchStage::kLocate).wall_ms;
+  stats->pairwise_gen_ms =
+      stats->trace.stage(SearchStage::kPairwiseGen).wall_ms;
+  stats->pairwise_exec_ms =
+      stats->trace.stage(SearchStage::kPairwiseExec).wall_ms;
+  stats->weave_ms = stats->trace.stage(SearchStage::kWeave).wall_ms;
+  stats->rank_ms = stats->trace.stage(SearchStage::kRank).wall_ms;
+}
+
+}  // namespace
+
 Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
                                   const graph::SchemaGraph& schema_graph,
                                   const std::vector<std::string>& sample_tuple,
                                   const SearchOptions& options) {
+  ExecutionContext ctx;
+  return SampleSearch(engine, schema_graph, sample_tuple, options, ctx);
+}
+
+Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
+                                  const graph::SchemaGraph& schema_graph,
+                                  const std::vector<std::string>& sample_tuple,
+                                  const SearchOptions& options,
+                                  ExecutionContext& ctx) {
   if (sample_tuple.empty()) {
     return Status::InvalidArgument("sample tuple must have at least 1 column");
   }
@@ -23,87 +49,103 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
 
   SearchResult result;
   Stopwatch total;
-  Stopwatch phase;
 
   // Step 1: find sample occurrences (Algorithm 1).
-  const LocationMap locations = LocationMap::Build(engine, sample_tuple);
+  LocationMap locations;
+  {
+    ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kLocate);
+    locations = LocationMap::Build(engine, sample_tuple, &ctx);
+    span.AddItems(locations.TotalOccurrences());
+  }
   result.stats.num_occurrences = locations.TotalOccurrences();
-  result.stats.locate_ms = phase.ElapsedMillis();
 
   const int m = static_cast<int>(sample_tuple.size());
   if (m == 1) {
     // Degenerate case: every attribute containing the sample yields a
-    // single-vertex mapping, supported by its matching rows.
+    // single-vertex mapping, supported by its matching rows. Paths live on
+    // the arena like woven ones; the deadline is polled per row so even
+    // m == 1 searches observe a pre-expired deadline.
     std::vector<TuplePath> paths;
-    for (const text::Occurrence& occ : locations.column(0).occurrences) {
-      for (storage::RowId row : occ.rows) {
-        TuplePath tp = TuplePath::SingleVertex(occ.attr.relation, row);
-        tp.AddProjection(0, 0, occ.attr.attribute,
-                         engine.RowMatchScore(occ.attr, row,
-                                              sample_tuple[0]));
-        paths.push_back(std::move(tp));
+    {
+      ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kWeave);
+      for (const text::Occurrence& occ : locations.column(0).occurrences) {
+        if (ctx.ShouldStop()) break;
+        for (storage::RowId row : occ.rows) {
+          if (ctx.ShouldStop()) break;
+          TuplePath tp = TuplePath::SingleVertex(occ.attr.relation, row,
+                                                 ctx.resource());
+          tp.AddProjection(0, 0, occ.attr.attribute,
+                           engine.RowMatchScore(occ.attr, row,
+                                                sample_tuple[0]));
+          paths.push_back(std::move(tp));
+        }
       }
+      span.AddItems(paths.size());
     }
     result.stats.num_complete_tuple_paths = paths.size();
-    phase.Restart();
-    result.candidates = RankMappings(paths, options);
-    result.stats.rank_ms = phase.ElapsedMillis();
+    {
+      ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kRank);
+      result.candidates = RankMappings(paths, options, &ctx);
+      span.AddItems(result.candidates.size());
+    }
     result.stats.num_valid_mappings = result.candidates.size();
-    result.stats.total_ms = total.ElapsedMillis();
-    return result;
-  }
-
-  // Deadline support: every stage boundary (and the stages' own loops)
-  // polls the deadline, so an expired search returns promptly with
-  // whatever was built so far instead of stalling its worker thread.
-  const auto expired = [&]() {
-    if (!options.ExpiredOrCancelled()) return false;
-    result.stats.deadline_expired = true;
-    result.stats.truncated = true;
-    return true;
-  };
-  if (expired()) {
+    result.stats.deadline_expired = ctx.stop_requested();
+    result.stats.truncated = result.stats.deadline_expired;
+    SnapshotTrace(ctx, &result.stats);
     result.stats.total_ms = total.ElapsedMillis();
     return result;
   }
 
   // Step 2: pairwise mapping paths (Algorithms 2-4).
-  phase.Restart();
-  const PairwiseMappingMap pmpm =
-      GeneratePairwiseMappingPaths(schema_graph, locations, options.pmnj);
-  result.stats.pairwise_gen_ms = phase.ElapsedMillis();
+  PairwiseMappingMap pmpm;
+  {
+    ExecutionContext::StageSpan span =
+        ctx.TraceStage(SearchStage::kPairwiseGen);
+    pmpm = GeneratePairwiseMappingPaths(schema_graph, locations, options, ctx);
+    for (const auto& [key, mappings] : pmpm) span.AddItems(mappings.size());
+  }
 
   // Step 3: pairwise tuple paths via approximate search queries.
-  phase.Restart();
   query::PathExecutor executor(&engine);
-  MW_ASSIGN_OR_RETURN(
-      const PairwiseTupleMap ptpm,
-      CreatePairwiseTuplePaths(executor, pmpm, locations, options,
-                               &result.stats.pairwise));
-  result.stats.pairwise_exec_ms = phase.ElapsedMillis();
+  PairwiseTupleMap ptpm;
+  {
+    ExecutionContext::StageSpan span =
+        ctx.TraceStage(SearchStage::kPairwiseExec);
+    MW_ASSIGN_OR_RETURN(ptpm, CreatePairwiseTuplePaths(
+                                  executor, pmpm, locations, options, ctx,
+                                  &result.stats.pairwise));
+    span.AddItems(result.stats.pairwise.num_tuple_paths);
+  }
 
   // Step 4: weave complete tuple paths (Algorithm 5). Runs even when the
   // deadline has expired mid-pairwise: the surviving pairwise paths are
   // themselves deadline-checked, and weaving what exists yields the
-  // partial candidates the caller is owed.
-  phase.Restart();
-  const std::vector<TuplePath> complete =
-      GenerateCompleteTuplePaths(ptpm, m, options, &result.stats.weave);
+  // partial candidates the caller is owed. The woven paths live on
+  // ctx.arena() until the next ResetForSearch().
+  std::vector<TuplePath> complete;
+  {
+    ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kWeave);
+    complete = GenerateCompleteTuplePaths(ptpm, m, options, ctx,
+                                          &result.stats.weave);
+    span.AddItems(result.stats.weave.total_tuple_paths);
+  }
   result.stats.num_complete_tuple_paths = complete.size();
-  result.stats.weave_ms = phase.ElapsedMillis();
 
-  // Step 5: extract and rank mappings.
-  phase.Restart();
-  result.candidates = RankMappings(complete, options);
-  result.stats.rank_ms = phase.ElapsedMillis();
+  // Step 5: extract and rank mappings. Retained example tuple paths are
+  // copied off the arena here (std::pmr copy semantics).
+  {
+    ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kRank);
+    result.candidates = RankMappings(complete, options, &ctx);
+    span.AddItems(result.candidates.size());
+  }
   result.stats.num_valid_mappings = result.candidates.size();
-  result.stats.truncated = result.stats.truncated ||
-                           result.stats.pairwise.truncated ||
-                           result.stats.pairwise.deadline_expired ||
-                           result.stats.weave.truncated;
-  result.stats.deadline_expired = result.stats.deadline_expired ||
-                                  result.stats.pairwise.deadline_expired ||
-                                  result.stats.weave.deadline_expired;
+  result.stats.truncated = result.stats.pairwise.truncated ||
+                           result.stats.weave.truncated ||
+                           ctx.stop_requested();
+  result.stats.deadline_expired = result.stats.pairwise.deadline_expired ||
+                                  result.stats.weave.deadline_expired ||
+                                  ctx.stop_requested();
+  SnapshotTrace(ctx, &result.stats);
   result.stats.total_ms = total.ElapsedMillis();
   return result;
 }

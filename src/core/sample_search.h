@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/location_map.h"
 #include "core/options.h"
 #include "core/pairwise.h"
@@ -31,12 +32,19 @@ struct SearchStats {
   size_t num_complete_tuple_paths = 0;
   size_t num_valid_mappings = 0;     // "# Valid MP" of Table 4
 
-  /// True when any stage stopped early (per-mapping/total tuple-path caps
-  /// or the deadline), so the candidate list may be incomplete.
+  /// True when any stage stopped early (per-mapping/total tuple-path caps,
+  /// the memory budget, or the deadline), so the candidate list may be
+  /// incomplete.
   bool truncated = false;
   /// True when the early stop was the deadline / cancellation token.
   bool deadline_expired = false;
 
+  /// Per-stage trace (wall time, item counts, early-stop flags) plus
+  /// stop-check/clock/arena counters, snapshotted from the
+  /// ExecutionContext at search end.
+  ExecutionTrace trace;
+
+  /// Legacy per-stage timings; mirrors of trace.stage(...).wall_ms.
   double locate_ms = 0.0;
   double pairwise_gen_ms = 0.0;
   double pairwise_exec_ms = 0.0;
@@ -54,6 +62,19 @@ struct SearchResult {
 /// \brief Runs TPW for the (fully populated) first sample row. Every entry
 /// of `sample_tuple` must be non-empty. m == 1 degenerates to single-vertex
 /// mappings over the sample's occurrences.
+///
+/// `ctx` supplies the request's deadline/cancellation, the tuple-path
+/// arena, and collects the per-stage trace. The caller is responsible for
+/// ctx.ResetForSearch() between searches (Session does this); candidates'
+/// example tuple paths are heap-backed copies and outlive the arena.
+Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
+                                  const graph::SchemaGraph& schema_graph,
+                                  const std::vector<std::string>& sample_tuple,
+                                  const SearchOptions& options,
+                                  ExecutionContext& ctx);
+
+/// \brief Convenience overload running on a fresh internal context (no
+/// deadline, no cancellation, default arena).
 Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
                                   const graph::SchemaGraph& schema_graph,
                                   const std::vector<std::string>& sample_tuple,

@@ -116,11 +116,12 @@ Result<std::vector<RowSuggestion>> Session::SuggestRows(size_t limit) const {
 
 Status Session::RunSearch() {
   Stopwatch watch;
+  context_.ResetForSearch();
   MW_ASSIGN_OR_RETURN(
       SearchResult result,
-      search_fn_ ? search_fn_(grid_[0], options_)
-                 : SampleSearch(*engine_, *schema_graph_, grid_[0],
-                                options_));
+      search_fn_ ? search_fn_(grid_[0], options_, context_)
+                 : SampleSearch(*engine_, *schema_graph_, grid_[0], options_,
+                                context_));
   searched_ = true;
   candidates_ = std::move(result.candidates);
   search_stats_ = result.stats;
@@ -131,6 +132,7 @@ Status Session::RunSearch() {
 
 Status Session::RunPruning(size_t row, size_t col, const std::string& value) {
   Stopwatch watch;
+  context_.ResetForSearch();
   last_input_rejected_ = false;
   // Snapshot so an irrelevant sample can be rolled back.
   std::vector<CandidateMapping> snapshot;
@@ -149,8 +151,8 @@ Status Session::RunPruning(size_t row, size_t col, const std::string& value) {
   }
   if (!candidates_.empty() && row_samples.size() >= 2) {
     query::PathExecutor executor(engine_);
-    MW_RETURN_NOT_OK(
-        PruneByStructure(executor, row_samples, &candidates_, nullptr));
+    MW_RETURN_NOT_OK(PruneByStructure(executor, row_samples, &candidates_,
+                                      nullptr, &context_));
   }
 
   if (reject_irrelevant_ && candidates_.empty() && !snapshot.empty()) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/execution_context.h"
 #include "core/options.h"
 #include "core/ranking.h"
 #include "core/sample_search.h"
@@ -48,15 +49,25 @@ class Session {
   /// \brief Replaces the first-row search implementation. The service layer
   /// installs a caching wrapper here; by default the session calls
   /// SampleSearch() directly. The function receives the fully populated
-  /// first row and the session's current options.
+  /// first row, the session's (immutable) options, and the session's
+  /// execution context, already reset for this search.
   using SearchFn = std::function<Result<SearchResult>(
-      const std::vector<std::string>& first_row, const SearchOptions&)>;
+      const std::vector<std::string>& first_row, const SearchOptions&,
+      ExecutionContext&)>;
   void set_search_fn(SearchFn fn) { search_fn_ = std::move(fn); }
 
-  /// \brief The session's search options; mutable so a caller can set a
-  /// per-request deadline (service workers do) before Input().
+  /// \brief The session's search options. Immutable after construction:
+  /// per-request state (deadline, cancellation, budget) lives on
+  /// context(), and the service's result cache keys on
+  /// options().Fingerprint() under that assumption.
   const SearchOptions& options() const { return options_; }
-  SearchOptions& mutable_options() { return options_; }
+
+  /// \brief The session's execution context. Callers arm per-request state
+  /// (deadline, cancel token, memory budget) here before Input(); the
+  /// session resets its transient state (stop latch, trace, arena) at the
+  /// start of every search or pruning pass, re-using the arena's blocks.
+  ExecutionContext& context() { return context_; }
+  const ExecutionContext& context() const { return context_; }
 
   /// \brief Input(i, j, c): sets the spreadsheet cell at `row`, `col` and
   /// reacts per the interaction model. Empty `value` clears a cell (ignored
@@ -134,6 +145,7 @@ class Session {
   const graph::SchemaGraph* schema_graph_;
   std::vector<std::string> column_names_;
   SearchOptions options_;
+  ExecutionContext context_;
   SearchFn search_fn_;
 
   std::vector<std::vector<std::string>> grid_;

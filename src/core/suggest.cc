@@ -10,7 +10,7 @@ namespace mweaver::core {
 Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
     const query::PathExecutor& executor,
     const std::vector<CandidateMapping>& candidates,
-    const SuggestOptions& options) {
+    const SuggestOptions& options, ExecutionContext* ctx) {
   std::vector<RowSuggestion> suggestions;
   if (candidates.size() < 2) return suggestions;
 
@@ -22,6 +22,7 @@ Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
   // samples anyway.
   std::map<std::vector<std::string>, std::set<size_t>> support;
   for (size_t c = 0; c < candidates.size(); ++c) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     MW_ASSIGN_OR_RETURN(
         std::vector<std::vector<std::string>> rows,
         executor.EvaluateTarget(candidates[c].mapping,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/ranking.h"
 #include "query/executor.h"
 
@@ -43,11 +44,12 @@ struct SuggestOptions {
 /// (rows supported by about half the candidates split the hypothesis space
 /// fastest and rank highest; unanimous rows are never suggested — they
 /// carry no signal). Empty when 0 or 1 candidates remain or nothing
-/// discriminates.
+/// discriminates. When `ctx` is given, the deadline is polled per
+/// candidate; rows materialized so far still yield suggestions.
 Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
     const query::PathExecutor& executor,
     const std::vector<CandidateMapping>& candidates,
-    const SuggestOptions& options = {});
+    const SuggestOptions& options = {}, ExecutionContext* ctx = nullptr);
 
 }  // namespace mweaver::core
 

@@ -14,8 +14,9 @@ using internal::CanonicalEncoding;
 using internal::SimplePath;
 
 TuplePath TuplePath::SingleVertex(storage::RelationId relation,
-                                  storage::RowId row) {
-  TuplePath path;
+                                  storage::RowId row,
+                                  std::pmr::memory_resource* mr) {
+  TuplePath path(mr != nullptr ? mr : std::pmr::get_default_resource());
   path.vertices_.push_back(PathVertex{relation, kNoVertex, -1, false});
   path.rows_.push_back(row);
   return path;
@@ -189,7 +190,8 @@ VertexId FindMergeTarget(const TuplePath& path,
 }  // namespace
 
 std::optional<TuplePath> TuplePath::Weave(const TuplePath& base,
-                                          const TuplePath& ptp) {
+                                          const TuplePath& ptp,
+                                          std::pmr::memory_resource* mr) {
   MW_CHECK_EQ(ptp.size(), 2u);
   // Identify the common key k and the new key j.
   const std::vector<int> base_cols = base.TargetColumns();
@@ -223,7 +225,7 @@ std::optional<TuplePath> TuplePath::Weave(const TuplePath& base,
     return std::nullopt;
   }
 
-  TuplePath result = base;
+  TuplePath result(base, mr != nullptr ? mr : std::pmr::get_default_resource());
   const auto base_adj = BuildAdjacency(result.vertices_);
   const auto ptp_adj = BuildAdjacency(ptp.vertices_);
 

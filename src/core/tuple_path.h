@@ -10,6 +10,7 @@
 #ifndef MWEAVER_CORE_TUPLE_PATH_H_
 #define MWEAVER_CORE_TUPLE_PATH_H_
 
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,13 +25,35 @@ namespace mweaver::core {
 /// Shares the rooted-tree representation of MappingPath, with a parallel
 /// array of tuple (row) ids, plus per-projection match scores against the
 /// user's samples (filled in by the executor, consumed by ranking).
+///
+/// Storage is allocator-aware (std::pmr): the weave stage constructs its
+/// millions of short-lived paths on the ExecutionContext's bump-pointer
+/// arena, while the default constructor uses the heap. Plain copies always
+/// land on the heap (std::pmr copy semantics), which is exactly the
+/// "detach" the ranking stage needs when retaining example paths beyond
+/// the arena's lifetime; moves keep the source's resource.
 class TuplePath {
  public:
   TuplePath() = default;
+  /// \brief An empty path whose node storage draws from `mr`.
+  explicit TuplePath(std::pmr::memory_resource* mr)
+      : vertices_(mr), rows_(mr), projections_(mr), match_scores_(mr) {}
+  /// \brief Copy of `other` with node storage on `mr` (arena cloning).
+  TuplePath(const TuplePath& other, std::pmr::memory_resource* mr)
+      : vertices_(other.vertices_, mr),
+        rows_(other.rows_, mr),
+        projections_(other.projections_, mr),
+        match_scores_(other.match_scores_, mr) {}
+  TuplePath(const TuplePath&) = default;
+  TuplePath(TuplePath&&) = default;
+  TuplePath& operator=(const TuplePath&) = default;
+  TuplePath& operator=(TuplePath&&) = default;
 
-  /// \brief Single-vertex path over (relation, row).
+  /// \brief Single-vertex path over (relation, row), allocated from `mr`
+  /// (nullptr = heap).
   static TuplePath SingleVertex(storage::RelationId relation,
-                                storage::RowId row);
+                                storage::RowId row,
+                                std::pmr::memory_resource* mr = nullptr);
 
   VertexId AddVertex(storage::RelationId relation, storage::RowId row,
                      VertexId parent, storage::ForeignKeyId fk,
@@ -39,7 +62,7 @@ class TuplePath {
   void AddProjection(int target_column, VertexId vertex,
                      storage::AttributeId attribute, double match_score);
 
-  const std::vector<PathVertex>& vertices() const { return vertices_; }
+  const std::pmr::vector<PathVertex>& vertices() const { return vertices_; }
   const PathVertex& vertex(VertexId v) const {
     return vertices_[static_cast<size_t>(v)];
   }
@@ -50,7 +73,9 @@ class TuplePath {
   size_t num_joins() const { return vertices_.empty() ? 0
                                                       : vertices_.size() - 1; }
 
-  const std::vector<Projection>& projections() const { return projections_; }
+  const std::pmr::vector<Projection>& projections() const {
+    return projections_;
+  }
   const Projection* FindProjection(int target_column) const;
   std::vector<int> TargetColumns() const;
   size_t size() const { return projections_.size(); }
@@ -90,17 +115,20 @@ class TuplePath {
   ///
   /// Requires: ptp.size() == 2 and the projection-key sets intersect in
   /// exactly one column. Returns nullopt when the fuse vertices disagree on
-  /// (relation, tuple). On success the result has size base.size() + 1.
+  /// (relation, tuple). On success the result has size base.size() + 1 and
+  /// its node storage draws from `mr` (nullptr = heap).
   static std::optional<TuplePath> Weave(const TuplePath& base,
-                                        const TuplePath& ptp);
+                                        const TuplePath& ptp,
+                                        std::pmr::memory_resource* mr =
+                                            nullptr);
 
   std::string ToString(const storage::Database& db) const;
 
  private:
-  std::vector<PathVertex> vertices_;
-  std::vector<storage::RowId> rows_;
-  std::vector<Projection> projections_;   // sorted by target column
-  std::vector<double> match_scores_;      // parallel to projections_
+  std::pmr::vector<PathVertex> vertices_;
+  std::pmr::vector<storage::RowId> rows_;
+  std::pmr::vector<Projection> projections_;  // sorted by target column
+  std::pmr::vector<double> match_scores_;     // parallel to projections_
 };
 
 }  // namespace mweaver::core

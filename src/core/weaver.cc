@@ -11,19 +11,22 @@ namespace mweaver::core {
 std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
                                                   int num_columns,
                                                   const SearchOptions& options,
+                                                  ExecutionContext& ctx,
                                                   WeaveStats* stats) {
   MW_CHECK_GE(num_columns, 2);
   const size_t m = static_cast<size_t>(num_columns);
   WeaveStats local;
   local.tuple_paths_per_level.assign(m + 1, 0);
+  std::pmr::memory_resource* const arena = ctx.resource();
 
-  // Level 2: all pairwise tuple paths, deduplicated.
+  // Level 2: all pairwise tuple paths, deduplicated and cloned onto the
+  // arena so every level (and the returned paths) shares one allocator.
   std::vector<TuplePath> level;
   {
     std::set<std::string> seen;
     for (const auto& [key, paths] : ptpm) {
       for (const TuplePath& tp : paths) {
-        if (seen.insert(tp.Canonical()).second) level.push_back(tp);
+        if (seen.insert(tp.Canonical()).second) level.emplace_back(tp, arena);
       }
     }
   }
@@ -31,18 +34,19 @@ std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
   local.total_tuple_paths = level.size();
 
   auto over_budget = [&]() {
-    return options.max_total_tuple_paths > 0 &&
-           local.total_tuple_paths > options.max_total_tuple_paths;
+    return (options.max_total_tuple_paths > 0 &&
+            local.total_tuple_paths > options.max_total_tuple_paths) ||
+           ctx.OverMemoryBudget();
   };
 
   for (size_t n = 2; n < m && !level.empty(); ++n) {
     std::vector<TuplePath> next;
     std::set<std::string> seen;
     for (const TuplePath& base : level) {
-      // One deadline poll per base path: bases fan out into many weave
+      // One stop check per base path: bases fan out into many weave
       // attempts, so this bounds the overrun without a clock read per
-      // attempt.
-      if (options.ExpiredOrCancelled()) {
+      // attempt (ShouldStop throttles clock reads further).
+      if (ctx.ShouldStop()) {
         local.truncated = true;
         local.deadline_expired = true;
         break;
@@ -60,7 +64,7 @@ std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
         if (in_base != 1) continue;
         for (const TuplePath& ptp : pairwise_paths) {
           ++local.weave_attempts;
-          std::optional<TuplePath> woven = TuplePath::Weave(base, ptp);
+          std::optional<TuplePath> woven = TuplePath::Weave(base, ptp, arena);
           if (!woven.has_value()) continue;
           ++local.weave_successes;
           if (seen.insert(woven->Canonical()).second) {

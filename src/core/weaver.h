@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/execution_context.h"
 #include "core/options.h"
 #include "core/pairwise.h"
 #include "core/tuple_path.h"
@@ -38,9 +39,19 @@ struct WeaveStats {
 ///
 /// With num_columns == 2 the complete paths are the (deduplicated) pairwise
 /// paths themselves.
+///
+/// Node storage for every intermediate and returned path lives on
+/// `ctx.arena()` — the weave is the allocation hot path, so the bump
+/// allocator replaces millions of small heap allocations with pointer
+/// increments. Returned paths are only valid until the context's next
+/// ResetForSearch(); ranking detaches the retained examples by plain copy.
+/// The deadline/cancel token is polled once per base path, and
+/// ctx.OverMemoryBudget() truncates the weave alongside
+/// options.max_total_tuple_paths.
 std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
                                                   int num_columns,
                                                   const SearchOptions& options,
+                                                  ExecutionContext& ctx,
                                                   WeaveStats* stats);
 
 }  // namespace mweaver::core

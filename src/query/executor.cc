@@ -174,7 +174,7 @@ PathExecutor::PathExecutor(const text::FullTextEngine* engine)
 
 Result<std::vector<core::TuplePath>> PathExecutor::Execute(
     const core::MappingPath& mapping, const SampleMap& samples,
-    const ExecOptions& options) const {
+    const ExecOptions& options, core::ExecutionContext* ctx) const {
   const storage::Database& db = engine_->db();
   const size_t n = mapping.num_vertices();
   MW_ASSIGN_OR_RETURN(Plan plan, BuildPlan(*engine_, mapping, samples));
@@ -213,6 +213,12 @@ Result<std::vector<core::TuplePath>> PathExecutor::Execute(
   bool done = false;
   std::function<void(size_t)> enumerate = [&](size_t step_index) {
     if (done) return;
+    // One poll per enumeration node bounds the overrun to a single
+    // assignment's fan-out; ShouldStop throttles the actual clock reads.
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      done = true;
+      return;
+    }
     if (step_index == steps.size()) {
       emit();
       if (options.stop_at_first ||
@@ -320,20 +326,22 @@ Result<std::string> PathExecutor::Explain(const core::MappingPath& mapping,
 }
 
 Result<bool> PathExecutor::HasSupport(const core::MappingPath& mapping,
-                                      const SampleMap& samples) const {
+                                      const SampleMap& samples,
+                                      core::ExecutionContext* ctx) const {
   ExecOptions options;
   options.stop_at_first = true;
   MW_ASSIGN_OR_RETURN(std::vector<core::TuplePath> paths,
-                      Execute(mapping, samples, options));
+                      Execute(mapping, samples, options, ctx));
   return !paths.empty();
 }
 
 Result<std::vector<std::vector<std::string>>> PathExecutor::EvaluateTarget(
-    const core::MappingPath& mapping, size_t max_rows) const {
+    const core::MappingPath& mapping, size_t max_rows,
+    core::ExecutionContext* ctx) const {
   ExecOptions options;
   options.max_results = max_rows;
   MW_ASSIGN_OR_RETURN(std::vector<core::TuplePath> paths,
-                      Execute(mapping, SampleMap{}, options));
+                      Execute(mapping, SampleMap{}, options, ctx));
   std::set<std::vector<std::string>> distinct;
   for (const core::TuplePath& tp : paths) {
     distinct.insert(tp.ProjectTargetValues(engine_->db()));

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/execution_context.h"
 #include "core/mapping_path.h"
 #include "core/tuple_path.h"
 #include "text/fulltext_engine.h"
@@ -54,14 +55,19 @@ class PathExecutor {
 
   /// \brief All tuple paths instantiating `mapping` whose projected cells
   /// noisily contain the given samples. Fails only on malformed mappings
-  /// (e.g. a projection for a column with no vertex).
+  /// (e.g. a projection for a column with no vertex). When `ctx` is given,
+  /// the enumeration polls its deadline/cancel token and returns the
+  /// results found so far on a stop.
   Result<std::vector<core::TuplePath>> Execute(
       const core::MappingPath& mapping, const SampleMap& samples,
-      const ExecOptions& options = {}) const;
+      const ExecOptions& options = {},
+      core::ExecutionContext* ctx = nullptr) const;
 
-  /// \brief True iff at least one supporting tuple path exists.
+  /// \brief True iff at least one supporting tuple path exists. A stopped
+  /// `ctx` reports false for support not yet found.
   Result<bool> HasSupport(const core::MappingPath& mapping,
-                          const SampleMap& samples) const;
+                          const SampleMap& samples,
+                          core::ExecutionContext* ctx = nullptr) const;
 
   /// \brief Human-readable EXPLAIN of the evaluation plan: start-vertex
   /// choice (most selective constraint), index-join order, candidate-set
@@ -73,7 +79,8 @@ class PathExecutor {
   /// by target column), up to `max_rows` tuple paths enumerated (0 =
   /// unlimited).
   Result<std::vector<std::vector<std::string>>> EvaluateTarget(
-      const core::MappingPath& mapping, size_t max_rows = 0) const;
+      const core::MappingPath& mapping, size_t max_rows = 0,
+      core::ExecutionContext* ctx = nullptr) const;
 
  private:
   const text::FullTextEngine* engine_;

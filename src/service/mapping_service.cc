@@ -55,7 +55,7 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn() {
   // mutex on a worker thread. The cache has its own lock, so concurrent
   // sessions share results safely.
   return [this](const std::vector<std::string>& first_row,
-                const core::SearchOptions& opts)
+                const core::SearchOptions& opts, core::ExecutionContext& ctx)
              -> Result<core::SearchResult> {
     const std::string key = ResultCache::MakeKey(first_row, opts);
     if (std::optional<core::SearchResult> hit = cache_.Lookup(key)) {
@@ -66,7 +66,8 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn() {
     metrics_.RecordCacheLookup(/*hit=*/false);
     MW_ASSIGN_OR_RETURN(
         core::SearchResult result,
-        core::SampleSearch(*engine_, *schema_graph_, first_row, opts));
+        core::SampleSearch(*engine_, *schema_graph_, first_row, opts, ctx));
+    metrics_.RecordSearchTrace(result.stats.trace);
     cache_.Insert(key, result);  // rejects truncated results itself
     return result;
   };
@@ -170,11 +171,12 @@ RequestResult MappingService::Process(const QueuedRequest& queued) {
       queued.request.session_id, [&](core::Session& session) {
         const bool was_awaiting =
             session.state() == core::SessionState::kAwaitingFirstRow;
-        session.mutable_options().deadline = queued.deadline;
+        // Arm the per-request deadline on the session's execution context
+        // (options stay immutable — the cache keys on their fingerprint).
+        session.context().set_deadline(queued.deadline);
         Status input = session.Input(queued.request.row, queued.request.col,
                                      queued.request.value);
-        session.mutable_options().deadline =
-            core::SearchClock::time_point::max();
+        session.context().clear_deadline();
         result.state = session.state();
         result.num_candidates = session.candidates().size();
         // `truncated` describes THIS request: only the input that fired

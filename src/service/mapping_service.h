@@ -14,9 +14,9 @@
 //
 // Deadlines: each request carries a wall-clock budget measured from
 // admission (queue wait counts — a request that waited out its budget is
-// answered immediately). The worker threads the deadline into the
-// session's SearchOptions, and the pairwise/weave loops in core stop
-// early once it passes: the client gets a prompt partial result with
+// answered immediately). The worker arms the deadline on the session's
+// ExecutionContext, and every stage of the core pipeline polls its
+// ShouldStop(): the client gets a prompt partial result with
 // SearchStats::truncated set rather than a stalled worker.
 #ifndef MWEAVER_SERVICE_MAPPING_SERVICE_H_
 #define MWEAVER_SERVICE_MAPPING_SERVICE_H_

@@ -24,23 +24,38 @@ double MetricsSnapshot::CacheHitRate() const {
                                 static_cast<double>(total);
 }
 
-double MetricsSnapshot::ApproxLatencyPercentileMs(double p) const {
+namespace {
+
+double PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p) {
   uint64_t total = 0;
-  for (uint64_t count : latency_buckets) total += count;
+  for (uint64_t count : buckets) total += count;
   if (total == 0) return 0.0;
   const double rank = p * static_cast<double>(total);
   uint64_t seen = 0;
-  for (size_t i = 0; i < latency_buckets.size(); ++i) {
-    seen += latency_buckets[i];
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
     if (static_cast<double>(seen) >= rank) {
       return ServiceMetrics::BucketUpperMs(i);
     }
   }
-  return ServiceMetrics::BucketUpperMs(latency_buckets.size() - 1);
+  return ServiceMetrics::BucketUpperMs(buckets.size() - 1);
+}
+
+}  // namespace
+
+double MetricsSnapshot::ApproxLatencyPercentileMs(double p) const {
+  return PercentileOfBuckets(latency_buckets, p);
+}
+
+double MetricsSnapshot::ApproxStageLatencyPercentileMs(
+    core::SearchStage stage, double p) const {
+  const size_t s = static_cast<size_t>(stage);
+  if (s >= stage_latency_buckets.size()) return 0.0;
+  return PercentileOfBuckets(stage_latency_buckets[s], p);
 }
 
 std::string MetricsSnapshot::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "requests: %llu ok, %llu truncated, %llu failed, %llu overloaded | "
       "cache: %llu hits / %llu misses (%.1f%%) | queue high-water: %llu | "
       "latency p50/p95/p99 <= %.2f/%.2f/%.2f ms",
@@ -53,6 +68,17 @@ std::string MetricsSnapshot::ToString() const {
       static_cast<unsigned long long>(queue_high_water),
       ApproxLatencyPercentileMs(0.50), ApproxLatencyPercentileMs(0.95),
       ApproxLatencyPercentileMs(0.99));
+  for (size_t s = 0; s < stage_latency_buckets.size(); ++s) {
+    uint64_t total = 0;
+    for (uint64_t count : stage_latency_buckets[s]) total += count;
+    if (total == 0) continue;
+    const core::SearchStage stage = static_cast<core::SearchStage>(s);
+    out += StrFormat(" | %s p50/p95 <= %.2f/%.2f ms",
+                     core::SearchStageName(stage),
+                     ApproxStageLatencyPercentileMs(stage, 0.50),
+                     ApproxStageLatencyPercentileMs(stage, 0.95));
+  }
+  return out;
 }
 
 double ServiceMetrics::BucketUpperMs(size_t i) {
@@ -93,6 +119,17 @@ void ServiceMetrics::RecordCacheLookup(bool hit) {
   (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::RecordSearchTrace(const core::ExecutionTrace& trace) {
+  for (size_t s = 0; s < core::kNumSearchStages; ++s) {
+    const double ms = trace.stages[s].wall_ms;
+    size_t bucket = 0;
+    while (bucket + 1 < kNumBuckets && ms > BucketUpperMs(bucket)) {
+      ++bucket;
+    }
+    stage_buckets_[s][bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   MetricsSnapshot snap;
   snap.requests_ok = ok_.load(std::memory_order_relaxed);
@@ -106,6 +143,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     snap.latency_buckets[i] = latency_buckets_[i].load(
         std::memory_order_relaxed);
+  }
+  snap.stage_latency_buckets.assign(core::kNumSearchStages,
+                                    std::vector<uint64_t>(kNumBuckets, 0));
+  for (size_t s = 0; s < core::kNumSearchStages; ++s) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.stage_latency_buckets[s][i] =
+          stage_buckets_[s][i].load(std::memory_order_relaxed);
+    }
   }
   return snap;
 }

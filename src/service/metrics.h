@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_context.h"
+
 namespace mweaver::service {
 
 /// \brief How a request left the service.
@@ -47,6 +49,11 @@ struct MetricsSnapshot {
   /// Queue wait is included; overloaded requests are not recorded.
   std::vector<uint64_t> latency_buckets;
 
+  /// stage_latency_buckets[s][i]: same bucket scheme, per TPW pipeline
+  /// stage (s indexes core::SearchStage). Recorded per uncached search
+  /// from its ExecutionTrace; cache hits contribute nothing.
+  std::vector<std::vector<uint64_t>> stage_latency_buckets;
+
   uint64_t TotalRequests() const {
     return requests_ok + requests_overloaded + requests_truncated +
            requests_failed;
@@ -59,6 +66,9 @@ struct MetricsSnapshot {
   /// Histogram-estimated latency percentile in ms (p in [0,1]); returns
   /// the bucket upper bound containing the p-quantile, 0 with no data.
   double ApproxLatencyPercentileMs(double p) const;
+  /// Same, over one pipeline stage's histogram.
+  double ApproxStageLatencyPercentileMs(core::SearchStage stage,
+                                        double p) const;
 
   std::string ToString() const;
 };
@@ -73,6 +83,9 @@ class ServiceMetrics {
   void RecordRequest(RequestOutcome outcome, double latency_ms);
   void RecordQueueDepth(size_t depth);
   void RecordCacheLookup(bool hit);
+  /// \brief Folds one search's per-stage trace into the per-stage latency
+  /// histograms.
+  void RecordSearchTrace(const core::ExecutionTrace& trace);
 
   MetricsSnapshot Snapshot() const;
 
@@ -85,6 +98,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> queue_high_water_{0};
   std::array<std::atomic<uint64_t>, kNumBuckets> latency_buckets_{};
+  std::array<std::array<std::atomic<uint64_t>, kNumBuckets>,
+             core::kNumSearchStages>
+      stage_buckets_{};
 };
 
 }  // namespace mweaver::service

@@ -6,15 +6,23 @@ namespace mweaver::service {
 
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
+// Tripwire: whoever adds a field to SearchOptions must decide whether it
+// affects the result set, update SearchOptions::Fingerprint() accordingly,
+// and re-bless the size here. Guarded to 64-bit targets where the layout
+// (int + 2 double + 4 size_t, 8-byte aligned) is stable.
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(core::SearchOptions) == 56,
+              "SearchOptions layout changed: audit Fingerprint() so the "
+              "result cache keys on every result-affecting field, then "
+              "update this assert");
+#endif
+
 std::string ResultCache::MakeKey(const std::vector<std::string>& first_row,
                                  const core::SearchOptions& options) {
-  // Options fingerprint: everything that can change the result set.
-  std::string key = StrFormat(
-      "m=%zu;pmnj=%d;w=%.6f/%.6f;caps=%zu/%zu;keep=%zu|",
-      first_row.size(), options.pmnj, options.matching_weight,
-      options.complexity_weight, options.max_tuple_paths_per_mapping,
-      options.max_total_tuple_paths,
-      options.retained_tuple_paths_per_mapping);
+  // Options fingerprint: everything that can change the result set
+  // (canonically defined next to the options themselves).
+  std::string key =
+      StrFormat("m=%zu;", first_row.size()) + options.Fingerprint() + "|";
   for (const std::string& sample : first_row) {
     key += ToLower(sample);
     key += '\x1f';  // unit separator: never produced by user keystrokes

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <set>
 
+#include "core/execution_context.h"
 #include "core/location_map.h"
 #include "core/pairwise.h"
 #include "core/pruning.h"
@@ -39,10 +42,19 @@ class CoreTest : public ::testing::Test {
     return std::move(result).ValueOrDie();
   }
 
+  // Pairwise generation with just a PMNJ bound (fresh context, no deadline).
+  PairwiseMappingMap GenPairwise(const LocationMap& map, int pmnj) {
+    SearchOptions options;
+    options.pmnj = pmnj;
+    ExecutionContext ctx;
+    return GeneratePairwiseMappingPaths(graph_, map, options, ctx);
+  }
+
   Database db_;
   text::FullTextEngine engine_;
   graph::SchemaGraph graph_;
   query::PathExecutor executor_;
+  ExecutionContext ctx_;
 };
 
 // ------------------------------------------------------------ LocationMap --
@@ -70,8 +82,7 @@ TEST_F(CoreTest, LocationMapEmptySampleHasNoOccurrences) {
 TEST_F(CoreTest, PairwiseGenerationFindsBothJoinPaths) {
   const LocationMap map =
       LocationMap::Build(engine_, {"Avatar", "James Cameron"});
-  const PairwiseMappingMap pmpm =
-      GeneratePairwiseMappingPaths(graph_, map, /*pmnj=*/2);
+  const PairwiseMappingMap pmpm = GenPairwise(map, /*pmnj=*/2);
   ASSERT_EQ(pmpm.size(), 1u);
   const auto& paths = pmpm.at({0, 1});
   // movie-director-person and movie-writer-person.
@@ -86,22 +97,22 @@ TEST_F(CoreTest, PairwiseRespectsPmnj) {
   const LocationMap map =
       LocationMap::Build(engine_, {"Avatar", "James Cameron"});
   // movie and person are 2 joins apart: PMNJ=1 must find nothing.
-  EXPECT_TRUE(GeneratePairwiseMappingPaths(graph_, map, 1).empty());
+  EXPECT_TRUE(GenPairwise(map, 1).empty());
   // Larger PMNJ finds more (longer, loopier) paths as well.
-  const auto wide = GeneratePairwiseMappingPaths(graph_, map, 4);
+  const auto wide = GenPairwise(map, 4);
   EXPECT_GT(wide.at({0, 1}).size(), 2u);
 }
 
 TEST_F(CoreTest, PairwiseTuplePathsPruneUnsupportedMappings) {
   const LocationMap map =
       LocationMap::Build(engine_, {"Harry Potter", "David Yates"});
-  const PairwiseMappingMap pmpm =
-      GeneratePairwiseMappingPaths(graph_, map, 2);
+  const PairwiseMappingMap pmpm = GenPairwise(map, 2);
   ASSERT_EQ(pmpm.at({0, 1}).size(), 2u);
 
   SearchOptions options;
   PairwiseStats stats;
-  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &stats);
+  auto ptpm =
+      CreatePairwiseTuplePaths(executor_, pmpm, map, options, ctx_, &stats);
   ASSERT_TRUE(ptpm.ok());
   EXPECT_EQ(stats.num_mappings, 2u);
   // Yates directed Harry Potter but did not write it: only the director
@@ -117,17 +128,16 @@ TEST_F(CoreTest, WeaverBuildsCompletePathsAcrossThreeColumns) {
   // both, so complete paths exist.
   const LocationMap map = LocationMap::Build(
       engine_, {"Avatar", "James Cameron", "James Cameron"});
-  const PairwiseMappingMap pmpm =
-      GeneratePairwiseMappingPaths(graph_, map, 2);
+  const PairwiseMappingMap pmpm = GenPairwise(map, 2);
   SearchOptions options;
   PairwiseStats pairwise_stats;
-  auto ptpm =
-      CreatePairwiseTuplePaths(executor_, pmpm, map, options, &pairwise_stats);
+  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, ctx_,
+                                       &pairwise_stats);
   ASSERT_TRUE(ptpm.ok());
 
   WeaveStats weave_stats;
   const std::vector<TuplePath> complete =
-      GenerateCompleteTuplePaths(*ptpm, 3, options, &weave_stats);
+      GenerateCompleteTuplePaths(*ptpm, 3, options, ctx_, &weave_stats);
   EXPECT_FALSE(complete.empty());
   for (const TuplePath& tp : complete) {
     EXPECT_EQ(tp.size(), 3u);
@@ -143,15 +153,16 @@ TEST_F(CoreTest, WeaverBuildsCompletePathsAcrossThreeColumns) {
 TEST_F(CoreTest, WeaverBudgetTruncates) {
   const LocationMap map = LocationMap::Build(
       engine_, {"Avatar", "James Cameron", "James Cameron"});
-  const auto pmpm = GeneratePairwiseMappingPaths(graph_, map, 2);
+  const auto pmpm = GenPairwise(map, 2);
   SearchOptions options;
   PairwiseStats ps;
-  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &ps);
+  auto ptpm =
+      CreatePairwiseTuplePaths(executor_, pmpm, map, options, ctx_, &ps);
   ASSERT_TRUE(ptpm.ok());
 
   options.max_total_tuple_paths = 1;
   WeaveStats stats;
-  GenerateCompleteTuplePaths(*ptpm, 3, options, &stats);
+  GenerateCompleteTuplePaths(*ptpm, 3, options, ctx_, &stats);
   EXPECT_TRUE(stats.truncated);
 }
 
@@ -251,11 +262,12 @@ TEST_F(CoreTest, SearchWithZeroPmnjNeedsSameRelationSamples) {
 TEST_F(CoreTest, PairwiseTruncationFlagOnTightBudget) {
   const LocationMap map =
       LocationMap::Build(engine_, {"Avatar", "James Cameron"});
-  const auto pmpm = GeneratePairwiseMappingPaths(graph_, map, 2);
+  const auto pmpm = GenPairwise(map, 2);
   SearchOptions options;
   options.max_tuple_paths_per_mapping = 1;
   PairwiseStats stats;
-  auto ptpm = CreatePairwiseTuplePaths(executor_, pmpm, map, options, &stats);
+  auto ptpm =
+      CreatePairwiseTuplePaths(executor_, pmpm, map, options, ctx_, &stats);
   ASSERT_TRUE(ptpm.ok());
   EXPECT_TRUE(stats.truncated);
 }
@@ -462,6 +474,192 @@ TEST_F(CoreTest, SessionEmptyCellIsIgnored) {
   ASSERT_TRUE(session.Input(0, 0, "").ok());
   EXPECT_EQ(session.num_samples(), 0u);
   EXPECT_EQ(session.cell(0, 0), "");
+}
+
+// ------------------------------------------------------- ExecutionContext --
+
+// Counting fake clock for the throttle contract (NowFn is a plain function
+// pointer, so the counter lives at file scope).
+uint64_t g_fake_now_calls = 0;
+SearchClock::time_point CountingEpochNow() {
+  ++g_fake_now_calls;
+  return SearchClock::time_point{};
+}
+
+TEST(ExecutionContextTest, ShouldStopThrottlesClockReads) {
+  g_fake_now_calls = 0;
+  ExecutionContext ctx;
+  ctx.SetClockForTesting(&CountingEpochNow);
+  // A deadline far beyond the fake "now" so no check ever stops.
+  ctx.set_deadline(SearchClock::time_point{} + std::chrono::hours(1));
+
+  constexpr uint64_t kChecks = 100 * ExecutionContext::kStopPollStride;
+  for (uint64_t i = 0; i < kChecks; ++i) {
+    ASSERT_FALSE(ctx.ShouldStop());
+  }
+  EXPECT_EQ(ctx.stop_checks(), kChecks);
+  // The contract: at most one real clock read per kStopPollStride checks
+  // (plus the always-read first poll).
+  EXPECT_LE(ctx.clock_reads(),
+            kChecks / ExecutionContext::kStopPollStride + 1);
+  EXPECT_GE(ctx.clock_reads(), 1u);
+  EXPECT_EQ(g_fake_now_calls, ctx.clock_reads());
+}
+
+TEST(ExecutionContextTest, PreExpiredDeadlineStopsOnTheVeryFirstPoll) {
+  ExecutionContext ctx;
+  ctx.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.stop_requested());
+  EXPECT_EQ(ctx.clock_reads(), 1u);
+  // Sticky latch: later polls answer from the latch, not the clock.
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.clock_reads(), 1u);
+}
+
+TEST(ExecutionContextTest, CancelTokenTripsStickyLatch) {
+  std::atomic<bool> cancel{false};
+  ExecutionContext ctx;
+  ctx.set_cancel_token(&cancel);
+  EXPECT_FALSE(ctx.ShouldStop());
+  cancel.store(true);
+  EXPECT_TRUE(ctx.ShouldStop());
+  cancel.store(false);
+  EXPECT_TRUE(ctx.ShouldStop());  // latched even after the token clears
+  ctx.ResetForSearch();
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_EQ(ctx.stop_checks(), 0u);
+}
+
+TEST(ExecutionContextTest, NoDeadlineNeverReadsClock) {
+  g_fake_now_calls = 0;
+  ExecutionContext ctx;
+  ctx.SetClockForTesting(&CountingEpochNow);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(ctx.ShouldStop());
+  }
+  EXPECT_EQ(ctx.clock_reads(), 0u);
+  EXPECT_EQ(g_fake_now_calls, 0u);
+}
+
+// Every TPW stage must observe a pre-expired deadline: the result comes
+// back promptly, flagged, and with every stage span marked stopped-early.
+TEST_F(CoreTest, PreExpiredDeadlineTruncatesEveryStage) {
+  SearchOptions options;
+  ExecutionContext ctx;
+  ctx.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
+  auto result = SampleSearch(engine_, graph_,
+                             {"Avatar", "James Cameron", "James Cameron"},
+                             options, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.deadline_expired);
+  EXPECT_TRUE(result->stats.truncated);
+  EXPECT_TRUE(result->candidates.empty());
+  for (size_t s = 0; s < kNumSearchStages; ++s) {
+    EXPECT_TRUE(result->stats.trace.stages[s].stopped_early)
+        << SearchStageName(static_cast<SearchStage>(s));
+  }
+}
+
+TEST_F(CoreTest, PreExpiredDeadlineTruncatesSingleColumnSearch) {
+  SearchOptions options;
+  ExecutionContext ctx;
+  ctx.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
+  auto result = SampleSearch(engine_, graph_, {"Avatar"}, options, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.deadline_expired);
+  EXPECT_TRUE(result->stats.truncated);
+  EXPECT_TRUE(result->candidates.empty());
+}
+
+TEST_F(CoreTest, MemoryBudgetTruncatesWeaveWithoutDeadlineFlag) {
+  SearchOptions options;
+  ExecutionContext ctx;
+  ctx.set_memory_budget_bytes(1);  // level-2 cloning alone exceeds this
+  auto result = SampleSearch(engine_, graph_,
+                             {"Avatar", "James Cameron", "James Cameron"},
+                             options, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.weave.truncated);
+  EXPECT_TRUE(result->stats.truncated);
+  // A memory cap is a truncation event, not a deadline event.
+  EXPECT_FALSE(result->stats.deadline_expired);
+}
+
+TEST_F(CoreTest, ArenaRecycledAcrossSearchesYieldsIdenticalResults) {
+  SearchOptions options;
+  ExecutionContext ctx;
+  auto r1 = SampleSearch(engine_, graph_, {"Avatar", "James Cameron"},
+                         options, ctx);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_FALSE(r1->candidates.empty());
+  EXPECT_GT(ctx.arena().total_allocations(), 0u);
+  EXPECT_GT(r1->stats.trace.arena_bytes_used, 0u);
+
+  ctx.ResetForSearch();
+  auto r2 = SampleSearch(engine_, graph_, {"Avatar", "James Cameron"},
+                         options, ctx);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(ctx.arena().num_resets(), 1u);
+
+  ASSERT_EQ(r1->candidates.size(), r2->candidates.size());
+  for (size_t i = 0; i < r1->candidates.size(); ++i) {
+    const CandidateMapping& a = r1->candidates[i];
+    const CandidateMapping& b = r2->candidates[i];
+    EXPECT_EQ(a.mapping.ToString(db_), b.mapping.ToString(db_));
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+    EXPECT_EQ(a.support, b.support);
+    // Retained example paths were copied off the arena by ranking, so the
+    // first search's examples stay readable after the arena was recycled.
+    ASSERT_EQ(a.example_tuple_paths.size(), b.example_tuple_paths.size());
+    for (size_t j = 0; j < a.example_tuple_paths.size(); ++j) {
+      EXPECT_EQ(a.example_tuple_paths[j].Canonical(),
+                b.example_tuple_paths[j].Canonical());
+    }
+  }
+}
+
+// ---------------------------------------------------------- SearchOptions --
+
+TEST(SearchOptionsTest, FingerprintChangesWithEachSemanticField) {
+  const std::string base = SearchOptions{}.Fingerprint();
+  {
+    SearchOptions o;
+    o.pmnj += 1;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+  {
+    SearchOptions o;
+    o.matching_weight += 0.125;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+  {
+    SearchOptions o;
+    o.complexity_weight += 0.125;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+  {
+    SearchOptions o;
+    o.max_tuple_paths_per_mapping += 1;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+  {
+    SearchOptions o;
+    o.max_total_tuple_paths += 1;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+  {
+    SearchOptions o;
+    o.retained_tuple_paths_per_mapping += 1;
+    EXPECT_NE(o.Fingerprint(), base);
+  }
+}
+
+TEST(SearchOptionsTest, FingerprintIgnoresTimingOnlyFields) {
+  SearchOptions a;
+  SearchOptions b;
+  b.num_threads = 7;  // affects scheduling, never results
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
 }
 
 }  // namespace

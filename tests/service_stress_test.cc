@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/execution_context.h"
+#include "core/sample_search.h"
 #include "core/session.h"
 #include "graph/schema_graph.h"
 #include "service/mapping_service.h"
@@ -142,6 +144,62 @@ TEST(ServiceStressTest, ManyClientsThroughMappingService) {
   // Everyone types the same first row: all but the first search hit.
   EXPECT_GT(snapshot.cache_hits, 0u);
   EXPECT_EQ(svc.sessions().size(), 0u);
+}
+
+// A client thread flips the cancellation token while the search is in
+// flight (including while pairwise execution polls from ParallelFor
+// workers). Run under TSan, this vets the relaxed-atomic stop plumbing;
+// functionally, a cancelled run must still return a well-formed (possibly
+// truncated) result.
+TEST(ServiceStressTest, CrossThreadCancellationMidSearch) {
+  Env env;
+  core::SearchOptions options;
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> started{false};
+    core::ExecutionContext ctx;
+    ctx.set_cancel_token(&cancel);
+    std::thread canceller([&]() {
+      while (!started.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      cancel.store(true, std::memory_order_relaxed);
+    });
+    started.store(true, std::memory_order_release);
+    auto result = core::SampleSearch(
+        env.engine, env.graph, {"Avatar", "James Cameron", "James Cameron"},
+        options, ctx);
+    canceller.join();
+    ASSERT_TRUE(result.ok()) << result.status();
+    // Either the search finished before the token landed, or it observed
+    // the stop and flagged the result — both are valid; racing is the point.
+    if (result->stats.deadline_expired) {
+      EXPECT_TRUE(result->stats.truncated);
+    }
+  }
+}
+
+// Two searches on one Session recycle the context's arena: the second
+// search reuses the retained block instead of growing the reservation.
+TEST(ServiceStressTest, SessionRecyclesArenaAcrossSearches) {
+  Env env;
+  core::Session session(&env.engine, &env.graph, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  const Arena& arena = session.context().arena();
+  const uint64_t allocs_after_first = arena.total_allocations();
+  const uint64_t resets_after_first = arena.num_resets();
+  const size_t reserved_after_first = arena.bytes_reserved();
+  EXPECT_GT(allocs_after_first, 0u);
+  EXPECT_GT(reserved_after_first, 0u);
+
+  session.Reset();
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  EXPECT_GT(arena.num_resets(), resets_after_first);
+  EXPECT_GT(arena.total_allocations(), allocs_after_first);
+  // Identical search, recycled block: the reservation must not grow.
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_first);
 }
 
 }  // namespace

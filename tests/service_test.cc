@@ -145,10 +145,11 @@ TEST_F(ServiceTest, SessionBestBeforeConvergenceIsEmptyNotFatal) {
 
 TEST_F(ServiceTest, ExpiredDeadlineSearchReturnsPromptlyAndTruncated) {
   SearchOptions options;
-  options.deadline = SearchClock::now() - std::chrono::milliseconds(1);
+  core::ExecutionContext ctx;
+  ctx.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
   const auto started = SearchClock::now();
   auto result = core::SampleSearch(engine_, graph_,
-                                   {"Avatar", "James Cameron"}, options);
+                                   {"Avatar", "James Cameron"}, options, ctx);
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(SearchClock::now() - started)
           .count();
@@ -162,9 +163,10 @@ TEST_F(ServiceTest, ExpiredDeadlineSearchReturnsPromptlyAndTruncated) {
 TEST_F(ServiceTest, CancellationTokenStopsTheSearch) {
   SearchOptions options;
   std::atomic<bool> cancel{true};  // already cancelled
-  options.cancel = &cancel;
+  core::ExecutionContext ctx;
+  ctx.set_cancel_token(&cancel);
   auto result = core::SampleSearch(engine_, graph_,
-                                   {"Avatar", "James Cameron"}, options);
+                                   {"Avatar", "James Cameron"}, options, ctx);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->stats.truncated);
   EXPECT_TRUE(result->stats.deadline_expired);
