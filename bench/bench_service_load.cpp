@@ -199,6 +199,17 @@ int main() {
               static_cast<unsigned long long>(metrics.cache_hits),
               static_cast<unsigned long long>(metrics.cache_misses),
               metrics.CacheHitRate() * 100.0);
+  std::printf("text probes:       %llu (memo %llu hits / %llu misses  ->  "
+              "%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(metrics.text_probes),
+              static_cast<unsigned long long>(metrics.text_memo_hits),
+              static_cast<unsigned long long>(metrics.text_memo_misses),
+              metrics.TextMemoHitRate() * 100.0);
+  std::printf("text candidates:   %llu examined, %llu scan fallbacks, %llu "
+              "all-rows fallbacks\n",
+              static_cast<unsigned long long>(metrics.text_candidates_examined),
+              static_cast<unsigned long long>(metrics.text_scan_fallbacks),
+              static_cast<unsigned long long>(metrics.text_all_rows_fallbacks));
   std::printf("stage latency (ms, uncached searches, histogram bounds):\n");
   for (size_t s = 0; s < core::kNumSearchStages; ++s) {
     const auto stage = static_cast<core::SearchStage>(s);

@@ -1,0 +1,304 @@
+// Approximate keyword lookup: accelerated candidate resolution (n-gram +
+// deletion-neighborhood indexes) vs the linear dictionary scan it replaced.
+//
+// Three sections:
+//  1. index build — engine construction time serial vs parallel across
+//     attributes, and the memory footprint of the candidate indexes;
+//  2. per-mode lookup latency — the same probe set through the accelerated
+//     CandidateRows and the scan reference ScanCandidateRows, per match
+//     mode, with the speedup ratio and candidate-examined counts;
+//  3. probe memo — cold vs warm pass of one working set through the
+//     FullTextEngine, showing the memo's hit rate and latency effect.
+//
+// Knobs (environment): MWEAVER_BENCH_MOVIES (default 150, Yahoo-Movies-like
+// scale), MWEAVER_BENCH_LOOKUPS (probes per mode, default 400),
+// MWEAVER_BENCH_DATASET ("yahoo" | "imdb").
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "text/inverted_index.h"
+#include "text/match.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using mweaver::Rng;
+using mweaver::Stopwatch;
+using mweaver::bench::EnvSize;
+using mweaver::bench::Fmt;
+using mweaver::bench::PrintRow;
+
+// One probe workload: samples drawn from real attribute values, so probes
+// actually hit the indexes (plus a few typo'd and miss samples). When
+// `only` is given, the pool is restricted to that attribute's values.
+std::vector<std::string> MakeSamples(
+    const mweaver::storage::Database& db, size_t count, uint64_t seed,
+    const mweaver::text::AttributeRef* only = nullptr) {
+  Rng rng(seed);
+  // Collect a pool of value strings from searchable string attributes.
+  std::vector<std::string> pool;
+  for (size_t r = 0; r < db.num_relations(); ++r) {
+    const auto rel_id = static_cast<mweaver::storage::RelationId>(r);
+    const auto& rel = db.relation(rel_id);
+    for (size_t a = 0; a < rel.schema().num_attributes(); ++a) {
+      const auto& schema = rel.schema().attributes()[a];
+      const auto attr_id = static_cast<mweaver::storage::AttributeId>(a);
+      if (!schema.searchable ||
+          schema.type != mweaver::storage::ValueType::kString) {
+        continue;
+      }
+      if (only != nullptr &&
+          !(only->relation == rel_id && only->attribute == attr_id)) {
+        continue;
+      }
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        const auto& v =
+            rel.at(static_cast<mweaver::storage::RowId>(row), attr_id);
+        if (!v.is_null()) pool.push_back(v.ToDisplayString());
+      }
+    }
+  }
+  std::vector<std::string> samples;
+  samples.reserve(count);
+  while (samples.size() < count && !pool.empty()) {
+    std::string value = rng.Pick(pool);
+    if (value.empty()) continue;
+    const double shape = rng.UniformDouble();
+    if (shape < 0.5) {
+      // A token of the value (classic keyword probe).
+      const auto tokens = mweaver::text::Tokenize(value);
+      if (tokens.empty()) continue;
+      samples.push_back(rng.Pick(tokens));
+    } else if (shape < 0.8) {
+      // A substring crossing token boundaries.
+      const size_t start = rng.Index(value.size());
+      const size_t len =
+          std::min<size_t>(3 + rng.Index(10), value.size() - start);
+      samples.push_back(value.substr(start, len));
+    } else if (shape < 0.95) {
+      // A typo'd token (exercises the deletion neighborhood).
+      const auto tokens = mweaver::text::Tokenize(value);
+      if (tokens.empty()) continue;
+      std::string token = rng.Pick(tokens);
+      token[rng.Index(token.size())] = 'q';
+      samples.push_back(token);
+    } else {
+      samples.push_back("zzzqx");  // guaranteed miss
+    }
+  }
+  return samples;
+}
+
+struct AttrIndex {
+  mweaver::text::AttributeRef ref;
+  std::unique_ptr<mweaver::text::InvertedIndex> index;
+};
+
+std::vector<AttrIndex> BuildIndexes(const mweaver::storage::Database& db) {
+  std::vector<AttrIndex> indexes;
+  for (size_t r = 0; r < db.num_relations(); ++r) {
+    const auto rel_id = static_cast<mweaver::storage::RelationId>(r);
+    const auto& rel = db.relation(rel_id);
+    for (size_t a = 0; a < rel.schema().num_attributes(); ++a) {
+      const auto& schema = rel.schema().attributes()[a];
+      if (!schema.searchable ||
+          schema.type != mweaver::storage::ValueType::kString) {
+        continue;
+      }
+      const auto attr_id = static_cast<mweaver::storage::AttributeId>(a);
+      indexes.push_back(
+          AttrIndex{mweaver::text::AttributeRef{rel_id, attr_id},
+                    std::make_unique<mweaver::text::InvertedIndex>(rel,
+                                                                   attr_id)});
+    }
+  }
+  return indexes;
+}
+
+struct ModeResult {
+  double fast_us = 0.0;
+  double scan_us = 0.0;
+  uint64_t candidates = 0;
+  uint64_t scan_fallbacks = 0;
+  size_t probes = 0;
+};
+
+// Runs every sample against every given attribute index under `policy`,
+// both paths, and returns per-probe averages.
+ModeResult RunMode(const std::vector<const AttrIndex*>& indexes,
+                   const std::vector<std::string>& samples,
+                   const mweaver::text::MatchPolicy& policy) {
+  ModeResult result;
+  mweaver::text::ProbeStats stats;
+  Stopwatch watch;
+  size_t fast_rows = 0;
+  for (const std::string& sample : samples) {
+    for (const AttrIndex* attr : indexes) {
+      fast_rows += attr->index->CandidateRows(sample, policy, &stats).size();
+      ++result.probes;
+    }
+  }
+  result.fast_us = watch.ElapsedMicros();
+  result.candidates = stats.candidates_examined;
+  result.scan_fallbacks = stats.scan_fallbacks;
+
+  watch.Restart();
+  size_t scan_rows = 0;
+  for (const std::string& sample : samples) {
+    for (const AttrIndex* attr : indexes) {
+      scan_rows += attr->index->ScanCandidateRows(sample, policy).size();
+    }
+  }
+  result.scan_us = watch.ElapsedMicros();
+  if (fast_rows != scan_rows) {
+    std::fprintf(stderr,
+                 "MISMATCH: accelerated path returned %zu rows, scan %zu\n",
+                 fast_rows, scan_rows);
+    std::exit(1);
+  }
+  return result;
+}
+
+const mweaver::text::MatchPolicy kPolicies[] = {
+    mweaver::text::MatchPolicy::Exact(),
+    mweaver::text::MatchPolicy::TokenSubset(),
+    mweaver::text::MatchPolicy::Substring(),
+    mweaver::text::MatchPolicy::Fuzzy(1),
+    mweaver::text::MatchPolicy::Fuzzy(2),
+};
+const char* const kPolicyNames[] = {"kExact", "kTokenSubset", "kSubstring",
+                                    "kFuzzy(d=1)", "kFuzzy(d=2)"};
+
+void PrintModeTable(const std::vector<const AttrIndex*>& indexes,
+                    const std::vector<std::string>& samples) {
+  PrintRow("mode", {"fast us/probe", "scan us/probe", "speedup", "cands"},
+           22, 14);
+  for (size_t p = 0; p < std::size(kPolicies); ++p) {
+    const ModeResult r = RunMode(indexes, samples, kPolicies[p]);
+    const double denom = static_cast<double>(r.probes);
+    PrintRow(kPolicyNames[p],
+             {Fmt(r.fast_us / denom), Fmt(r.scan_us / denom),
+              Fmt(r.scan_us / std::max(r.fast_us, 1e-9), 1) + "x",
+              std::to_string(r.candidates)},
+             22, 14);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mweaver;
+  const size_t num_movies = EnvSize("MWEAVER_BENCH_MOVIES", 150);
+  const size_t num_lookups = EnvSize("MWEAVER_BENCH_LOOKUPS", 400);
+  const bool imdb = bench::UseImdbDataset();
+
+  storage::Database db = [&] {
+    if (imdb) {
+      datagen::ImdbConfig config;
+      config.num_movies = num_movies;
+      return datagen::MakeImdb(config);
+    }
+    datagen::YahooMoviesConfig config;
+    config.num_movies = num_movies;
+    return datagen::MakeYahooMovies(config);
+  }();
+  std::printf("=== Approximate keyword lookup: accelerated vs scan ===\n");
+  std::printf("source: synthetic %s DB — %zu relations, %zu rows\n\n",
+              imdb ? "IMDb-like" : "Yahoo-Movies-like", db.num_relations(),
+              db.TotalRows());
+
+  // ---- 1. Index build: serial vs parallel engine construction. ----------
+  text::EngineOptions serial_opts;
+  serial_opts.build_threads = 1;
+  Stopwatch build_watch;
+  text::FullTextEngine serial_engine(&db, text::MatchPolicy::Substring(),
+                                     serial_opts);
+  const double serial_ms = build_watch.ElapsedMillis();
+
+  build_watch.Restart();
+  text::FullTextEngine parallel_engine(&db, text::MatchPolicy::Substring());
+  const double parallel_ms = build_watch.ElapsedMillis();
+
+  std::printf("index build (%zu attributes):\n",
+              parallel_engine.num_indexed_attributes());
+  std::printf("  serial   %8.2f ms\n", serial_ms);
+  std::printf("  parallel %8.2f ms  (%.2fx)\n", parallel_ms,
+              parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+  std::printf("  index memory: %.2f MiB\n\n",
+              static_cast<double>(parallel_engine.index_bytes()) /
+                  (1024.0 * 1024.0));
+
+  // ---- 2. Per-mode lookup latency, accelerated vs linear scan. -----------
+  const std::vector<AttrIndex> indexes = BuildIndexes(db);
+  std::vector<const AttrIndex*> all_attrs;
+  for (const AttrIndex& attr : indexes) all_attrs.push_back(&attr);
+
+  const std::vector<std::string> samples = MakeSamples(db, num_lookups, 19);
+  std::printf("lookup latency, %zu samples x %zu attributes per mode "
+              "(all dictionaries, most tiny):\n",
+              samples.size(), all_attrs.size());
+  PrintModeTable(all_attrs, samples);
+
+  // The sublinear claim lives where the dictionary is big: the linear scan
+  // is O(|dict|) per query token, so restrict the probe set to the largest
+  // attribute dictionary and draw samples from its own values.
+  const AttrIndex* largest = all_attrs.front();
+  for (const AttrIndex* attr : all_attrs) {
+    if (attr->index->num_tokens() > largest->index->num_tokens()) {
+      largest = attr;
+    }
+  }
+  const std::vector<const AttrIndex*> big_attrs = {largest};
+  const std::vector<std::string> big_samples =
+      MakeSamples(db, num_lookups, 23, &largest->ref);
+  std::printf("\nlookup latency, largest dictionary only (%zu tokens, "
+              "%zu rows):\n",
+              largest->index->num_tokens(),
+              largest->index->num_indexed_rows());
+  PrintModeTable(big_attrs, big_samples);
+
+  // ---- 3. Probe memo: cold vs warm pass through the engine. --------------
+  std::printf("\nprobe memo (FullTextEngine, kSubstring):\n");
+  const std::vector<text::AttributeRef> attrs = [&] {
+    std::vector<text::AttributeRef> refs;
+    for (const AttrIndex& attr : indexes) refs.push_back(attr.ref);
+    return refs;
+  }();
+  Stopwatch memo_watch;
+  for (const std::string& sample : samples) {
+    for (const text::AttributeRef& ref : attrs) {
+      (void)parallel_engine.MatchingRows(ref, sample);
+    }
+  }
+  const double cold_us = memo_watch.ElapsedMicros();
+  memo_watch.Restart();
+  for (const std::string& sample : samples) {
+    for (const text::AttributeRef& ref : attrs) {
+      (void)parallel_engine.MatchingRows(ref, sample);
+    }
+  }
+  const double warm_us = memo_watch.ElapsedMicros();
+  const text::ProbeStats totals = parallel_engine.probe_totals();
+  const auto cache = parallel_engine.probe_cache_stats();
+  const double per_probe =
+      static_cast<double>(samples.size() * attrs.size());
+  std::printf("  cold pass %8.2f us/probe, warm pass %8.2f us/probe "
+              "(%.1fx)\n",
+              cold_us / per_probe, warm_us / per_probe,
+              warm_us > 0 ? cold_us / warm_us : 0.0);
+  std::printf("  probes %llu | memo hits %llu / misses %llu | cache %zu "
+              "entries, %zu KiB, %llu evictions, %llu oversize-rejected\n",
+              static_cast<unsigned long long>(totals.probes),
+              static_cast<unsigned long long>(totals.memo_hits),
+              static_cast<unsigned long long>(totals.memo_misses),
+              cache.entries, cache.bytes_used / 1024,
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.rejected_oversize));
+  return 0;
+}

@@ -19,7 +19,7 @@ double InstanceOverlapMatcher::Score(const MatchTarget& target,
   if (target.instances.empty()) return 0.0;
   size_t contained = 0;
   for (const std::string& value : target.instances) {
-    if (!engine.MatchingRows(attr, value).empty()) ++contained;
+    if (!engine.MatchingRows(attr, value)->empty()) ++contained;
   }
   return static_cast<double>(contained) /
          static_cast<double>(target.instances.size());

@@ -87,8 +87,11 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b,
   if (a.size() > b.size()) std::swap(a, b);
   if (b.size() - a.size() > max_distance) return max_distance + 1;
 
-  // One-row dynamic program over the shorter string.
-  std::vector<size_t> row(a.size() + 1);
+  // One-row dynamic program over the shorter string. The row buffer is
+  // thread-local: fuzzy candidate verification calls this once per
+  // candidate, and a per-call allocation dominates the DP itself.
+  thread_local std::vector<size_t> row;
+  row.resize(a.size() + 1);
   for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
   for (size_t j = 1; j <= b.size(); ++j) {
     size_t prev_diag = row[0];

@@ -35,6 +35,14 @@ std::string ExecutionTrace::ToString() const {
                    static_cast<unsigned long long>(clock_reads),
                    arena_bytes_used,
                    static_cast<unsigned long long>(arena_allocations));
+  out += StrFormat(
+      " | probes %llu (memo %llu/%llu, cand %llu, scan %llu, allrows %llu)",
+      static_cast<unsigned long long>(text_probes.probes),
+      static_cast<unsigned long long>(text_probes.memo_hits),
+      static_cast<unsigned long long>(text_probes.memo_misses),
+      static_cast<unsigned long long>(text_probes.candidates_examined),
+      static_cast<unsigned long long>(text_probes.scan_fallbacks),
+      static_cast<unsigned long long>(text_probes.all_rows_fallbacks));
   return out;
 }
 
@@ -80,6 +88,7 @@ ExecutionTrace ExecutionContext::trace() const {
   out.clock_reads = clock_reads_.load(std::memory_order_relaxed);
   out.arena_bytes_used = arena_.bytes_used();
   out.arena_allocations = arena_.num_allocations();
+  out.text_probes = probe_counters_.Snapshot();
   return out;
 }
 
@@ -89,6 +98,7 @@ void ExecutionContext::ResetForSearch() {
   stop_checks_.store(0, std::memory_order_relaxed);
   clock_reads_.store(0, std::memory_order_relaxed);
   stages_ = {};
+  probe_counters_.Reset();
   arena_.Reset();
 }
 

@@ -30,6 +30,7 @@
 #include "common/arena.h"
 #include "common/stopwatch.h"
 #include "core/options.h"
+#include "text/lookup_stats.h"
 
 namespace mweaver::core {
 
@@ -69,6 +70,10 @@ struct ExecutionTrace {
   /// Arena counters at snapshot time.
   size_t arena_bytes_used = 0;
   uint64_t arena_allocations = 0;
+
+  /// Approximate-keyword-lookup counters for this search: per-attribute
+  /// probes, memo hits/misses, candidates the indexes examined, fallbacks.
+  text::ProbeStats text_probes;
 
   const StageTrace& stage(SearchStage s) const {
     return stages[static_cast<size_t>(s)];
@@ -164,6 +169,11 @@ class ExecutionContext {
 
   StageSpan TraceStage(SearchStage stage) { return StageSpan(this, stage); }
 
+  /// \brief Accumulator the text layer's probes record into; safe to share
+  /// across the pairwise stage's ParallelFor workers.
+  text::ProbeCounters& probe_counters() { return probe_counters_; }
+  const text::ProbeCounters& probe_counters() const { return probe_counters_; }
+
   /// \brief Copyable snapshot of the trace so far (stop/clock/arena
   /// counters included).
   ExecutionTrace trace() const;
@@ -203,6 +213,9 @@ class ExecutionContext {
   std::atomic<uint64_t> deadline_polls_{0};
   std::atomic<uint64_t> stop_checks_{0};
   std::atomic<uint64_t> clock_reads_{0};
+
+  // Text-layer probe counters (multi-threaded; see probe_counters()).
+  text::ProbeCounters probe_counters_;
 
   // Single-threaded state.
   Arena arena_;

@@ -12,7 +12,8 @@ LocationMap LocationMap::Build(const text::FullTextEngine& engine,
     col.target_column = static_cast<int>(i);
     col.sample = sample_tuple[i];
     if (!col.sample.empty() && !(ctx != nullptr && ctx->ShouldStop())) {
-      col.occurrences = engine.FindOccurrences(col.sample);
+      col.occurrences = engine.FindOccurrences(
+          col.sample, ctx != nullptr ? &ctx->probe_counters() : nullptr);
     }
     map.columns_.push_back(std::move(col));
   }
@@ -29,7 +30,7 @@ LocationMap LocationMap::FromAttributes(
     col.target_column = static_cast<int>(i);
     if (i < samples.size()) col.sample = samples[i];
     for (const text::AttributeRef& attr : attrs_per_column[i]) {
-      col.occurrences.push_back(text::Occurrence{attr, {}});
+      col.occurrences.push_back(text::Occurrence{attr, text::EmptyRowSet()});
     }
     map.columns_.push_back(std::move(col));
   }

@@ -6,8 +6,11 @@ namespace mweaver::core {
 
 size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
                         const std::string& sample,
-                        std::vector<CandidateMapping>* candidates) {
+                        std::vector<CandidateMapping>* candidates,
+                        ExecutionContext* ctx) {
   const size_t before = candidates->size();
+  text::ProbeCounters* counters =
+      ctx != nullptr ? &ctx->probe_counters() : nullptr;
   candidates->erase(
       std::remove_if(
           candidates->begin(), candidates->end(),
@@ -17,8 +20,9 @@ size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
             const storage::RelationId rel =
                 c.mapping.vertex(p->vertex).relation;
             return engine
-                .MatchingRows(text::AttributeRef{rel, p->attribute}, sample)
-                .empty();
+                .MatchingRows(text::AttributeRef{rel, p->attribute}, sample,
+                              counters)
+                ->empty();
           }),
       candidates->end());
   return before - candidates->size();

@@ -23,10 +23,12 @@ namespace mweaver::core {
 
 /// \brief Pruning-by-attribute. Removes from `candidates` every mapping
 /// whose column-`target_column` projection is not among the attributes
-/// containing `sample`. Returns the number removed.
+/// containing `sample`. Returns the number removed. When `ctx` is given,
+/// the keyword probes record into its probe counters.
 size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
                         const std::string& sample,
-                        std::vector<CandidateMapping>* candidates);
+                        std::vector<CandidateMapping>* candidates,
+                        ExecutionContext* ctx = nullptr);
 
 /// \brief Pruning-by-structure. `row_samples` holds every non-empty cell of
 /// one spreadsheet row (column -> sample); requires >= 2 entries to convey

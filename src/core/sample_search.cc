@@ -70,7 +70,7 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
       ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kWeave);
       for (const text::Occurrence& occ : locations.column(0).occurrences) {
         if (ctx.ShouldStop()) break;
-        for (storage::RowId row : occ.rows) {
+        for (storage::RowId row : *occ.rows) {
           if (ctx.ShouldStop()) break;
           TuplePath tp = TuplePath::SingleVertex(occ.attr.relation, row,
                                                  ctx.resource());

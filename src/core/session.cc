@@ -139,7 +139,8 @@ Status Session::RunPruning(size_t row, size_t col, const std::string& value) {
   if (reject_irrelevant_) snapshot = candidates_;
 
   // Pruning by attribute always applies to the newly typed sample.
-  PruneByAttribute(*engine_, static_cast<int>(col), value, &candidates_);
+  PruneByAttribute(*engine_, static_cast<int>(col), value, &candidates_,
+                   &context_);
 
   // Pruning by mapping structure applies when the row carries more than one
   // sample (Section 5).

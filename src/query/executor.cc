@@ -58,9 +58,11 @@ struct Plan {
 
 // Plan construction shared by Execute and Explain: gather per-vertex
 // constraint row sets, pick the most selective start vertex, and lay out
-// the BFS join order with the normal-form distinctness lists.
+// the BFS join order with the normal-form distinctness lists. `counters`
+// (may be null) accumulates the keyword probes' statistics.
 Result<Plan> BuildPlan(const text::FullTextEngine& engine,
-                       const MappingPath& mapping, const SampleMap& samples) {
+                       const MappingPath& mapping, const SampleMap& samples,
+                       text::ProbeCounters* counters) {
   const storage::Database& db = engine.db();
   const size_t n = mapping.num_vertices();
   if (n == 0) {
@@ -91,15 +93,15 @@ Result<Plan> BuildPlan(const text::FullTextEngine& engine,
         mapping.vertex(static_cast<VertexId>(v)).relation;
     bool first = true;
     for (const auto& [attr, sample] : c.predicates) {
-      const std::vector<storage::RowId>& rows =
-          engine.MatchingRows(text::AttributeRef{rel, attr}, sample);
+      const text::RowSet rows =
+          engine.MatchingRows(text::AttributeRef{rel, attr}, sample, counters);
       if (first) {
-        c.rows = rows;
+        c.rows = *rows;
         first = false;
       } else {
         std::vector<storage::RowId> merged;
-        std::set_intersection(c.rows.begin(), c.rows.end(), rows.begin(),
-                              rows.end(), std::back_inserter(merged));
+        std::set_intersection(c.rows.begin(), c.rows.end(), rows->begin(),
+                              rows->end(), std::back_inserter(merged));
         c.rows = std::move(merged);
       }
       if (c.rows.empty()) {
@@ -177,7 +179,10 @@ Result<std::vector<core::TuplePath>> PathExecutor::Execute(
     const ExecOptions& options, core::ExecutionContext* ctx) const {
   const storage::Database& db = engine_->db();
   const size_t n = mapping.num_vertices();
-  MW_ASSIGN_OR_RETURN(Plan plan, BuildPlan(*engine_, mapping, samples));
+  MW_ASSIGN_OR_RETURN(
+      Plan plan,
+      BuildPlan(*engine_, mapping, samples,
+                ctx != nullptr ? &ctx->probe_counters() : nullptr));
   if (plan.provably_empty) return std::vector<core::TuplePath>{};
   const std::vector<VertexConstraint>& constraints = plan.constraints;
   const std::vector<Step>& steps = plan.steps;
@@ -282,7 +287,8 @@ Result<std::vector<core::TuplePath>> PathExecutor::Execute(
 Result<std::string> PathExecutor::Explain(const core::MappingPath& mapping,
                                           const SampleMap& samples) const {
   const storage::Database& db = engine_->db();
-  MW_ASSIGN_OR_RETURN(Plan plan, BuildPlan(*engine_, mapping, samples));
+  MW_ASSIGN_OR_RETURN(Plan plan,
+                      BuildPlan(*engine_, mapping, samples, nullptr));
   std::string out = "plan for " + mapping.ToString(db) + "\n";
   if (plan.provably_empty) {
     out += "  provably empty: a keyword constraint matches no rows\n";

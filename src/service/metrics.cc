@@ -24,6 +24,11 @@ double MetricsSnapshot::CacheHitRate() const {
                                 static_cast<double>(total);
 }
 
+double MetricsSnapshot::TextMemoHitRate() const {
+  return text_probes == 0 ? 0.0 : static_cast<double>(text_memo_hits) /
+                                      static_cast<double>(text_probes);
+}
+
 namespace {
 
 double PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p) {
@@ -78,6 +83,18 @@ std::string MetricsSnapshot::ToString() const {
                      ApproxStageLatencyPercentileMs(stage, 0.50),
                      ApproxStageLatencyPercentileMs(stage, 0.95));
   }
+  if (text_probes > 0) {
+    out += StrFormat(
+        " | text probes: %llu (memo %llu/%llu, %.1f%% hit; cand %llu; "
+        "scan %llu; allrows %llu)",
+        static_cast<unsigned long long>(text_probes),
+        static_cast<unsigned long long>(text_memo_hits),
+        static_cast<unsigned long long>(text_memo_misses),
+        TextMemoHitRate() * 100.0,
+        static_cast<unsigned long long>(text_candidates_examined),
+        static_cast<unsigned long long>(text_scan_fallbacks),
+        static_cast<unsigned long long>(text_all_rows_fallbacks));
+  }
   return out;
 }
 
@@ -128,6 +145,16 @@ void ServiceMetrics::RecordSearchTrace(const core::ExecutionTrace& trace) {
     }
     stage_buckets_[s][bucket].fetch_add(1, std::memory_order_relaxed);
   }
+  const text::ProbeStats& probes = trace.text_probes;
+  text_probes_.fetch_add(probes.probes, std::memory_order_relaxed);
+  text_memo_hits_.fetch_add(probes.memo_hits, std::memory_order_relaxed);
+  text_memo_misses_.fetch_add(probes.memo_misses, std::memory_order_relaxed);
+  text_candidates_examined_.fetch_add(probes.candidates_examined,
+                                      std::memory_order_relaxed);
+  text_scan_fallbacks_.fetch_add(probes.scan_fallbacks,
+                                 std::memory_order_relaxed);
+  text_all_rows_fallbacks_.fetch_add(probes.all_rows_fallbacks,
+                                     std::memory_order_relaxed);
 }
 
 MetricsSnapshot ServiceMetrics::Snapshot() const {
@@ -152,6 +179,15 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
           stage_buckets_[s][i].load(std::memory_order_relaxed);
     }
   }
+  snap.text_probes = text_probes_.load(std::memory_order_relaxed);
+  snap.text_memo_hits = text_memo_hits_.load(std::memory_order_relaxed);
+  snap.text_memo_misses = text_memo_misses_.load(std::memory_order_relaxed);
+  snap.text_candidates_examined =
+      text_candidates_examined_.load(std::memory_order_relaxed);
+  snap.text_scan_fallbacks =
+      text_scan_fallbacks_.load(std::memory_order_relaxed);
+  snap.text_all_rows_fallbacks =
+      text_all_rows_fallbacks_.load(std::memory_order_relaxed);
   return snap;
 }
 

@@ -54,6 +54,19 @@ struct MetricsSnapshot {
   /// from its ExecutionTrace; cache hits contribute nothing.
   std::vector<std::vector<uint64_t>> stage_latency_buckets;
 
+  /// Approximate-keyword-lookup counters summed over every recorded search
+  /// trace: per-attribute probes, probe-memo hits/misses, candidate tokens
+  /// the text indexes examined, and scan / all-rows fallbacks.
+  uint64_t text_probes = 0;
+  uint64_t text_memo_hits = 0;
+  uint64_t text_memo_misses = 0;
+  uint64_t text_candidates_examined = 0;
+  uint64_t text_scan_fallbacks = 0;
+  uint64_t text_all_rows_fallbacks = 0;
+
+  /// Memo hits / probes; 0 when no probe ran.
+  double TextMemoHitRate() const;
+
   uint64_t TotalRequests() const {
     return requests_ok + requests_overloaded + requests_truncated +
            requests_failed;
@@ -101,6 +114,13 @@ class ServiceMetrics {
   std::array<std::array<std::atomic<uint64_t>, kNumBuckets>,
              core::kNumSearchStages>
       stage_buckets_{};
+  // Text-layer probe counters folded from each search's trace.
+  std::atomic<uint64_t> text_probes_{0};
+  std::atomic<uint64_t> text_memo_hits_{0};
+  std::atomic<uint64_t> text_memo_misses_{0};
+  std::atomic<uint64_t> text_candidates_examined_{0};
+  std::atomic<uint64_t> text_scan_fallbacks_{0};
+  std::atomic<uint64_t> text_all_rows_fallbacks_{0};
 };
 
 }  // namespace mweaver::service

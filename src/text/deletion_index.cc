@@ -1,0 +1,92 @@
+#include "text/deletion_index.h"
+
+#include <algorithm>
+
+namespace mweaver::text {
+
+namespace {
+
+// Appends the FNV-1a hash of `token` with the characters at (sorted,
+// distinct) positions `skip1` and optionally `skip2` removed.
+uint64_t HashSkipping(std::string_view token, size_t skip1, size_t skip2) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < token.size(); ++i) {
+    if (i == skip1 || i == skip2) continue;
+    h ^= static_cast<unsigned char>(token[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr size_t kNoSkip = static_cast<size_t>(-1);
+
+}  // namespace
+
+uint64_t DeletionIndex::HashVariant(std::string_view variant) {
+  return HashSkipping(variant, kNoSkip, kNoSkip);
+}
+
+void DeletionIndex::CollectVariantHashes(std::string_view token,
+                                         size_t budget,
+                                         std::vector<uint64_t>* out) {
+  out->clear();
+  out->push_back(HashSkipping(token, kNoSkip, kNoSkip));
+  if (budget >= 1) {
+    for (size_t i = 0; i < token.size(); ++i) {
+      out->push_back(HashSkipping(token, i, kNoSkip));
+    }
+  }
+  if (budget >= 2) {
+    for (size_t i = 0; i < token.size(); ++i) {
+      for (size_t j = i + 1; j < token.size(); ++j) {
+        out->push_back(HashSkipping(token, i, j));
+      }
+    }
+  }
+  // Distinct deletions can coincide ("aab" minus either 'a' is "ab").
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void DeletionIndex::Build(const std::vector<std::string>& tokens) {
+  variants_.clear();
+  long_tokens_.clear();
+  std::vector<uint64_t> hashes;
+  for (TokenId id = 0; id < tokens.size(); ++id) {
+    const std::string& t = tokens[id];
+    if (t.size() > kMaxIndexedLength) {
+      long_tokens_.push_back(id);
+      continue;
+    }
+    CollectVariantHashes(t, kMaxEdit, &hashes);
+    for (uint64_t h : hashes) {
+      std::vector<TokenId>& list = variants_[h];
+      if (list.empty() || list.back() != id) list.push_back(id);
+    }
+  }
+  bytes_ = long_tokens_.capacity() * sizeof(TokenId);
+  for (const auto& [key, list] : variants_) {
+    bytes_ += sizeof(key) + sizeof(list) + list.capacity() * sizeof(TokenId);
+  }
+}
+
+void DeletionIndex::Candidates(std::string_view token, size_t max_edit,
+                               std::vector<TokenId>* out,
+                               uint64_t* examined) const {
+  out->clear();
+  thread_local std::vector<uint64_t> hashes;
+  CollectVariantHashes(token, std::min(max_edit, kMaxEdit), &hashes);
+  for (uint64_t h : hashes) {
+    auto it = variants_.find(h);
+    if (it == variants_.end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  // Long tokens bypass the variant table; the caller's edit-distance
+  // verification rejects them cheaply (length gap short-circuits).
+  out->insert(out->end(), long_tokens_.begin(), long_tokens_.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (examined != nullptr) *examined += out->size();
+}
+
+}  // namespace mweaver::text

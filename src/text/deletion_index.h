@@ -1,0 +1,73 @@
+// SymSpell-style deletion-neighborhood index for sublinear fuzzy token
+// lookup (kFuzzyTokenSubset): map every dictionary token's deletion
+// variants (up to kMaxEdit character deletions) to the token. A query
+// within edit distance d of a dictionary token shares at least one
+// deletion variant with it, so a probe looks up only the query's own
+// deletion variants and verifies the small candidate set with the bounded
+// edit-distance routine — instead of edit-distancing the whole dictionary.
+//
+// Chosen over a BK-tree (see DESIGN.md): lookups are pure hash probes with
+// edit distance computed only on final candidates, whereas a BK-tree pays
+// an edit-distance evaluation at every visited node and degrades badly at
+// d = 2 on short tokens; the deletion table's extra memory (~O(len^2)
+// variants per token at d = 2) is cheap at our dictionary sizes and its
+// build is embarrassingly parallel across attributes.
+//
+// Variants are stored as 64-bit FNV-1a hashes, not strings: a hash
+// collision only widens the candidate set, never loses a match, so the
+// verification pass preserves exactness.
+#ifndef MWEAVER_TEXT_DELETION_INDEX_H_
+#define MWEAVER_TEXT_DELETION_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mweaver::text {
+
+/// \brief Deletion-neighborhood index over a fixed token dictionary.
+class DeletionIndex {
+ public:
+  using TokenId = uint32_t;
+
+  /// Largest per-token edit distance the index can answer; probes beyond it
+  /// must fall back to a dictionary scan.
+  static constexpr size_t kMaxEdit = 2;
+  /// Tokens longer than this are kept in a side list (their deletion
+  /// neighborhoods are quadratically large) and verified on every probe.
+  static constexpr size_t kMaxIndexedLength = 32;
+
+  /// \brief Indexes `tokens`.
+  void Build(const std::vector<std::string>& tokens);
+
+  bool Supports(size_t max_edit) const { return max_edit <= kMaxEdit; }
+
+  /// \brief Token ids possibly within edit distance `max_edit` of `token`
+  /// (requires Supports(max_edit)), sorted and duplicate-free, written to
+  /// `*out` (cleared first). A superset: the caller verifies each candidate
+  /// with BoundedEditDistance. `*examined` is incremented by the number of
+  /// candidates produced.
+  void Candidates(std::string_view token, size_t max_edit,
+                  std::vector<TokenId>* out, uint64_t* examined) const;
+
+  /// \brief Approximate heap footprint of the variant table.
+  size_t bytes() const { return bytes_; }
+  size_t num_variants() const { return variants_.size(); }
+
+ private:
+  static uint64_t HashVariant(std::string_view variant);
+  // Collects the hashes of every variant of `token` reachable by deleting
+  // up to `budget` characters (the token itself included), deduplicated.
+  static void CollectVariantHashes(std::string_view token, size_t budget,
+                                   std::vector<uint64_t>* out);
+
+  std::unordered_map<uint64_t, std::vector<TokenId>> variants_;
+  std::vector<TokenId> long_tokens_;  // length > kMaxIndexedLength
+  size_t bytes_ = 0;
+};
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_DELETION_INDEX_H_

@@ -3,17 +3,31 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/hash_util.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "text/numeric.h"
 
 namespace mweaver::text {
 
 namespace {
-const std::vector<storage::RowId> kNoRows;
+
+uint64_t PolicyFingerprint(const MatchPolicy& policy) {
+  size_t seed = static_cast<size_t>(policy.mode);
+  HashCombine(&seed, policy.max_edit_distance);
+  HashCombine(&seed, policy.match_numeric);
+  return seed;
+}
+
 }  // namespace
 
-FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy)
-    : db_(db), policy_(policy) {
+FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
+                               EngineOptions options)
+    : db_(db),
+      policy_(policy),
+      policy_fp_(PolicyFingerprint(policy)),
+      probe_cache_(options.probe_cache_bytes) {
   MW_CHECK(db != nullptr);
   for (size_t r = 0; r < db->num_relations(); ++r) {
     const storage::RelationId rel_id = static_cast<storage::RelationId>(r);
@@ -24,16 +38,26 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy)
       if (!attr_schema.searchable) continue;
       const AttributeRef ref{rel_id, static_cast<storage::AttributeId>(a)};
       if (attr_schema.type == storage::ValueType::kString) {
-        index_of_attr_[ref] = indexes_.size();
+        index_of_attr_[ref] = indexed_attrs_.size();
         indexed_attrs_.push_back(ref);
-        indexes_.push_back(
-            std::make_unique<InvertedIndex>(rel, ref.attribute));
       } else if (attr_schema.type == storage::ValueType::kInt64 ||
                  attr_schema.type == storage::ValueType::kDouble) {
         numeric_attrs_.push_back(ref);
       }
     }
   }
+  // Per-attribute index builds are independent; fan them out on the shared
+  // pool. (Token dictionary, trigram table and deletion table of each
+  // attribute are all built inside the InvertedIndex constructor.)
+  indexes_.resize(indexed_attrs_.size());
+  const size_t threads = options.build_threads != 0
+                             ? options.build_threads
+                             : ThreadPool::Shared().num_threads();
+  ParallelFor(indexed_attrs_.size(), threads, [&](size_t i) {
+    const AttributeRef& ref = indexed_attrs_[i];
+    indexes_[i] = std::make_unique<InvertedIndex>(db->relation(ref.relation),
+                                                  ref.attribute);
+  });
 }
 
 std::string FullTextEngine::CellText(const AttributeRef& attr,
@@ -43,19 +67,19 @@ std::string FullTextEngine::CellText(const AttributeRef& attr,
 }
 
 std::vector<Occurrence> FullTextEngine::FindOccurrences(
-    const std::string& sample) const {
+    const std::string& sample, ProbeCounters* counters) const {
   std::vector<Occurrence> occurrences;
   for (const AttributeRef& attr : indexed_attrs_) {
-    const std::vector<storage::RowId>& rows = MatchingRows(attr, sample);
-    if (!rows.empty()) {
-      occurrences.push_back(Occurrence{attr, rows});
+    RowSet rows = MatchingRows(attr, sample, counters);
+    if (!rows->empty()) {
+      occurrences.push_back(Occurrence{attr, std::move(rows)});
     }
   }
   if (policy_.match_numeric && ParseNumeric(sample).has_value()) {
     for (const AttributeRef& attr : numeric_attrs_) {
-      const std::vector<storage::RowId>& rows = MatchingRows(attr, sample);
-      if (!rows.empty()) {
-        occurrences.push_back(Occurrence{attr, rows});
+      RowSet rows = MatchingRows(attr, sample, counters);
+      if (!rows->empty()) {
+        occurrences.push_back(Occurrence{attr, std::move(rows)});
       }
     }
   }
@@ -84,18 +108,24 @@ std::vector<storage::RowId> FullTextEngine::NumericMatches(
   return rows;
 }
 
-const std::vector<storage::RowId>& FullTextEngine::MatchingRows(
-    const AttributeRef& attr, const std::string& sample) const {
-  const auto cache_key = std::make_pair(attr, sample);
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto cached = match_cache_.find(cache_key);
-    if (cached != match_cache_.end()) return cached->second;
+RowSet FullTextEngine::MatchingRows(const AttributeRef& attr,
+                                    const std::string& sample,
+                                    ProbeCounters* counters) const {
+  ProbeStats stats;
+  stats.probes = 1;
+  if (RowSet cached = probe_cache_.Lookup(attr.relation, attr.attribute,
+                                          policy_fp_, sample)) {
+    stats.memo_hits = 1;
+    probe_totals_.Record(stats);
+    if (counters != nullptr) counters->Record(stats);
+    return cached;
   }
+  stats.memo_misses = 1;
 
-  // Compute outside the lock (reads immutable indexes and relation data);
-  // a racing thread may compute the same entry — emplace keeps the first.
+  // Compute outside any lock (reads immutable indexes and relation data); a
+  // racing thread may compute and insert the same entry, which is harmless.
   std::vector<storage::RowId> verified;
+  bool cacheable = true;
   auto idx_it = index_of_attr_.find(attr);
   if (idx_it == index_of_attr_.end()) {
     // Numeric attributes are matched by a (memoized) verification scan.
@@ -105,20 +135,36 @@ const std::vector<storage::RowId>& FullTextEngine::MatchingRows(
         numeric.has_value() &&
         std::find(numeric_attrs_.begin(), numeric_attrs_.end(), attr) !=
             numeric_attrs_.end();
-    if (!searchable_numeric) return kNoRows;
+    if (!searchable_numeric) {
+      probe_totals_.Record(stats);
+      if (counters != nullptr) counters->Record(stats);
+      return EmptyRowSet();
+    }
     verified = NumericMatches(attr, *numeric);
   } else {
     const InvertedIndex& index = *indexes_[idx_it->second];
-    for (storage::RowId row : index.CandidateRows(sample, policy_)) {
+    for (storage::RowId row : index.CandidateRows(sample, policy_, &stats)) {
       if (NoisyContains(CellText(attr, row), sample, policy_)) {
         verified.push_back(row);
       }
     }
+    // Punctuation-only samples degrade to an all-rows candidate set; caching
+    // the (column-sized) verified result would let degenerate probes flush
+    // the memo's useful working set.
+    cacheable = stats.all_rows_fallbacks == 0;
   }
+  probe_totals_.Record(stats);
+  if (counters != nullptr) counters->Record(stats);
 
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto [it, inserted] = match_cache_.emplace(cache_key, std::move(verified));
-  return it->second;
+  RowSet result = verified.empty()
+                      ? EmptyRowSet()
+                      : std::make_shared<const std::vector<storage::RowId>>(
+                            std::move(verified));
+  if (cacheable) {
+    probe_cache_.Insert(attr.relation, attr.attribute, policy_fp_, sample,
+                        result);
+  }
+  return result;
 }
 
 bool FullTextEngine::RowContains(const AttributeRef& attr, storage::RowId row,
@@ -144,6 +190,12 @@ double FullTextEngine::RowMatchScore(const AttributeRef& attr,
 std::string FullTextEngine::AttributeName(const AttributeRef& attr) const {
   const storage::Relation& rel = db_->relation(attr.relation);
   return rel.name() + "." + rel.schema().attribute(attr.attribute).name;
+}
+
+size_t FullTextEngine::index_bytes() const {
+  size_t bytes = 0;
+  for (const auto& index : indexes_) bytes += index->index_bytes();
+  return bytes;
 }
 
 }  // namespace mweaver::text

@@ -8,13 +8,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/database.h"
 #include "text/inverted_index.h"
+#include "text/lookup_stats.h"
 #include "text/match.h"
+#include "text/probe_cache.h"
 
 namespace mweaver::text {
 
@@ -34,32 +35,45 @@ struct AttributeRef {
 /// \brief All rows of one attribute that noisily contain a sample.
 struct Occurrence {
   AttributeRef attr;
-  std::vector<storage::RowId> rows;  // sorted, verified matches
+  RowSet rows;  // sorted, verified matches (never null)
+};
+
+/// \brief Tuning knobs of the engine's acceleration layer.
+struct EngineOptions {
+  /// Byte budget of the probe memo (0 disables memoization).
+  size_t probe_cache_bytes = 8u << 20;
+  /// Threads for the per-attribute parallel index build; 0 picks the
+  /// process-wide thread-pool size.
+  size_t build_threads = 0;
 };
 
 /// \brief Full-text search engine over one database instance.
 ///
-/// Indexes are built eagerly at construction for every `searchable` string
-/// attribute. The engine memoizes per-(attribute, sample) verified match
-/// sets, mirroring how a production engine would cache hot keyword queries
+/// Indexes are built eagerly (and in parallel across attributes) at
+/// construction for every `searchable` string attribute. Verified
+/// per-(attribute, sample) match sets are memoized in a byte-bounded LRU
+/// ProbeCache, mirroring how a production engine caches hot keyword queries
 /// during an interactive session.
 class FullTextEngine {
  public:
   /// \brief Builds inverted indexes over `db`. The database must outlive the
   /// engine and must not grow afterwards.
-  FullTextEngine(const storage::Database* db, MatchPolicy policy);
+  FullTextEngine(const storage::Database* db, MatchPolicy policy,
+                 EngineOptions options = {});
 
   const storage::Database& db() const { return *db_; }
   const MatchPolicy& policy() const { return policy_; }
 
   /// \brief All attributes containing `sample`, with their verified matching
   /// rows — one call per sample implements Algorithm 1's location map entry.
-  std::vector<Occurrence> FindOccurrences(const std::string& sample) const;
+  /// `counters`, when given, accumulates probe/memo statistics.
+  std::vector<Occurrence> FindOccurrences(
+      const std::string& sample, ProbeCounters* counters = nullptr) const;
 
   /// \brief Verified rows of one attribute that noisily contain `sample`
-  /// (sorted). Returns an empty list for non-indexed attributes.
-  const std::vector<storage::RowId>& MatchingRows(
-      const AttributeRef& attr, const std::string& sample) const;
+  /// (sorted, never null). Returns the empty set for non-indexed attributes.
+  RowSet MatchingRows(const AttributeRef& attr, const std::string& sample,
+                      ProbeCounters* counters = nullptr) const;
 
   /// \brief True iff the given row's attribute value noisily contains
   /// `sample`.
@@ -79,6 +93,13 @@ class FullTextEngine {
   /// numeric-sample matching.
   size_t num_numeric_attributes() const { return numeric_attrs_.size(); }
 
+  /// \brief Approximate heap footprint of all attribute indexes.
+  size_t index_bytes() const;
+  /// \brief Lifetime probe statistics across every caller of this engine
+  /// (callers passing their own ProbeCounters are counted here too).
+  ProbeStats probe_totals() const { return probe_totals_.Snapshot(); }
+  ProbeCache::Stats probe_cache_stats() const { return probe_cache_.stats(); }
+
  private:
   std::string CellText(const AttributeRef& attr, storage::RowId row) const;
   bool IsNumericAttr(const AttributeRef& attr) const;
@@ -88,20 +109,18 @@ class FullTextEngine {
 
   const storage::Database* db_;
   MatchPolicy policy_;
+  uint64_t policy_fp_;  // fingerprint of policy_, part of the memo key
   // Index storage aligned with `indexed_attrs_`.
   std::vector<AttributeRef> indexed_attrs_;
   std::vector<std::unique_ptr<InvertedIndex>> indexes_;
   std::map<AttributeRef, size_t> index_of_attr_;
   // Searchable int64/double columns (no inverted index; matched by scan).
   std::vector<AttributeRef> numeric_attrs_;
-  // Memoized verified results: (attr, sample) -> sorted row ids. std::map
-  // keeps node addresses stable, so returned references stay valid while
-  // other threads insert; the mutex guards lookup/insert (thread safety is
-  // needed by the parallel pairwise step, core/pairwise.h).
-  mutable std::mutex cache_mutex_;
-  mutable std::map<std::pair<AttributeRef, std::string>,
-                   std::vector<storage::RowId>>
-      match_cache_;
+  // Byte-bounded memo of verified results (thread safety is needed by the
+  // parallel pairwise step, core/pairwise.h). Punctuation-only fallback
+  // results are never inserted — see CandidateRows' all_rows_ contract.
+  mutable ProbeCache probe_cache_;
+  mutable ProbeCounters probe_totals_;
 };
 
 }  // namespace mweaver::text

@@ -3,39 +3,36 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "text/postings.h"
 #include "text/tokenizer.h"
 
 namespace mweaver::text {
 
 namespace {
 
-const std::vector<storage::RowId> kNoRows;
+// Reusable per-thread probe scratch: warm probes allocate nothing but their
+// returned result. Thread-local because the pairwise stage probes the same
+// engine from ParallelFor workers.
+struct ProbeScratch {
+  std::vector<storage::RowId> acc;   // intersection accumulator
+  std::vector<storage::RowId> rows;  // per-token row set
+  std::vector<storage::RowId> tmp;
+  std::vector<InvertedIndex::TokenId> token_ids;
+  std::vector<const std::vector<storage::RowId>*> lists;
+  MergeScratch<storage::RowId> merge;
+  std::vector<uint64_t> bits;  // bitmap scratch for high-fanout unions
+};
 
-// Sorted-vector set intersection into `*acc`.
-void IntersectInto(std::vector<storage::RowId>* acc,
-                   const std::vector<storage::RowId>& other) {
-  std::vector<storage::RowId> merged;
-  merged.reserve(std::min(acc->size(), other.size()));
-  std::set_intersection(acc->begin(), acc->end(), other.begin(), other.end(),
-                        std::back_inserter(merged));
-  *acc = std::move(merged);
-}
-
-// Sorted, deduplicated union of several posting lists.
-std::vector<storage::RowId> UnionOf(
-    const std::vector<const std::vector<storage::RowId>*>& lists) {
-  std::vector<storage::RowId> out;
-  for (const auto* list : lists) out.insert(out.end(), list->begin(),
-                                            list->end());
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+ProbeScratch& LocalScratch() {
+  thread_local ProbeScratch scratch;
+  return scratch;
 }
 
 }  // namespace
 
 InvertedIndex::InvertedIndex(const storage::Relation& relation,
-                             storage::AttributeId attribute) {
+                             storage::AttributeId attribute)
+    : universe_rows_(relation.num_rows()) {
   for (size_t r = 0; r < relation.num_rows(); ++r) {
     const storage::Value& v =
         relation.at(static_cast<storage::RowId>(r), attribute);
@@ -43,81 +40,198 @@ InvertedIndex::InvertedIndex(const storage::Relation& relation,
     const storage::RowId row = static_cast<storage::RowId>(r);
     all_rows_.push_back(row);
     ++num_indexed_rows_;
-    std::vector<std::string> tokens = Tokenize(v.ToDisplayString());
-    std::sort(tokens.begin(), tokens.end());
-    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-    for (std::string& t : tokens) {
-      postings_[std::move(t)].push_back(row);
+    std::vector<std::string> row_tokens = Tokenize(v.ToDisplayString());
+    std::sort(row_tokens.begin(), row_tokens.end());
+    row_tokens.erase(std::unique(row_tokens.begin(), row_tokens.end()),
+                     row_tokens.end());
+    for (std::string& t : row_tokens) {
+      auto [it, inserted] =
+          token_ids_.emplace(std::move(t), static_cast<TokenId>(tokens_.size()));
+      if (inserted) {
+        tokens_.push_back(it->first);
+        postings_.emplace_back();
+      }
+      postings_[it->second].push_back(row);
     }
   }
-  // Rows were visited in increasing order, so posting lists are sorted.
+  grams_.Build(tokens_);
+  deletions_.Build(tokens_);
 }
 
-const std::vector<storage::RowId>& InvertedIndex::Postings(
+const std::vector<storage::RowId>* InvertedIndex::PostingsOf(
     const std::string& token) const {
-  auto it = postings_.find(token);
-  return it == postings_.end() ? kNoRows : it->second;
+  auto it = token_ids_.find(token);
+  return it == token_ids_.end() ? nullptr : &postings_[it->second];
 }
 
-std::vector<const std::vector<storage::RowId>*> InvertedIndex::TokensContaining(
-    const std::string& token) const {
-  std::vector<const std::vector<storage::RowId>*> out;
-  for (const auto& [dict_token, rows] : postings_) {
-    if (dict_token.find(token) != std::string::npos) out.push_back(&rows);
-  }
-  return out;
+void InvertedIndex::SubstringTokenIds(const std::string& token,
+                                      std::vector<TokenId>* out,
+                                      ProbeStats* stats) const {
+  grams_.Candidates(token, out,
+                    stats != nullptr ? &stats->candidates_examined : nullptr);
+  // A query of <= 3 chars is a single indexed gram, so its posting list is
+  // already the exact containment set — no residual verification needed.
+  if (token.size() <= 3) return;
+  // Residual verification: trigram containment over-approximates.
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](TokenId id) {
+                              return tokens_[id].find(token) ==
+                                     std::string::npos;
+                            }),
+             out->end());
 }
 
-std::vector<const std::vector<storage::RowId>*> InvertedIndex::TokensNear(
-    const std::string& token, size_t max_edit) const {
-  std::vector<const std::vector<storage::RowId>*> out;
-  for (const auto& [dict_token, rows] : postings_) {
-    if (BoundedEditDistance(dict_token, token, max_edit) <= max_edit) {
-      out.push_back(&rows);
+void InvertedIndex::FuzzyTokenIds(const std::string& token, size_t max_edit,
+                                  std::vector<TokenId>* out,
+                                  ProbeStats* stats) const {
+  if (deletions_.Supports(max_edit)) {
+    deletions_.Candidates(
+        token, max_edit, out,
+        stats != nullptr ? &stats->candidates_examined : nullptr);
+  } else {
+    // Edit bound beyond the deletion index: counted full-dictionary scan.
+    out->resize(tokens_.size());
+    for (TokenId id = 0; id < tokens_.size(); ++id) (*out)[id] = id;
+    if (stats != nullptr) {
+      ++stats->scan_fallbacks;
+      stats->candidates_examined += tokens_.size();
     }
   }
-  return out;
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](TokenId id) {
+                              return BoundedEditDistance(tokens_[id], token,
+                                                         max_edit) > max_edit;
+                            }),
+             out->end());
 }
 
 std::vector<storage::RowId> InvertedIndex::CandidateRows(
-    const std::string& sample, const MatchPolicy& policy) const {
-  const std::vector<std::string> tokens = Tokenize(sample);
-  if (tokens.empty()) {
+    const std::string& sample, const MatchPolicy& policy,
+    ProbeStats* stats) const {
+  const std::vector<std::string> sample_tokens = Tokenize(sample);
+  if (sample_tokens.empty()) {
     // Punctuation-only samples: the index cannot narrow anything down.
-    // Return every indexed row; the caller's verification pass decides.
+    // Return every indexed row; the caller's verification pass decides
+    // (and the probe memo must not cache this all-rows result).
+    if (stats != nullptr) ++stats->all_rows_fallbacks;
     return all_rows_;
   }
+  ProbeScratch& scratch = LocalScratch();
+  std::vector<storage::RowId>& acc = scratch.acc;
+  acc.clear();
+  bool first = true;
+  for (const std::string& t : sample_tokens) {
+    // Resolve this query token to a sorted row set in scratch.rows.
+    std::vector<storage::RowId>& rows = scratch.rows;
+    const bool fuzzy = policy.mode == MatchMode::kFuzzyTokenSubset &&
+                       policy.max_edit_distance > 0;
+    if (policy.mode == MatchMode::kSubstring || fuzzy) {
+      if (policy.mode == MatchMode::kSubstring) {
+        SubstringTokenIds(t, &scratch.token_ids, stats);
+      } else {
+        FuzzyTokenIds(t, policy.max_edit_distance, &scratch.token_ids, stats);
+      }
+      scratch.lists.clear();
+      for (TokenId id : scratch.token_ids) {
+        scratch.lists.push_back(&postings_[id]);
+      }
+      if (scratch.lists.size() > kUnionHeapMaxLists) {
+        // High-fanout token (e.g. a short fragment matching hundreds of
+        // dictionary entries): a bitmap over the row universe beats both
+        // the heap merge and a flat sort.
+        UnionSortedBitmap(scratch.lists, universe_rows_, &rows,
+                          &scratch.bits);
+      } else {
+        UnionSorted(scratch.lists, &rows, &scratch.merge);
+      }
+    } else {
+      // kExact / kEqualsIgnoreCase / kTokenSubset (and fuzzy at edit 0):
+      // the sample token must appear verbatim.
+      const std::vector<storage::RowId>* list = PostingsOf(t);
+      if (stats != nullptr && list != nullptr) ++stats->candidates_examined;
+      rows.clear();
+      if (list != nullptr) rows.assign(list->begin(), list->end());
+    }
+    if (first) {
+      acc.swap(rows);
+      first = false;
+    } else {
+      IntersectSorted(acc, rows, &scratch.tmp);
+      acc.swap(scratch.tmp);
+    }
+    if (acc.empty()) break;
+  }
+  return std::vector<storage::RowId>(acc.begin(), acc.end());
+}
+
+std::vector<storage::RowId> InvertedIndex::ScanCandidateRows(
+    const std::string& sample, const MatchPolicy& policy) const {
+  const std::vector<std::string> sample_tokens = Tokenize(sample);
+  if (sample_tokens.empty()) return all_rows_;
   bool first = true;
   std::vector<storage::RowId> acc;
-  for (const std::string& t : tokens) {
-    std::vector<storage::RowId> rows_for_token;
+  for (const std::string& t : sample_tokens) {
+    // Gather per-token rows the pre-acceleration way: a full dictionary
+    // scan per token, a fresh vector per union/intersection.
+    std::vector<const std::vector<storage::RowId>*> lists;
     switch (policy.mode) {
       case MatchMode::kExact:
       case MatchMode::kEqualsIgnoreCase:
       case MatchMode::kTokenSubset:
-        rows_for_token = Postings(t);
+        if (const std::vector<storage::RowId>* p = PostingsOf(t)) {
+          lists.push_back(p);
+        }
         break;
       case MatchMode::kSubstring:
         // If the sample is a substring of the value, each maximal
         // alphanumeric run of the sample is contained inside some token of
         // the value (the first/last runs possibly as a proper infix).
-        rows_for_token = UnionOf(TokensContaining(t));
+        for (TokenId id = 0; id < tokens_.size(); ++id) {
+          if (tokens_[id].find(t) != std::string::npos) {
+            lists.push_back(&postings_[id]);
+          }
+        }
         break;
-      case MatchMode::kFuzzyTokenSubset: {
-        auto lists = TokensNear(t, policy.max_edit_distance);
-        rows_for_token = UnionOf(lists);
+      case MatchMode::kFuzzyTokenSubset:
+        for (TokenId id = 0; id < tokens_.size(); ++id) {
+          if (BoundedEditDistance(tokens_[id], t, policy.max_edit_distance) <=
+              policy.max_edit_distance) {
+            lists.push_back(&postings_[id]);
+          }
+        }
         break;
-      }
     }
+    std::vector<storage::RowId> rows_for_token;
+    for (const auto* list : lists) {
+      rows_for_token.insert(rows_for_token.end(), list->begin(), list->end());
+    }
+    std::sort(rows_for_token.begin(), rows_for_token.end());
+    rows_for_token.erase(
+        std::unique(rows_for_token.begin(), rows_for_token.end()),
+        rows_for_token.end());
     if (first) {
       acc = std::move(rows_for_token);
       first = false;
     } else {
-      IntersectInto(&acc, rows_for_token);
+      std::vector<storage::RowId> merged;
+      std::set_intersection(acc.begin(), acc.end(), rows_for_token.begin(),
+                            rows_for_token.end(), std::back_inserter(merged));
+      acc = std::move(merged);
     }
     if (acc.empty()) break;
   }
   return acc;
+}
+
+size_t InvertedIndex::index_bytes() const {
+  size_t bytes = grams_.bytes() + deletions_.bytes() +
+                 all_rows_.capacity() * sizeof(storage::RowId);
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    bytes += tokens_[i].capacity() +
+             postings_[i].capacity() * sizeof(storage::RowId) +
+             sizeof(std::string) + sizeof(std::vector<storage::RowId>);
+  }
+  return bytes;
 }
 
 }  // namespace mweaver::text

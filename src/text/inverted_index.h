@@ -2,6 +2,18 @@
 // row ids. Stands in for the MySQL full-text indexes the paper's
 // implementation relied on ("which has a pre-computed inverted-index",
 // Appendix A.1).
+//
+// Every match mode resolves sublinearly in the dictionary size:
+//  * exact / token-subset probes hash straight to the token's postings;
+//  * kSubstring probes intersect the query's trigram posting lists
+//    (NGramIndex) and verify only the residue;
+//  * kFuzzyTokenSubset probes look up the query's deletion neighborhood
+//    (DeletionIndex, SymSpell-style) and edit-distance only the candidates,
+//    falling back to a counted full scan beyond the indexed edit bound.
+// ScanCandidateRows preserves the original O(|dict|)-per-token linear scan
+// as the reference implementation: property tests assert the accelerated
+// path returns exactly its candidate set, and the lookup bench measures the
+// speedup against it.
 #ifndef MWEAVER_TEXT_INVERTED_INDEX_H_
 #define MWEAVER_TEXT_INVERTED_INDEX_H_
 
@@ -10,42 +22,71 @@
 #include <vector>
 
 #include "storage/relation.h"
+#include "text/deletion_index.h"
+#include "text/lookup_stats.h"
 #include "text/match.h"
+#include "text/ngram_index.h"
 
 namespace mweaver::text {
 
 /// \brief Inverted index over the display strings of one attribute column.
 class InvertedIndex {
  public:
+  using TokenId = uint32_t;
+
   /// \brief Indexes every non-null value of `attribute` in `relation`.
   InvertedIndex(const storage::Relation& relation,
                 storage::AttributeId attribute);
 
   /// \brief Sorted, duplicate-free row ids whose value could noisily contain
   /// `sample` under `policy`. Guaranteed to be a superset of the true match
-  /// set; callers verify candidates against the raw values.
+  /// set; callers verify candidates against the raw values. Identical to
+  /// ScanCandidateRows' result, computed sublinearly. `stats`, when given,
+  /// accumulates candidate/fallback counters for this probe.
   std::vector<storage::RowId> CandidateRows(const std::string& sample,
-                                            const MatchPolicy& policy) const;
+                                            const MatchPolicy& policy,
+                                            ProbeStats* stats = nullptr) const;
 
-  size_t num_tokens() const { return postings_.size(); }
+  /// \brief Linear-scan reference implementation of CandidateRows (the
+  /// pre-acceleration code path): O(|dict|) per query token. Kept for the
+  /// property tests and the lookup benchmark.
+  std::vector<storage::RowId> ScanCandidateRows(
+      const std::string& sample, const MatchPolicy& policy) const;
+
+  size_t num_tokens() const { return tokens_.size(); }
   size_t num_indexed_rows() const { return num_indexed_rows_; }
+  /// \brief Approximate heap footprint of all index structures.
+  size_t index_bytes() const;
 
  private:
-  const std::vector<storage::RowId>& Postings(const std::string& token) const;
-
-  /// Tokens t in the dictionary such that `token` is a substring of t.
-  std::vector<const std::vector<storage::RowId>*> TokensContaining(
+  // Postings of an exactly-matching token, or nullptr.
+  const std::vector<storage::RowId>* PostingsOf(
       const std::string& token) const;
-  /// Tokens t within edit distance `max_edit` of `token`.
-  std::vector<const std::vector<storage::RowId>*> TokensNear(
-      const std::string& token, size_t max_edit) const;
 
-  std::unordered_map<std::string, std::vector<storage::RowId>> postings_;
+  // Candidate token ids (sorted, verified) for one query token under
+  // `policy`; returns false when the probe must use the exact-postings path
+  // instead (single-token modes). `*scanned` set when a full scan ran.
+  void SubstringTokenIds(const std::string& token,
+                         std::vector<TokenId>* out, ProbeStats* stats) const;
+  void FuzzyTokenIds(const std::string& token, size_t max_edit,
+                     std::vector<TokenId>* out, ProbeStats* stats) const;
+
+  // Token dictionary; postings_[id] aligns with tokens_[id], sorted by
+  // construction (rows visited in increasing order).
+  std::vector<std::string> tokens_;
+  std::vector<std::vector<storage::RowId>> postings_;
+  std::unordered_map<std::string, TokenId> token_ids_;
+
+  NGramIndex grams_;
+  DeletionIndex deletions_;
+
   // Rows whose value tokenized to nothing (e.g. punctuation-only); substring
   // candidates must include them conservatively only when the sample itself
   // has no tokens, in which case we fall back to all indexed rows.
   std::vector<storage::RowId> all_rows_;
   size_t num_indexed_rows_ = 0;
+  // Row-id universe (relation row count) for the bitmap union kernel.
+  size_t universe_rows_ = 0;
 };
 
 }  // namespace mweaver::text

@@ -1,0 +1,76 @@
+#include "text/ngram_index.h"
+
+#include <algorithm>
+
+#include "text/postings.h"
+
+namespace mweaver::text {
+
+uint32_t NGramIndex::PackGram(std::string_view gram) {
+  uint32_t key = static_cast<uint32_t>(gram.size()) << 24;
+  for (size_t i = 0; i < gram.size(); ++i) {
+    key |= static_cast<uint32_t>(static_cast<unsigned char>(gram[i]))
+           << (8 * i);
+  }
+  return key;
+}
+
+void NGramIndex::Build(const std::vector<std::string>& tokens) {
+  grams_.clear();
+  for (TokenId id = 0; id < tokens.size(); ++id) {
+    const std::string& t = tokens[id];
+    for (size_t n = 1; n <= 3 && n <= t.size(); ++n) {
+      for (size_t i = 0; i + n <= t.size(); ++i) {
+        std::vector<TokenId>& list =
+            grams_[PackGram(std::string_view(t).substr(i, n))];
+        // The same gram recurs within one token ("aaa"); ids arrive in
+        // increasing order, so dedup is a back() check.
+        if (list.empty() || list.back() != id) list.push_back(id);
+      }
+    }
+  }
+  bytes_ = 0;
+  for (const auto& [key, list] : grams_) {
+    bytes_ += sizeof(key) + sizeof(list) + list.capacity() * sizeof(TokenId);
+  }
+}
+
+const std::vector<NGramIndex::TokenId>* NGramIndex::Postings(
+    std::string_view gram) const {
+  auto it = grams_.find(PackGram(gram));
+  return it == grams_.end() ? nullptr : &it->second;
+}
+
+void NGramIndex::Candidates(std::string_view token,
+                            std::vector<TokenId>* out,
+                            uint64_t* examined) const {
+  out->clear();
+  if (token.empty()) return;
+  if (token.size() <= 2) {
+    if (const std::vector<TokenId>* list = Postings(token)) *out = *list;
+    if (examined != nullptr) *examined += out->size();
+    return;
+  }
+  // Collect the posting list of every trigram; any absent trigram proves no
+  // dictionary token contains the query.
+  thread_local std::vector<const std::vector<TokenId>*> lists;
+  lists.clear();
+  for (size_t i = 0; i + 3 <= token.size(); ++i) {
+    const std::vector<TokenId>* list = Postings(token.substr(i, 3));
+    if (list == nullptr) return;
+    lists.push_back(list);
+  }
+  // Intersect smallest-first so the accumulator only shrinks; galloping
+  // inside IntersectSorted handles the skewed (rare gram x stop-gram) case.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  thread_local std::vector<TokenId> acc;
+  *out = *lists[0];
+  for (size_t i = 1; i < lists.size() && !out->empty(); ++i) {
+    IntersectSorted(*out, *lists[i], &acc);
+    out->swap(acc);
+  }
+  if (examined != nullptr) *examined += out->size();
+}
+
+}  // namespace mweaver::text

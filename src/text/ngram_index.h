@@ -1,0 +1,57 @@
+// Character n-gram index over a token dictionary, powering sublinear
+// kSubstring candidate lookup: instead of scanning every dictionary token
+// per query token (O(|dict|)), a probe intersects the posting lists of the
+// query's trigrams and verifies only the intersection.
+//
+// Grams of length 1, 2 and 3 are indexed so that 1- and 2-character query
+// tokens resolve exactly (the gram IS the query), and >= 3-character query
+// tokens resolve by trigram intersection + residual substring
+// verification (trigram containment is necessary but not sufficient:
+// "abcxbcd" holds both trigrams of "abcd" without containing it).
+#ifndef MWEAVER_TEXT_NGRAM_INDEX_H_
+#define MWEAVER_TEXT_NGRAM_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mweaver::text {
+
+/// \brief Index of every 1/2/3-gram of a fixed token dictionary. Token ids
+/// are dense indices into the dictionary the caller built it from.
+class NGramIndex {
+ public:
+  using TokenId = uint32_t;
+
+  /// \brief Indexes `tokens` (each lowercase alphanumeric). Posting lists
+  /// end up sorted because token ids are visited in increasing order.
+  void Build(const std::vector<std::string>& tokens);
+
+  /// \brief Token ids that may contain `token` as a substring, sorted and
+  /// duplicate-free, written to `*out` (cleared first). For 1- and
+  /// 2-character tokens the result is exact; for longer tokens it is a
+  /// superset and the caller must verify with find(). `*examined` is
+  /// incremented by the number of candidate ids produced.
+  void Candidates(std::string_view token, std::vector<TokenId>* out,
+                  uint64_t* examined) const;
+
+  /// \brief Approximate heap footprint of the gram table.
+  size_t bytes() const { return bytes_; }
+  size_t num_grams() const { return grams_.size(); }
+
+ private:
+  // A gram is at most 3 bytes; packed little-endian with its length tagged
+  // in the top byte so "ab" and "ab\0" cannot collide.
+  static uint32_t PackGram(std::string_view gram);
+
+  const std::vector<TokenId>* Postings(std::string_view gram) const;
+
+  std::unordered_map<uint32_t, std::vector<TokenId>> grams_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace mweaver::text
+
+#endif  // MWEAVER_TEXT_NGRAM_INDEX_H_

@@ -246,6 +246,216 @@ TEST(InvertedIndexTest, CountsTokensAndRows) {
   const InvertedIndex index(rel, 0);
   EXPECT_EQ(index.num_indexed_rows(), 5u);  // null row skipped
   EXPECT_GT(index.num_tokens(), 4u);
+  EXPECT_GT(index.index_bytes(), 0u);
+}
+
+// Builds a relation of random multi-word values over a small vocabulary,
+// with typo'd words, punctuation-only rows and nulls mixed in — the shapes
+// that stress the n-gram / deletion-neighborhood candidate paths.
+storage::Relation MakeRandomRelation(uint64_t seed, size_t num_rows) {
+  const char* vocab[] = {"avatar", "cameron",  "harbor",  "crimson",
+                         "story",  "potter",   "wood",    "ed",
+                         "night",  "aardvark", "2009",    "x",
+                         "weaver", "mapping",  "sample"};
+  Rng rng(seed);
+  storage::Relation rel(
+      storage::RelationSchema("random", {StrAttr("value")}));
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (rng.Bernoulli(0.05)) {
+      rel.AppendUnchecked({storage::Value::Null()});
+      continue;
+    }
+    if (rng.Bernoulli(0.05)) {
+      rel.AppendUnchecked({S("!!!")});  // tokenizes to nothing
+      continue;
+    }
+    std::string value;
+    const size_t words = 1 + rng.Index(4);
+    for (size_t w = 0; w < words; ++w) {
+      std::string word = vocab[rng.Index(std::size(vocab))];
+      if (rng.Bernoulli(0.15) && word.size() > 2) {
+        word[rng.Index(word.size())] = 'q';  // plant a typo
+      }
+      if (!value.empty()) value += rng.Bernoulli(0.2) ? "-" : " ";
+      value += word;
+    }
+    rel.AppendUnchecked({S(value)});
+  }
+  return rel;
+}
+
+// The tentpole contract: for every match mode and edit bound, the
+// accelerated candidate path returns exactly the linear-scan reference's
+// rows, and both are supersets of the true noisy-containment matches.
+TEST(InvertedIndexTest, AcceleratedEqualsScanReferenceAllModes) {
+  const storage::Relation rel = MakeRandomRelation(42, 300);
+  const InvertedIndex index(rel, 0);
+  const MatchPolicy policies[] = {
+      MatchPolicy::Exact(),       MatchPolicy::IgnoreCase(),
+      MatchPolicy::Substring(),   MatchPolicy::TokenSubset(),
+      MatchPolicy::Fuzzy(0),      MatchPolicy::Fuzzy(1),
+      MatchPolicy::Fuzzy(2),      MatchPolicy::Fuzzy(3),  // beyond kMaxEdit
+  };
+  const char* samples[] = {
+      "avatar",        "avatar harbor", "aqatar",  "cameron story",
+      "rbor",          "d woo",         "...",     "!?",
+      "zzz",           "x",             "av",      "aardvark night",
+      "crimson-potter", "wod",          "2009",    "weaver mapping sample",
+  };
+  for (const MatchPolicy& policy : policies) {
+    for (const char* sample : samples) {
+      SCOPED_TRACE(StrFormat("mode=%d d=%zu sample='%s'",
+                             static_cast<int>(policy.mode),
+                             policy.max_edit_distance, sample));
+      ProbeStats stats;
+      const std::vector<storage::RowId> fast =
+          index.CandidateRows(sample, policy, &stats);
+      const std::vector<storage::RowId> reference =
+          index.ScanCandidateRows(sample, policy);
+      EXPECT_EQ(fast, reference);
+      // Sorted and duplicate-free.
+      EXPECT_TRUE(std::is_sorted(fast.begin(), fast.end()));
+      EXPECT_TRUE(std::adjacent_find(fast.begin(), fast.end()) == fast.end());
+      // Superset of the true matches.
+      for (size_t r = 0; r < rel.num_rows(); ++r) {
+        const storage::Value& v = rel.at(static_cast<storage::RowId>(r), 0);
+        if (v.is_null()) continue;
+        if (NoisyContains(v.ToDisplayString(), sample, policy)) {
+          EXPECT_TRUE(std::binary_search(fast.begin(), fast.end(),
+                                         static_cast<storage::RowId>(r)))
+              << "missing matching row " << r << " ('"
+              << v.ToDisplayString() << "')";
+        }
+      }
+    }
+  }
+}
+
+TEST(InvertedIndexTest, RandomizedEquivalenceSweep) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const storage::Relation rel = MakeRandomRelation(seed, 150);
+    const InvertedIndex index(rel, 0);
+    Rng rng(seed * 977 + 5);
+    for (int round = 0; round < 60; ++round) {
+      // Sample a (possibly typo'd) fragment of a real value, so probes hit.
+      std::string sample;
+      const storage::RowId row =
+          static_cast<storage::RowId>(rng.Index(rel.num_rows()));
+      const storage::Value& v = rel.at(row, 0);
+      if (!v.is_null() && !v.ToDisplayString().empty() &&
+          rng.Bernoulli(0.8)) {
+        const std::string text = v.ToDisplayString();
+        const size_t start = rng.Index(text.size());
+        const size_t len = 1 + rng.Index(text.size() - start);
+        sample = text.substr(start, len);
+      } else {
+        sample = rng.Bernoulli(0.5) ? "zzz" : "..";
+      }
+      const MatchPolicy policy =
+          rng.Bernoulli(0.5)
+              ? MatchPolicy::Substring()
+              : MatchPolicy::Fuzzy(rng.Index(3));
+      SCOPED_TRACE(StrFormat("seed=%llu mode=%d d=%zu sample='%s'",
+                             static_cast<unsigned long long>(seed),
+                             static_cast<int>(policy.mode),
+                             policy.max_edit_distance, sample.c_str()));
+      EXPECT_EQ(index.CandidateRows(sample, policy),
+                index.ScanCandidateRows(sample, policy));
+    }
+  }
+}
+
+TEST(InvertedIndexTest, ProbeStatsCounters) {
+  const storage::Relation rel = MakeTitleRelation();
+  const InvertedIndex index(rel, 0);
+
+  ProbeStats stats;
+  index.CandidateRows("wood", MatchPolicy::Substring(), &stats);
+  EXPECT_GT(stats.candidates_examined, 0u);
+  EXPECT_EQ(stats.scan_fallbacks, 0u);
+  EXPECT_EQ(stats.all_rows_fallbacks, 0u);
+
+  // Punctuation-only sample: all-rows fallback, flagged for the memo guard.
+  stats = {};
+  const auto all = index.CandidateRows("...", MatchPolicy::Substring(), &stats);
+  EXPECT_EQ(stats.all_rows_fallbacks, 1u);
+  EXPECT_EQ(all.size(), index.num_indexed_rows());
+
+  // Edit bound beyond the deletion index: counted dictionary-scan fallback.
+  stats = {};
+  index.CandidateRows("wod", MatchPolicy::Fuzzy(3), &stats);
+  EXPECT_EQ(stats.scan_fallbacks, 1u);
+}
+
+// ------------------------------------------------------------ ProbeCache --
+
+RowSet MakeRows(std::vector<storage::RowId> rows) {
+  return std::make_shared<const std::vector<storage::RowId>>(std::move(rows));
+}
+
+TEST(ProbeCacheTest, LookupRoundTripAndMiss) {
+  ProbeCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "harry"), nullptr);
+  cache.Insert(0, 0, 1, "harry", MakeRows({1, 2}));
+  const RowSet hit = cache.Lookup(0, 0, 1, "harry");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<storage::RowId>{1, 2}));
+  // Any key component change misses.
+  EXPECT_EQ(cache.Lookup(1, 0, 1, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 1, 1, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 2, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "harr"), nullptr);
+}
+
+TEST(ProbeCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Each entry costs 2 (key) + 80 (10 rows) + 96 (overhead) = 178 bytes;
+  // the budget fits four of them (712 <= 760) and 178 <= 760/4, so a fifth
+  // insert must evict the least recently used.
+  ProbeCache cache(760);
+  cache.Insert(0, 0, 1, "aa", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, "bb", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, "cc", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, "dd", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_EQ(cache.stats().entries, 4u);
+  // Touch "aa" so "bb" becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(0, 0, 1, "aa"), nullptr);
+  cache.Insert(0, 0, 1, "ee", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "bb"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(0, 0, 1, "aa"), nullptr);  // survived (recent)
+  EXPECT_NE(cache.Lookup(0, 0, 1, "ee"), nullptr);
+  const ProbeCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_used, 760u);
+}
+
+TEST(ProbeCacheTest, HandleSurvivesEviction) {
+  ProbeCache cache(760);
+  cache.Insert(0, 0, 1, "aa", MakeRows({7, 8}));
+  const RowSet handle = cache.Lookup(0, 0, 1, "aa");
+  ASSERT_NE(handle, nullptr);
+  for (int i = 0; i < 50; ++i) {  // flush "aa" out of the cache
+    cache.Insert(0, 0, 1, "key" + std::to_string(i),
+                 MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  }
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "aa"), nullptr);
+  EXPECT_EQ(*handle, (std::vector<storage::RowId>{7, 8}));  // still valid
+}
+
+TEST(ProbeCacheTest, RejectsOversizedEntries) {
+  ProbeCache cache(1024);
+  // 512 rows * 8 bytes is far beyond budget/4.
+  cache.Insert(0, 0, 1, "big",
+               MakeRows(std::vector<storage::RowId>(512, 1)));
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "big"), nullptr);
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ProbeCacheTest, ZeroBudgetDisablesCaching) {
+  ProbeCache cache(0);
+  cache.Insert(0, 0, 1, "aa", MakeRows({1}));
+  EXPECT_EQ(cache.Lookup(0, 0, 1, "aa"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 // -------------------------------------------------------- FullTextEngine --
@@ -257,7 +467,7 @@ TEST(FullTextEngineTest, FindOccurrencesLikePaperExample) {
   const auto occurrences = engine.FindOccurrences("James Cameron");
   ASSERT_EQ(occurrences.size(), 1u);
   EXPECT_EQ(engine.AttributeName(occurrences[0].attr), "person.name");
-  EXPECT_EQ(occurrences[0].rows, (std::vector<storage::RowId>{0}));
+  EXPECT_EQ(*occurrences[0].rows, (std::vector<storage::RowId>{0}));
 
   EXPECT_TRUE(engine.FindOccurrences("nonexistent xyz").empty());
 }
@@ -266,10 +476,14 @@ TEST(FullTextEngineTest, MatchingRowsCachedAndVerified) {
   storage::Database db = MakeFigure2Db();
   const FullTextEngine engine(&db, MatchPolicy::Substring());
   const AttributeRef title{db.FindRelation("movie"), 1};
-  const auto& rows1 = engine.MatchingRows(title, "Harry");
-  const auto& rows2 = engine.MatchingRows(title, "Harry");
-  EXPECT_EQ(&rows1, &rows2);  // memoized
-  EXPECT_EQ(rows1, (std::vector<storage::RowId>{1}));
+  const RowSet rows1 = engine.MatchingRows(title, "Harry");
+  const RowSet rows2 = engine.MatchingRows(title, "Harry");
+  EXPECT_EQ(rows1.get(), rows2.get());  // memoized: same shared row set
+  EXPECT_EQ(*rows1, (std::vector<storage::RowId>{1}));
+  const ProbeStats totals = engine.probe_totals();
+  EXPECT_EQ(totals.probes, 2u);
+  EXPECT_EQ(totals.memo_hits, 1u);
+  EXPECT_EQ(totals.memo_misses, 1u);
 }
 
 TEST(FullTextEngineTest, NonIndexedAttributeYieldsNothing) {
@@ -277,8 +491,58 @@ TEST(FullTextEngineTest, NonIndexedAttributeYieldsNothing) {
   const FullTextEngine engine(&db, MatchPolicy::Substring());
   // movie.mid is an int64 key: not indexed.
   const AttributeRef mid{db.FindRelation("movie"), 0};
-  EXPECT_TRUE(engine.MatchingRows(mid, "0").empty());
+  EXPECT_TRUE(engine.MatchingRows(mid, "0")->empty());
   EXPECT_EQ(engine.num_indexed_attributes(), 2u);  // movie.title, person.name
+}
+
+TEST(FullTextEngineTest, PunctuationOnlySampleNeverMemoized) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  const AttributeRef title{db.FindRelation("movie"), 1};
+  // A punctuation-only sample degrades to the all-rows candidate fallback;
+  // its result must never enter the probe memo (satellite guard: degenerate
+  // probes must not flush the working set).
+  EXPECT_TRUE(engine.MatchingRows(title, "...")->empty());
+  EXPECT_TRUE(engine.MatchingRows(title, "...")->empty());
+  const ProbeStats totals = engine.probe_totals();
+  EXPECT_EQ(totals.probes, 2u);
+  EXPECT_EQ(totals.memo_hits, 0u);  // second probe recomputed, not cached
+  EXPECT_EQ(totals.memo_misses, 2u);
+  EXPECT_EQ(totals.all_rows_fallbacks, 2u);
+  EXPECT_EQ(engine.probe_cache_stats().entries, 0u);
+}
+
+TEST(FullTextEngineTest, CountersFlowToCallerAccumulator) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  const AttributeRef title{db.FindRelation("movie"), 1};
+  ProbeCounters counters;
+  engine.MatchingRows(title, "Harry", &counters);
+  engine.MatchingRows(title, "Harry", &counters);
+  const ProbeStats stats = counters.Snapshot();
+  EXPECT_EQ(stats.probes, 2u);
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.memo_misses, 1u);
+  EXPECT_GT(stats.candidates_examined, 0u);
+}
+
+TEST(FullTextEngineTest, DisabledCacheStillCorrect) {
+  storage::Database db = MakeFigure2Db();
+  EngineOptions options;
+  options.probe_cache_bytes = 0;
+  const FullTextEngine engine(&db, MatchPolicy::Substring(), options);
+  const AttributeRef title{db.FindRelation("movie"), 1};
+  EXPECT_EQ(*engine.MatchingRows(title, "Harry"),
+            (std::vector<storage::RowId>{1}));
+  EXPECT_EQ(*engine.MatchingRows(title, "Harry"),
+            (std::vector<storage::RowId>{1}));
+  EXPECT_EQ(engine.probe_totals().memo_hits, 0u);
+}
+
+TEST(FullTextEngineTest, ReportsIndexBytes) {
+  storage::Database db = MakeFigure2Db();
+  const FullTextEngine engine(&db, MatchPolicy::Substring());
+  EXPECT_GT(engine.index_bytes(), 0u);
 }
 
 TEST(FullTextEngineTest, RowContainsAndScore) {
@@ -363,7 +627,7 @@ TEST(NumericTest, EngineMatchesNumericSamplesWhenEnabled) {
   const auto occurrences = engine.FindOccurrences("95000");
   ASSERT_EQ(occurrences.size(), 1u);
   EXPECT_EQ(engine.AttributeName(occurrences[0].attr), "employee.salary");
-  EXPECT_EQ(occurrences[0].rows, (std::vector<storage::RowId>{0}));
+  EXPECT_EQ(*occurrences[0].rows, (std::vector<storage::RowId>{0}));
 
   // Integer-typed column.
   const auto levels = engine.FindOccurrences("9");
