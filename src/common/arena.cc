@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace mweaver {
@@ -11,6 +12,9 @@ Arena::Arena(size_t initial_block_bytes)
     : initial_block_bytes_(std::max<size_t>(initial_block_bytes, 64)) {}
 
 Arena::Block& Arena::AddBlock(size_t min_bytes) {
+  // Chaos site: a latency spike exactly when the tuple-path arena grows
+  // (the moment a real allocator would stall on a new mapping).
+  (void)MW_FAILPOINT_FIRE("common.arena.grow");
   size_t capacity = blocks_.empty()
                         ? initial_block_bytes_
                         : std::min(blocks_.back().capacity * 2, kMaxBlockBytes);

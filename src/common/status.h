@@ -23,6 +23,9 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  /// A transient failure worth retrying (injected faults, flaky backends).
+  /// The service layer retries exactly once before reporting kFailed.
+  kUnavailable,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -74,6 +77,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -95,6 +101,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,5 +1,6 @@
 #include "core/execution_context.h"
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace mweaver::core {
@@ -63,6 +64,12 @@ bool ExecutionContext::ShouldStop() {
     return false;
   }
   clock_reads_.fetch_add(1, std::memory_order_relaxed);
+  // Chaos site (throttled branch only, so the tight-loop fast path stays
+  // untouched): a spurious deadline expiry at a clock read.
+  if (MW_FAILPOINT_TRIGGERED("core.deadline.poll")) {
+    stopped_.store(true, std::memory_order_relaxed);
+    return true;
+  }
   const SearchClock::time_point now =
       now_fn_ != nullptr ? now_fn_() : SearchClock::now();
   if (now >= deadline_) {

@@ -3,6 +3,7 @@
 #include <set>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 
@@ -123,6 +124,10 @@ Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
     const query::PathExecutor& executor, const PairwiseMappingMap& pmpm,
     const LocationMap& locations, const SearchOptions& options,
     ExecutionContext& ctx, PairwiseStats* stats) {
+  // Chaos site: a transient failure at the pairwise-execution stage (the
+  // stage issuing the approximate-search queries, i.e. the place a real
+  // storage backend would flake).
+  MW_FAILPOINT_RETURN_NOT_OK("core.pairwise.exec");
   // Flatten the work list so the per-mapping queries can run in parallel;
   // results are merged back in flattened order, keeping the output
   // deterministic for any thread count.
@@ -153,6 +158,12 @@ Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
   // thread-safe (relaxed atomics), so workers poll the shared context
   // directly.
   ParallelFor(work.size(), options.num_threads, [&](size_t idx) {
+    // Chaos site: a spurious cancel landing mid-enumeration (client
+    // disconnect). Unlike core.weave.step this is reachable for two-column
+    // targets, where the weave loop never runs.
+    if (MW_FAILPOINT_FIRE("core.pairwise.step") == FailAction::kCancel) {
+      ctx.RequestStop();
+    }
     if (ctx.ShouldStop()) return;
     results[idx] = executor.Execute(*work[idx].mapping, work[idx].samples,
                                     exec_options, &ctx);

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace mweaver::core {
@@ -43,6 +44,12 @@ std::vector<TuplePath> GenerateCompleteTuplePaths(const PairwiseTupleMap& ptpm,
     std::vector<TuplePath> next;
     std::set<std::string> seen;
     for (const TuplePath& base : level) {
+      // Chaos site: a spurious cancellation landing mid-weave, exactly as a
+      // client disconnect would — the run must still surface a classified,
+      // truncated result.
+      if (MW_FAILPOINT_FIRE("core.weave.step") == FailAction::kCancel) {
+        ctx.RequestStop();
+      }
       // One stop check per base path: bases fan out into many weave
       // attempts, so this bounds the overrun without a clock read per
       // attempt (ShouldStop throttles clock reads further).

@@ -3,6 +3,7 @@
 #include <future>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/sample_search.h"
@@ -64,6 +65,9 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn() {
       return std::move(*hit);
     }
     metrics_.RecordCacheLookup(/*hit=*/false);
+    // Chaos site: the backend flaking at search dispatch. Injects an
+    // Unavailable status, which Process() absorbs with one retry.
+    MW_FAILPOINT_RETURN_NOT_OK("service.search.transient");
     MW_ASSIGN_OR_RETURN(
         core::SearchResult result,
         core::SampleSearch(*engine_, *schema_graph_, first_row, opts, ctx));
@@ -102,7 +106,10 @@ Status MappingService::Enqueue(InputRequest request,
     if (shutdown_) {
       return Status::FailedPrecondition("service is shutting down");
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    // Chaos site: forced admission rejection — the client sees the same
+    // kOverloaded backpressure a genuinely full queue produces.
+    if (MW_FAILPOINT_TRIGGERED("service.queue.admit") ||
+        queue_.size() >= options_.max_queue_depth) {
       metrics_.RecordRequest(RequestOutcome::kOverloaded, 0.0);
       return Status::ResourceExhausted(
           "request queue full; back off and retry");
@@ -132,6 +139,9 @@ RequestResult MappingService::Call(InputRequest request) {
 }
 
 void MappingService::DrainOne() {
+  // Chaos site: a worker stalling between dequeue token and dispatch
+  // (scheduler hiccup, page fault storm) — eats into request deadlines.
+  (void)MW_FAILPOINT_FIRE("service.worker.dispatch");
   QueuedRequest queued;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -166,35 +176,55 @@ RequestResult MappingService::Process(const QueuedRequest& queued) {
     return finish(RequestOutcome::kTruncated, Status::OK());
   }
 
-  tls_last_search_was_cache_hit = false;
-  Status status = sessions_.WithSession(
-      queued.request.session_id, [&](core::Session& session) {
-        const bool was_awaiting =
-            session.state() == core::SessionState::kAwaitingFirstRow;
-        // Arm the per-request deadline on the session's execution context
-        // (options stay immutable — the cache keys on their fingerprint).
-        session.context().set_deadline(queued.deadline);
-        Status input = session.Input(queued.request.row, queued.request.col,
-                                     queued.request.value);
-        session.context().clear_deadline();
-        result.state = session.state();
-        result.num_candidates = session.candidates().size();
-        // `truncated` describes THIS request: only the input that fired
-        // the first-row search can be cut short by the deadline (stats
-        // persist on the session afterwards, so don't re-report them for
-        // later pruning inputs).
-        const bool search_ran_now =
-            was_awaiting &&
-            session.state() != core::SessionState::kAwaitingFirstRow;
-        result.truncated = search_ran_now && session.search_stats().truncated;
-        return input;
-      });
-  result.cache_hit = tls_last_search_was_cache_hit;
+  auto attempt = [&]() -> Status {
+    tls_last_search_was_cache_hit = false;
+    Status status = sessions_.WithSession(
+        queued.request.session_id, [&](core::Session& session) {
+          const bool was_awaiting =
+              session.state() == core::SessionState::kAwaitingFirstRow;
+          // Arm the per-request deadline on the session's execution context
+          // (options stay immutable — the cache keys on their fingerprint).
+          session.context().set_deadline(queued.deadline);
+          Status input = session.Input(queued.request.row, queued.request.col,
+                                       queued.request.value);
+          session.context().clear_deadline();
+          result.state = session.state();
+          result.num_candidates = session.candidates().size();
+          // `truncated` describes THIS request: only the input that fired
+          // the first-row search can be cut short by the deadline (stats
+          // persist on the session afterwards, so don't re-report them for
+          // later pruning inputs).
+          const bool search_ran_now =
+              was_awaiting &&
+              session.state() != core::SessionState::kAwaitingFirstRow;
+          result.truncated =
+              search_ran_now && session.search_stats().truncated;
+          return input;
+        });
+    result.cache_hit = tls_last_search_was_cache_hit;
+    return status;
+  };
+
+  Status status = attempt();
+  // Graceful degradation: a transient (Unavailable) failure gets exactly
+  // one retry. A failed search leaves the session in kAwaitingFirstRow
+  // with its grid intact, so replaying the same Input is idempotent; a
+  // second Unavailable is reported as the failure it is.
+  if (status.IsUnavailable() &&
+      core::SearchClock::now() < queued.deadline) {
+    metrics_.RecordSearchRetry();
+    result.truncated = false;
+    status = attempt();
+    if (status.ok()) result.degraded = true;
+  }
   if (!status.ok()) {
     return finish(RequestOutcome::kFailed, std::move(status));
   }
-  return finish(result.truncated ? RequestOutcome::kTruncated
-                                 : RequestOutcome::kOk,
+  // Truncation wins over degradation: the client must know the result is
+  // partial before caring how it got there.
+  return finish(result.truncated  ? RequestOutcome::kTruncated
+                : result.degraded ? RequestOutcome::kDegraded
+                                  : RequestOutcome::kOk,
                 Status::OK());
 }
 

@@ -81,6 +81,11 @@ struct RequestResult {
   bool truncated = false;
   /// The first-row search was answered from the result cache.
   bool cache_hit = false;
+  /// The request succeeded only after the service retried a transient
+  /// (Unavailable) failure. Reported as kDegraded unless the retry was
+  /// also truncated (truncation wins: the client must know the result is
+  /// partial).
+  bool degraded = false;
   /// Admission-to-completion latency (queue wait included).
   double latency_ms = 0.0;
 };

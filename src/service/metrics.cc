@@ -12,6 +12,8 @@ const char* RequestOutcomeName(RequestOutcome outcome) {
       return "overloaded";
     case RequestOutcome::kTruncated:
       return "truncated";
+    case RequestOutcome::kDegraded:
+      return "degraded";
     case RequestOutcome::kFailed:
       return "failed";
   }
@@ -61,13 +63,16 @@ double MetricsSnapshot::ApproxStageLatencyPercentileMs(
 
 std::string MetricsSnapshot::ToString() const {
   std::string out = StrFormat(
-      "requests: %llu ok, %llu truncated, %llu failed, %llu overloaded | "
+      "requests: %llu ok, %llu truncated, %llu degraded, %llu failed, "
+      "%llu overloaded | retries: %llu | "
       "cache: %llu hits / %llu misses (%.1f%%) | queue high-water: %llu | "
       "latency p50/p95/p99 <= %.2f/%.2f/%.2f ms",
       static_cast<unsigned long long>(requests_ok),
       static_cast<unsigned long long>(requests_truncated),
+      static_cast<unsigned long long>(requests_degraded),
       static_cast<unsigned long long>(requests_failed),
       static_cast<unsigned long long>(requests_overloaded),
+      static_cast<unsigned long long>(search_retries),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), CacheHitRate() * 100.0,
       static_cast<unsigned long long>(queue_high_water),
@@ -114,6 +119,9 @@ void ServiceMetrics::RecordRequest(RequestOutcome outcome, double latency_ms) {
     case RequestOutcome::kTruncated:
       truncated_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RequestOutcome::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case RequestOutcome::kFailed:
       failed_.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -134,6 +142,10 @@ void ServiceMetrics::RecordQueueDepth(size_t depth) {
 
 void ServiceMetrics::RecordCacheLookup(bool hit) {
   (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordSearchRetry() {
+  search_retries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServiceMetrics::RecordSearchTrace(const core::ExecutionTrace& trace) {
@@ -162,9 +174,11 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.requests_ok = ok_.load(std::memory_order_relaxed);
   snap.requests_overloaded = overloaded_.load(std::memory_order_relaxed);
   snap.requests_truncated = truncated_.load(std::memory_order_relaxed);
+  snap.requests_degraded = degraded_.load(std::memory_order_relaxed);
   snap.requests_failed = failed_.load(std::memory_order_relaxed);
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.search_retries = search_retries_.load(std::memory_order_relaxed);
   snap.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   snap.latency_buckets.resize(kNumBuckets);
   for (size_t i = 0; i < kNumBuckets; ++i) {

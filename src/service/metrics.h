@@ -25,6 +25,10 @@ enum class RequestOutcome {
   /// Processed, but the deadline (or a tuple-path cap) cut the search
   /// short; the result is partial.
   kTruncated,
+  /// Processed to completion, but only after the service retried a
+  /// transient (Unavailable) failure. The answer is complete and correct;
+  /// the flag tells operators the backend is flaking.
+  kDegraded,
   /// The session rejected the request (bad column, unknown session, ...).
   kFailed,
 };
@@ -36,10 +40,16 @@ struct MetricsSnapshot {
   uint64_t requests_ok = 0;
   uint64_t requests_overloaded = 0;
   uint64_t requests_truncated = 0;
+  uint64_t requests_degraded = 0;
   uint64_t requests_failed = 0;
 
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+
+  /// Transient search failures the service absorbed by retrying. One
+  /// retried-then-successful request bumps this once and lands in
+  /// requests_degraded (or requests_truncated if the retry was cut short).
+  uint64_t search_retries = 0;
 
   /// Deepest the request queue ever got (admission-time depth).
   uint64_t queue_high_water = 0;
@@ -69,10 +79,11 @@ struct MetricsSnapshot {
 
   uint64_t TotalRequests() const {
     return requests_ok + requests_overloaded + requests_truncated +
-           requests_failed;
+           requests_degraded + requests_failed;
   }
   uint64_t CompletedRequests() const {
-    return requests_ok + requests_truncated + requests_failed;
+    return requests_ok + requests_truncated + requests_degraded +
+           requests_failed;
   }
   /// Hits / (hits + misses); 0 when the cache was never consulted.
   double CacheHitRate() const;
@@ -96,6 +107,8 @@ class ServiceMetrics {
   void RecordRequest(RequestOutcome outcome, double latency_ms);
   void RecordQueueDepth(size_t depth);
   void RecordCacheLookup(bool hit);
+  /// \brief Counts one absorbed transient search failure (retry issued).
+  void RecordSearchRetry();
   /// \brief Folds one search's per-stage trace into the per-stage latency
   /// histograms.
   void RecordSearchTrace(const core::ExecutionTrace& trace);
@@ -106,9 +119,11 @@ class ServiceMetrics {
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> overloaded_{0};
   std::atomic<uint64_t> truncated_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> search_retries_{0};
   std::atomic<uint64_t> queue_high_water_{0};
   std::array<std::atomic<uint64_t>, kNumBuckets> latency_buckets_{};
   std::array<std::array<std::atomic<uint64_t>, kNumBuckets>,

@@ -1,5 +1,6 @@
 #include "service/result_cache.h"
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace mweaver::service {
@@ -45,6 +46,9 @@ std::optional<core::SearchResult> ResultCache::Lookup(const std::string& key) {
 void ResultCache::Insert(const std::string& key, core::SearchResult result) {
   if (capacity_ == 0) return;
   if (result.stats.truncated) return;  // never replay partial results
+  // Chaos site: a dropped result-cache insert; like the probe memo, losing
+  // one only forces recomputation on the next identical request.
+  if (MW_FAILPOINT_TRIGGERED("service.result_cache.insert")) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {

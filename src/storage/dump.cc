@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "storage/csv.h"
 
@@ -211,6 +212,9 @@ Result<Database> LoadDatabase(std::istream* in) {
 
   auto flush_pending = [&]() -> Status {
     if (!has_pending) return Status::OK();
+    // Chaos site: relation materialization failing mid-load (short read,
+    // corrupt page) — the load must fail cleanly, not half-register.
+    MW_FAILPOINT_RETURN_NOT_OK("storage.load.relation");
     if (pending_attrs.size() != pending_declared) {
       return Status::InvalidArgument(StrFormat(
           "relation '%s' declares %zu attributes but lists %zu",
@@ -286,6 +290,8 @@ Result<Database> LoadDatabase(std::istream* in) {
         return Status::InvalidArgument("bad fk record at line " +
                                        std::to_string(line_no));
       }
+      // Chaos site: FK resolution faulting while the catalog is wired up.
+      MW_FAILPOINT_RETURN_NOT_OK("storage.load.foreign_key");
       MW_ASSIGN_OR_RETURN(ForeignKeyId fk_id,
                           db.AddForeignKey(fields[1], fields[2], fields[3],
                                            fields[4]));

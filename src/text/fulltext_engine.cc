@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "common/hash_util.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -54,6 +55,9 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
                              ? options.build_threads
                              : ThreadPool::Shared().num_threads();
   ParallelFor(indexed_attrs_.size(), threads, [&](size_t i) {
+    // Chaos site: latency spikes during the parallel n-gram/deletion index
+    // build (builds cannot fail, so only kDelay is meaningful here).
+    (void)MW_FAILPOINT_FIRE("text.index.build");
     const AttributeRef& ref = indexed_attrs_[i];
     indexes_[i] = std::make_unique<InvertedIndex>(db->relation(ref.relation),
                                                   ref.attribute);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "text/postings.h"
 #include "text/tokenizer.h"
@@ -108,6 +109,14 @@ void InvertedIndex::FuzzyTokenIds(const std::string& token, size_t max_edit,
 std::vector<storage::RowId> InvertedIndex::CandidateRows(
     const std::string& sample, const MatchPolicy& policy,
     ProbeStats* stats) const {
+  // Chaos site: the accelerated lookup "faults" and the probe degrades to
+  // the frozen linear-scan reference. Graceful by construction — both paths
+  // return identical candidate sets (the equivalence the property tests
+  // pin down), so callers only see latency, never different rows.
+  if (MW_FAILPOINT_TRIGGERED("text.lookup.fast_path")) {
+    if (stats != nullptr) ++stats->scan_fallbacks;
+    return ScanCandidateRows(sample, policy);
+  }
   const std::vector<std::string> sample_tokens = Tokenize(sample);
   if (sample_tokens.empty()) {
     // Punctuation-only samples: the index cannot narrow anything down.

@@ -1,5 +1,6 @@
 #include "text/probe_cache.h"
 
+#include "common/failpoint.h"
 #include "common/hash_util.h"
 #include "common/logging.h"
 
@@ -41,9 +42,22 @@ void ProbeCache::Insert(storage::RelationId relation,
                         storage::AttributeId attribute, uint64_t policy_fp,
                         std::string_view sample, RowSet rows) {
   MW_CHECK(rows != nullptr);
+  // Chaos site: a dropped memo insert. The cache is purely an accelerator,
+  // so losing an insert must only cost recomputation, never correctness.
+  if (MW_FAILPOINT_TRIGGERED("text.probe_cache.insert")) return;
   Key key{relation, attribute, policy_fp, std::string(sample)};
   const size_t bytes = EntryBytes(key, rows);
   std::lock_guard<std::mutex> lock(mu_);
+  // Chaos site: a forced full eviction (cache-pressure overflow) right
+  // before this insert lands — exercises cold-probe paths under load.
+  if (MW_FAILPOINT_TRIGGERED("text.probe_cache.evict")) {
+    while (!lru_.empty()) {
+      auto victim = entries_.find(*lru_.back());
+      MW_CHECK(victim != entries_.end());
+      EvictLocked(victim);
+      ++evictions_;
+    }
+  }
   if (budget_bytes_ == 0 || bytes > budget_bytes_ / 4) {
     ++rejected_oversize_;
     return;

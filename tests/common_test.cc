@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 
 #include "common/arena.h"
+#include "common/failpoint.h"
 #include "common/hash_util.h"
 #include "common/parallel.h"
 #include "common/random.h"
@@ -410,6 +413,174 @@ TEST(LoggingTest, LevelsRoundTrip) {
 
 TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH({ MW_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+// ------------------------------------------------------------ Failpoints --
+
+TEST(FailpointTest, DisarmedSiteIsInert) {
+  EXPECT_EQ(MW_FAILPOINT_FIRE("test.fp.inert"), FailAction::kNone);
+  EXPECT_FALSE(MW_FAILPOINT_TRIGGERED("test.fp.inert"));
+  Failpoint* site = FailpointRegistry::Global().Find("test.fp.inert");
+  ASSERT_NE(site, nullptr);
+  EXPECT_FALSE(site->armed());
+  // Disarmed hits are not even counted: the fast path takes no lock.
+  EXPECT_EQ(site->stats().hits, 0u);
+}
+
+TEST(FailpointTest, ArmDisarmRoundTrip) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kTrigger;
+  {
+    ScopedFailpoint armed("test.fp.roundtrip", policy);
+    EXPECT_TRUE(armed.site().armed());
+    EXPECT_TRUE(MW_FAILPOINT_TRIGGERED("test.fp.roundtrip"));
+    EXPECT_EQ(FailpointRegistry::Global().ArmedSites(),
+              std::vector<std::string>{"test.fp.roundtrip"});
+  }
+  EXPECT_FALSE(MW_FAILPOINT_TRIGGERED("test.fp.roundtrip"));
+  EXPECT_TRUE(FailpointRegistry::Global().ArmedSites().empty());
+}
+
+TEST(FailpointTest, ErrorInjectionCarriesCodeAndSiteName) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kError;
+  policy.message = "disk gremlin";
+  ScopedFailpoint armed("test.fp.error", policy);
+  const Status st = armed.site().FireStatus();
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_NE(st.message().find("test.fp.error"), std::string::npos);
+  EXPECT_NE(st.message().find("disk gremlin"), std::string::npos);
+}
+
+TEST(FailpointTest, SkipFirstAndMaxFiresBoundTheWindow) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kTrigger;
+  policy.skip_first = 2;
+  policy.max_fires = 3;
+  ScopedFailpoint armed("test.fp.window", policy);
+  int fired = 0;
+  for (int hit = 0; hit < 10; ++hit) {
+    if (armed.site().Fire() == FailAction::kTrigger) {
+      ++fired;
+      // Window: exactly hits 2, 3, 4 fire (0-indexed).
+      EXPECT_GE(hit, 2);
+      EXPECT_LE(hit, 4);
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(armed.site().stats().hits, 10u);
+  EXPECT_EQ(armed.site().stats().fires, 3u);
+}
+
+TEST(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kTrigger;
+  policy.probability = 0.5;
+  policy.seed = 1234;
+  auto roll = [&]() {
+    std::vector<bool> fires;
+    ScopedFailpoint armed("test.fp.dice", policy);
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(armed.site().Fire() == FailAction::kTrigger);
+    }
+    return fires;
+  };
+  const std::vector<bool> first = roll();
+  const std::vector<bool> second = roll();
+  EXPECT_EQ(first, second);  // same seed, same schedule
+  // And the dice actually land on both sides.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+
+  policy.seed = 5678;
+  ScopedFailpoint armed("test.fp.dice", policy);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) {
+    other.push_back(armed.site().Fire() == FailAction::kTrigger);
+  }
+  EXPECT_NE(first, other);  // different seed, different schedule
+}
+
+TEST(FailpointTest, DelayActionSleeps) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kDelay;
+  policy.delay = std::chrono::microseconds(2000);
+  policy.max_fires = 1;
+  ScopedFailpoint armed("test.fp.delay", policy);
+  Stopwatch watch;
+  EXPECT_EQ(armed.site().Fire(), FailAction::kDelay);
+  EXPECT_GE(watch.ElapsedMillis(), 1.0);
+  EXPECT_EQ(armed.site().Fire(), FailAction::kNone);  // limit reached
+}
+
+TEST(FailpointTest, ReturnNotOkMacroPropagatesInjectedError) {
+  auto guarded = []() -> Status {
+    MW_FAILPOINT_RETURN_NOT_OK("test.fp.macro");
+    return Status::OK();
+  };
+  EXPECT_TRUE(guarded().ok());
+  FailpointPolicy policy;
+  policy.action = FailAction::kError;
+  policy.error_code = StatusCode::kIOError;
+  ScopedFailpoint armed("test.fp.macro", policy);
+  EXPECT_TRUE(guarded().IsIOError());
+}
+
+TEST(FailpointRegistryTest, ConfigureFromStringArmsSites) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry
+                  .ConfigureFromString(
+                      "test.fp.cfg.a=trigger:p=0.25:after=3:limit=9:seed=11;"
+                      "test.fp.cfg.b=error(ioerror);"
+                      "test.fp.cfg.c=delay(250us);"
+                      "test.fp.cfg.d=cancel")
+                  .ok());
+  const std::vector<std::string> armed = registry.ArmedSites();
+  EXPECT_EQ(armed.size(), 4u);
+  EXPECT_TRUE(registry.Find("test.fp.cfg.b")->FireStatus().IsIOError());
+  EXPECT_EQ(registry.Find("test.fp.cfg.d")->Fire(), FailAction::kCancel);
+  // 'off' disarms in the same syntax.
+  ASSERT_TRUE(registry
+                  .ConfigureFromString(
+                      "test.fp.cfg.a=off;test.fp.cfg.b=off;"
+                      "test.fp.cfg.c=off;test.fp.cfg.d=off")
+                  .ok());
+  EXPECT_TRUE(registry.ArmedSites().empty());
+}
+
+TEST(FailpointRegistryTest, ConfigureFromStringRejectsMalformedSpecs) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  EXPECT_TRUE(registry.ConfigureFromString("no-equals-sign")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.ConfigureFromString("x=explode").IsInvalidArgument());
+  EXPECT_TRUE(registry.ConfigureFromString("x=error(bogus)")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.ConfigureFromString("x=delay(10)")  // missing unit
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.ConfigureFromString("x=trigger:p=nope")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.ConfigureFromString("x=trigger:frobnicate=1")
+                  .IsInvalidArgument());
+  registry.DisarmAll();  // drop any site a partial parse armed
+  EXPECT_TRUE(registry.ArmedSites().empty());
+}
+
+TEST(FailpointTest, ConcurrentFiresStayWithinLimit) {
+  FailpointPolicy policy;
+  policy.action = FailAction::kTrigger;
+  policy.max_fires = 100;
+  ScopedFailpoint armed("test.fp.concurrent", policy);
+  std::atomic<int> fired{0};
+  ParallelFor(8, 8, [&](size_t) {
+    for (int i = 0; i < 100; ++i) {
+      if (armed.site().Fire() == FailAction::kTrigger) {
+        fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(armed.site().stats().hits, 800u);
+  EXPECT_EQ(armed.site().stats().fires, 100u);
 }
 
 }  // namespace

@@ -27,105 +27,17 @@ namespace {
 using ::mweaver::testing::AddRow;
 using ::mweaver::testing::I;
 using ::mweaver::testing::IdAttr;
+using ::mweaver::testing::MakeUniversityDb;
 using ::mweaver::testing::S;
 using ::mweaver::testing::StrAttr;
 
-// ------------------------------------------------------------ university --
-
-// A compact schema with branching join paths, a diamond (dept-prof and
-// dept-course both directly and via teaches), and overlapping values —
-// small enough that the naive enumeration stays exhaustive-but-cheap.
-storage::Database MakeUniversityDb(uint64_t seed, size_t people = 12) {
-  using storage::Database;
-  using storage::RelationSchema;
-  Database db("university");
-  db.AddRelation(RelationSchema("dept", {IdAttr("did"), StrAttr("name")}))
-      .ValueOrDie();
-  db.AddRelation(RelationSchema("prof", {IdAttr("pid"), StrAttr("name")}))
-      .ValueOrDie();
-  db.AddRelation(RelationSchema("course", {IdAttr("cid"), StrAttr("title")}))
-      .ValueOrDie();
-  db.AddRelation(RelationSchema("teaches", {IdAttr("pid"), IdAttr("cid")}))
-      .ValueOrDie();
-  db.AddRelation(RelationSchema("worksin", {IdAttr("pid"), IdAttr("did")}))
-      .ValueOrDie();
-  db.AddRelation(RelationSchema("offers", {IdAttr("did"), IdAttr("cid")}))
-      .ValueOrDie();
-  db.AddForeignKey("teaches", "pid", "prof", "pid").ValueOrDie();
-  db.AddForeignKey("teaches", "cid", "course", "cid").ValueOrDie();
-  db.AddForeignKey("worksin", "pid", "prof", "pid").ValueOrDie();
-  db.AddForeignKey("worksin", "did", "dept", "did").ValueOrDie();
-  db.AddForeignKey("offers", "did", "dept", "did").ValueOrDie();
-  db.AddForeignKey("offers", "cid", "course", "cid").ValueOrDie();
-
-  Rng rng(seed);
-  // Overlapping word pools make values collide across attributes, which is
-  // what stresses the location map and the weave.
-  static const char* kWords[] = {"logic",   "systems", "algebra",
-                                 "networks", "theory",  "data",
-                                 "graphics", "compilers"};
-  static const char* kNames[] = {"Ada",  "Turing", "Church", "Gauss",
-                                 "Noether", "Erdos", "Hopper", "Dijkstra"};
-  const size_t depts = 4, courses = 8;
-  for (size_t d = 0; d < depts; ++d) {
-    AddRow(&db, "dept",
-           {I(static_cast<int64_t>(d)),
-            S(std::string(kWords[rng.Index(8)]) + " department")});
-  }
-  for (size_t p = 0; p < people; ++p) {
-    AddRow(&db, "prof",
-           {I(static_cast<int64_t>(p)), S(kNames[rng.Index(8)])});
-  }
-  for (size_t c = 0; c < courses; ++c) {
-    AddRow(&db, "course",
-           {I(static_cast<int64_t>(c)),
-            S(std::string(kWords[rng.Index(8)]) + " " +
-              kWords[rng.Index(8)])});
-  }
-  for (size_t p = 0; p < people; ++p) {
-    AddRow(&db, "teaches",
-           {I(static_cast<int64_t>(p)),
-            I(static_cast<int64_t>(rng.Index(courses)))});
-    if (rng.Bernoulli(0.5)) {
-      AddRow(&db, "teaches",
-             {I(static_cast<int64_t>(p)),
-              I(static_cast<int64_t>(rng.Index(courses)))});
-    }
-    AddRow(&db, "worksin",
-           {I(static_cast<int64_t>(p)),
-            I(static_cast<int64_t>(rng.Index(depts)))});
-  }
-  for (size_t c = 0; c < courses; ++c) {
-    AddRow(&db, "offers",
-           {I(static_cast<int64_t>(rng.Index(depts))),
-            I(static_cast<int64_t>(c))});
-  }
-  return db;
-}
-
-// Draws a random existing value from a random searchable attribute.
+// Shared-builder shorthands (tests/test_util.h).
 std::string RandomValue(const storage::Database& db, Rng* rng) {
-  for (int attempts = 0; attempts < 64; ++attempts) {
-    const auto rel_id =
-        static_cast<storage::RelationId>(rng->Index(db.num_relations()));
-    const storage::Relation& rel = db.relation(rel_id);
-    if (rel.num_rows() == 0) continue;
-    const auto& attrs = rel.schema().attributes();
-    const auto attr = rng->Index(attrs.size());
-    if (attrs[attr].type != storage::ValueType::kString) continue;
-    const storage::Value& v = rel.at(
-        static_cast<storage::RowId>(rng->Index(rel.num_rows())),
-        static_cast<storage::AttributeId>(attr));
-    if (!v.is_null()) return v.AsString();
-  }
-  return "logic";
+  return testing::RandomSearchableValue(db, rng);
 }
-
 std::set<std::string> CanonicalSet(
     const std::vector<core::CandidateMapping>& candidates) {
-  std::set<std::string> out;
-  for (const auto& c : candidates) out.insert(c.mapping.Canonical());
-  return out;
+  return testing::CanonicalMappingSet(candidates);
 }
 
 // --------------------- TPW == Naive (sound + complete, Section 4.6) -------

@@ -1,0 +1,165 @@
+// Property-based equivalence tests (seeded, replayable):
+//
+//   1. On many random mini-databases, the full TPW pipeline returns exactly
+//      the mapping set of the brute-force naive baseline — the paper's
+//      soundness + completeness claim, fuzzed across schema instances
+//      instead of a handful of fixed seeds.
+//   2. The accelerated text lookup equals the frozen linear-scan reference
+//      row-for-row even while fault injection randomly forces scan
+//      fallbacks and evicts/drops probe-memo entries mid-stream: cache
+//      chaos may cost recomputation, never rows.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/naive_search.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "core/sample_search.h"
+#include "graph/schema_graph.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+#include "text/inverted_index.h"
+#include "text/match.h"
+
+namespace mweaver {
+namespace {
+
+using ::mweaver::testing::CanonicalMappingSet;
+using ::mweaver::testing::MakeRandomTextRelation;
+using ::mweaver::testing::MakeUniversityDb;
+using ::mweaver::testing::RandomSearchableValue;
+
+// ------------------------- TPW == naive on 50+ random mini-databases ------
+
+// Each seed builds a fresh random database (schema fixed, contents and FK
+// wiring random), draws one random sample tuple, and demands exact mapping-
+// set agreement between the accelerated pipeline and the brute-force
+// baseline. Failures print the seed, so any counterexample replays alone.
+TEST(TpwNaiveEquivalenceProperty, AgreesOnRandomDatabases) {
+  constexpr int kDatabases = 50;
+  for (int seed = 0; seed < kDatabases; ++seed) {
+    SCOPED_TRACE("database seed " + std::to_string(seed));
+    const storage::Database db =
+        MakeUniversityDb(7'000 + static_cast<uint64_t>(seed),
+                         /*people=*/8 + seed % 5);
+    const text::FullTextEngine engine(&db, text::MatchPolicy::Substring());
+    const graph::SchemaGraph graph(&db);
+    Rng rng(40'000 + static_cast<uint64_t>(seed) * 13);
+
+    const int m = 2 + seed % 3;  // target widths 2..4
+    std::vector<std::string> sample_tuple;
+    for (int i = 0; i < m; ++i) {
+      sample_tuple.push_back(RandomSearchableValue(db, &rng));
+    }
+
+    auto tpw = core::SampleSearch(engine, graph, sample_tuple);
+    ASSERT_TRUE(tpw.ok()) << tpw.status().ToString();
+
+    baselines::NaiveOptions naive_options;
+    naive_options.enumeration.max_candidates = 500'000;
+    auto naive =
+        baselines::NaiveSampleSearch(engine, graph, sample_tuple,
+                                     naive_options, nullptr);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+
+    std::set<std::string> naive_canon;
+    for (const auto& mp : *naive) naive_canon.insert(mp.Canonical());
+    EXPECT_EQ(CanonicalMappingSet(tpw->candidates), naive_canon)
+        << "m=" << m << " first sample: '" << sample_tuple[0] << "'";
+  }
+}
+
+// ------------- Accelerated text path == scan reference under cache chaos --
+
+// Random samples drawn from real (typo'd, punctuated) values, probed while
+// three failpoints misbehave: forced scan fallbacks at p=0.5, dropped
+// probe-memo inserts at p=0.5, and full memo evictions at p=0.3. The
+// accelerated candidate path must stay row-identical to the frozen
+// reference throughout.
+TEST(TextEquivalenceProperty, FastPathEqualsScanUnderInjectedEvictions) {
+  FailpointPolicy fallback;
+  fallback.action = FailAction::kTrigger;
+  fallback.probability = 0.5;
+  fallback.seed = 101;
+  FailpointPolicy dropped_insert = fallback;
+  dropped_insert.seed = 202;
+  FailpointPolicy evict_all = fallback;
+  evict_all.probability = 0.3;
+  evict_all.seed = 303;
+
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    SCOPED_TRACE("relation seed " + std::to_string(seed));
+    const storage::Relation rel = MakeRandomTextRelation(seed, 200);
+    const text::InvertedIndex index(rel, 0);
+    Rng rng(seed * 31 + 1);
+
+    ScopedFailpoint fp_fallback("text.lookup.fast_path", fallback);
+    ScopedFailpoint fp_insert("text.probe_cache.insert", dropped_insert);
+    ScopedFailpoint fp_evict("text.probe_cache.evict", evict_all);
+
+    for (int round = 0; round < 80; ++round) {
+      // Sample a (possibly mangled) fragment of a real value so probes hit.
+      std::string sample = "zzz";
+      const storage::RowId row =
+          static_cast<storage::RowId>(rng.Index(rel.num_rows()));
+      const storage::Value& v = rel.at(row, 0);
+      if (!v.is_null() && !v.ToDisplayString().empty()) {
+        const std::string text = v.ToDisplayString();
+        const size_t start = rng.Index(text.size());
+        const size_t len = 1 + rng.Index(text.size() - start);
+        sample = text.substr(start, len);
+      }
+      const text::MatchPolicy policy =
+          rng.Bernoulli(0.5) ? text::MatchPolicy::Substring()
+                             : text::MatchPolicy::Fuzzy(rng.Index(3));
+      SCOPED_TRACE("round " + std::to_string(round) + " sample '" + sample +
+                   "'");
+      EXPECT_EQ(index.CandidateRows(sample, policy, nullptr),
+                index.ScanCandidateRows(sample, policy));
+    }
+  }
+  EXPECT_TRUE(FailpointRegistry::Global().ArmedSites().empty());
+}
+
+// Engine-level version of the same property: FindOccurrences through the
+// (chaos-ridden) probe memo equals a pristine engine's answer, attribute
+// set and row set alike.
+TEST(TextEquivalenceProperty, EngineOccurrencesUnaffectedByCacheChaos) {
+  const storage::Database db = MakeUniversityDb(91);
+  const text::FullTextEngine clean(&db, text::MatchPolicy::Substring());
+  const text::FullTextEngine faulted(&db, text::MatchPolicy::Substring());
+
+  // Compute the fault-free answers first — arming is process-global, so
+  // the reference pass must finish before the chaos pass starts.
+  Rng rng(555);
+  std::vector<std::string> samples;
+  std::vector<std::vector<text::Occurrence>> expected;
+  for (int round = 0; round < 60; ++round) {
+    samples.push_back(RandomSearchableValue(db, &rng));
+    expected.push_back(clean.FindOccurrences(samples.back(), nullptr));
+  }
+
+  FailpointPolicy chaos;
+  chaos.action = FailAction::kTrigger;
+  chaos.probability = 0.5;
+  chaos.seed = 404;
+  ScopedFailpoint fp_fallback("text.lookup.fast_path", chaos);
+  ScopedFailpoint fp_insert("text.probe_cache.insert", chaos);
+  ScopedFailpoint fp_evict("text.probe_cache.evict", chaos);
+
+  for (size_t round = 0; round < samples.size(); ++round) {
+    const auto actual = faulted.FindOccurrences(samples[round], nullptr);
+    ASSERT_EQ(actual.size(), expected[round].size())
+        << "sample '" << samples[round] << "'";
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].attr, expected[round][i].attr);
+      EXPECT_EQ(*actual[i].rows, *expected[round][i].rows);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mweaver

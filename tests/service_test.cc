@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/sample_search.h"
 #include "core/session.h"
@@ -396,6 +397,149 @@ TEST(ServiceMetricsTest, OutcomeCountersAndHistogram) {
   EXPECT_LE(snapshot.ApproxLatencyPercentileMs(0.5),
             snapshot.ApproxLatencyPercentileMs(0.99));
   EXPECT_FALSE(snapshot.ToString().empty());
+}
+
+TEST(ServiceMetricsTest, DegradedOutcomeAndRetryCounters) {
+  ServiceMetrics metrics;
+  metrics.RecordRequest(RequestOutcome::kOk, 0.1);
+  metrics.RecordRequest(RequestOutcome::kDegraded, 5.0);
+  metrics.RecordRequest(RequestOutcome::kDegraded, 6.0);
+  metrics.RecordSearchRetry();
+  metrics.RecordSearchRetry();
+  metrics.RecordSearchRetry();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.requests_ok, 1u);
+  EXPECT_EQ(snapshot.requests_degraded, 2u);
+  EXPECT_EQ(snapshot.search_retries, 3u);
+  EXPECT_EQ(snapshot.TotalRequests(), 3u);
+  EXPECT_EQ(snapshot.CompletedRequests(), 3u);
+  EXPECT_STREQ(RequestOutcomeName(RequestOutcome::kDegraded), "degraded");
+  EXPECT_NE(snapshot.ToString().find("degraded"), std::string::npos);
+}
+
+// ------------------------------------------- Degradation (fault-injected) --
+
+TEST_F(ServiceTest, TransientSearchFailureRetriedOnceAndReportedDegraded) {
+  MappingService svc(&engine_, &graph_);
+  const SessionId id = *svc.CreateSession({"Name"});
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+
+  FailpointPolicy policy;
+  policy.action = FailAction::kError;  // injects kUnavailable by default
+  policy.max_fires = 1;                // first attempt fails, retry succeeds
+  RequestResult result;
+  {
+    ScopedFailpoint armed("service.search.transient", policy);
+    result = svc.Call(request);
+  }
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.outcome, RequestOutcome::kDegraded);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_GT(result.num_candidates, 0u);
+
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_degraded, 1u);
+  EXPECT_EQ(snapshot.search_retries, 1u);
+  EXPECT_EQ(snapshot.requests_failed, 0u);
+  EXPECT_EQ(snapshot.requests_ok, 0u);
+  // Both attempts consulted the cache and missed.
+  EXPECT_EQ(snapshot.cache_misses, 2u);
+  EXPECT_EQ(snapshot.cache_hits, 0u);
+
+  // The degraded result matches a clean-run search exactly.
+  auto clean = core::SampleSearch(engine_, graph_, {"Avatar"});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result.num_candidates, clean->candidates.size());
+}
+
+TEST_F(ServiceTest, PersistentTransientFailureFailsAfterOneRetry) {
+  MappingService svc(&engine_, &graph_);
+  const SessionId id = *svc.CreateSession({"Name"});
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+
+  FailpointPolicy policy;
+  policy.action = FailAction::kError;  // unlimited: the retry fails too
+  RequestResult result;
+  uint64_t injected = 0;
+  {
+    ScopedFailpoint armed("service.search.transient", policy);
+    result = svc.Call(request);
+    injected = armed.site().stats().fires;
+  }
+  EXPECT_TRUE(result.status.IsUnavailable()) << result.status;
+  EXPECT_EQ(result.outcome, RequestOutcome::kFailed);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(injected, 2u);  // exactly one retry: two injected failures
+
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_failed, 1u);
+  EXPECT_EQ(snapshot.search_retries, 1u);
+  EXPECT_EQ(snapshot.requests_degraded, 0u);
+
+  // The failure left the session replayable: the same keystroke now
+  // succeeds cleanly (no stale grid or half-run search state).
+  RequestResult replay = svc.Call(request);
+  ASSERT_TRUE(replay.status.ok()) << replay.status;
+  EXPECT_EQ(replay.outcome, RequestOutcome::kOk);
+  EXPECT_GT(replay.num_candidates, 0u);
+}
+
+TEST_F(ServiceTest, ForcedAdmissionRejectionCountsAsOverloaded) {
+  MappingService svc(&engine_, &graph_);
+  const SessionId id = *svc.CreateSession({"Name"});
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+
+  FailpointPolicy policy;
+  policy.action = FailAction::kTrigger;
+  policy.max_fires = 1;
+  {
+    ScopedFailpoint armed("service.queue.admit", policy);
+    Status rejected = svc.Enqueue(request, [](RequestResult) {});
+    EXPECT_TRUE(rejected.IsResourceExhausted()) << rejected;
+  }
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_EQ(snapshot.requests_overloaded, 1u);
+
+  // Disarmed, the same request sails through.
+  RequestResult result = svc.Call(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServiceTest, ForcedScanFallbackKeepsResultsAndCountsInMetrics) {
+  // Degraded text path: the accelerated lookup faults and every probe runs
+  // the frozen linear scan. Results must be identical; the degradation is
+  // visible only in the scan-fallback counter.
+  MappingService svc(&engine_, &graph_);
+  const SessionId id = *svc.CreateSession({"Name"});
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+
+  RequestResult result;
+  {
+    FailpointPolicy force_scan;
+    force_scan.action = FailAction::kTrigger;
+    ScopedFailpoint armed("text.lookup.fast_path", force_scan);
+    result = svc.Call(request);
+  }
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.outcome, RequestOutcome::kOk);
+
+  const MetricsSnapshot snapshot = svc.SnapshotMetrics();
+  EXPECT_GT(snapshot.text_scan_fallbacks, 0u);
+
+  auto clean = core::SampleSearch(engine_, graph_, {"Avatar"});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result.num_candidates, clean->candidates.size());
 }
 
 }  // namespace

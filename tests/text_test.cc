@@ -16,6 +16,7 @@ namespace mweaver::text {
 namespace {
 
 using ::mweaver::testing::MakeFigure2Db;
+using ::mweaver::testing::MakeRandomTextRelation;
 using ::mweaver::testing::S;
 using ::mweaver::testing::StrAttr;
 
@@ -249,39 +250,9 @@ TEST(InvertedIndexTest, CountsTokensAndRows) {
   EXPECT_GT(index.index_bytes(), 0u);
 }
 
-// Builds a relation of random multi-word values over a small vocabulary,
-// with typo'd words, punctuation-only rows and nulls mixed in — the shapes
-// that stress the n-gram / deletion-neighborhood candidate paths.
+// Random-relation builder shared with property_test (tests/test_util.h).
 storage::Relation MakeRandomRelation(uint64_t seed, size_t num_rows) {
-  const char* vocab[] = {"avatar", "cameron",  "harbor",  "crimson",
-                         "story",  "potter",   "wood",    "ed",
-                         "night",  "aardvark", "2009",    "x",
-                         "weaver", "mapping",  "sample"};
-  Rng rng(seed);
-  storage::Relation rel(
-      storage::RelationSchema("random", {StrAttr("value")}));
-  for (size_t r = 0; r < num_rows; ++r) {
-    if (rng.Bernoulli(0.05)) {
-      rel.AppendUnchecked({storage::Value::Null()});
-      continue;
-    }
-    if (rng.Bernoulli(0.05)) {
-      rel.AppendUnchecked({S("!!!")});  // tokenizes to nothing
-      continue;
-    }
-    std::string value;
-    const size_t words = 1 + rng.Index(4);
-    for (size_t w = 0; w < words; ++w) {
-      std::string word = vocab[rng.Index(std::size(vocab))];
-      if (rng.Bernoulli(0.15) && word.size() > 2) {
-        word[rng.Index(word.size())] = 'q';  // plant a typo
-      }
-      if (!value.empty()) value += rng.Bernoulli(0.2) ? "-" : " ";
-      value += word;
-    }
-    rel.AppendUnchecked({S(value)});
-  }
-  return rel;
+  return MakeRandomTextRelation(seed, num_rows);
 }
 
 // The tentpole contract: for every match mode and edit bound, the
