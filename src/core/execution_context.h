@@ -14,16 +14,19 @@
 //    service-layer metrics.
 //
 // Thread-safety: ShouldStop(), RequestStop() and stop_requested() are safe
-// from any thread (the pairwise-execution stage polls from ParallelFor
-// workers, and cancellation tokens fire from client threads). The arena and
-// the trace are single-threaded: only the stage that owns the context's
-// thread may allocate or open spans.
+// from any thread (cancellation tokens fire from client threads). The arena
+// and the trace are single-threaded: only the stage that owns the context's
+// thread may allocate or open spans. Parallel stages therefore never share
+// one context across workers — each worker gets a child view (ForkChild)
+// that shares the deadline/cancel/stop latch but owns its own counters,
+// merged back deterministically at the stage barrier (MergeChild).
 #ifndef MWEAVER_CORE_EXECUTION_CONTEXT_H_
 #define MWEAVER_CORE_EXECUTION_CONTEXT_H_
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <memory_resource>
 #include <string>
 
@@ -34,15 +37,19 @@
 
 namespace mweaver::core {
 
-/// \brief The five stages of the TPW pipeline (Section 4.3).
+/// \brief The five stages of the TPW pipeline (Section 4.3), plus the
+/// interactive refinement path's pruning stage (Section 5), which runs per
+/// keystroke after the first-row search and shares the same trace/metrics
+/// plumbing.
 enum class SearchStage {
   kLocate = 0,
   kPairwiseGen,
   kPairwiseExec,
   kWeave,
   kRank,
+  kPrune,
 };
-inline constexpr size_t kNumSearchStages = 5;
+inline constexpr size_t kNumSearchStages = 6;
 
 const char* SearchStageName(SearchStage stage);
 
@@ -50,8 +57,11 @@ const char* SearchStageName(SearchStage stage);
 struct StageTrace {
   double wall_ms = 0.0;
   /// Stage-specific unit count: occurrences located, mappings generated,
-  /// queries executed, paths woven, candidates ranked.
+  /// queries executed, paths woven, candidates ranked or pruned.
   uint64_t items = 0;
+  /// Worker contexts the stage fanned out over (0 = the stage never ran a
+  /// parallel region; parallel stages record min(num_threads, work items)).
+  uint64_t workers = 0;
   /// The stage ended with the stop latch set (deadline/cancel observed).
   bool stopped_early = false;
 };
@@ -132,8 +142,33 @@ class ExecutionContext {
     return stopped_.load(std::memory_order_relaxed);
   }
 
-  /// \brief Trips the latch directly (tests, fatal downstream errors).
-  void RequestStop() { stopped_.store(true, std::memory_order_relaxed); }
+  /// \brief Trips the latch directly (tests, fatal downstream errors,
+  /// chaos-injected cancels). On a child view the stop propagates to the
+  /// parent, so sibling workers observe it at their next poll.
+  void RequestStop() {
+    stopped_.store(true, std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->RequestStop();
+  }
+
+  // ------------------------------------------------- parallel child views --
+
+  /// \brief Forks a child view for one parallel-stage worker. The child
+  /// shares the parent's deadline, cancellation token, test clock and stop
+  /// latch (a stop on either side is observed by the other at the next
+  /// poll), but owns its poll counters, probe counters, arena and trace —
+  /// so workers never contend on the parent's single-threaded state. The
+  /// parent must outlive the child; fold the child's counters back with
+  /// MergeChild() after the parallel region's barrier.
+  std::unique_ptr<ExecutionContext> ForkChild();
+
+  /// \brief Folds one child view's counters (stop checks, clock reads,
+  /// probe stats) into this context. Call after the parallel region ends,
+  /// in fixed worker order, so merged totals are deterministic.
+  void MergeChild(const ExecutionContext& child);
+
+  /// \brief Records that `stage` fanned out over `workers` worker contexts
+  /// (keeps the maximum across repeated parallel regions of one stage).
+  void RecordStageWorkers(SearchStage stage, uint64_t workers);
 
   // --------------------------------------------------------------- arena --
 
@@ -207,6 +242,9 @@ class ExecutionContext {
   const std::atomic<bool>* cancel_ = nullptr;
   size_t memory_budget_bytes_ = 0;
   NowFn now_fn_ = nullptr;
+  // Set on child views only (ForkChild): the context whose stop latch this
+  // view mirrors. The parent outlives its children by contract.
+  ExecutionContext* parent_ = nullptr;
 
   // Stop plumbing (multi-threaded).
   std::atomic<bool> stopped_{false};

@@ -1,22 +1,25 @@
 #include "core/location_map.h"
 
+#include "core/parallel_stage.h"
+
 namespace mweaver::core {
 
 LocationMap LocationMap::Build(const text::FullTextEngine& engine,
                                const std::vector<std::string>& sample_tuple,
-                               ExecutionContext* ctx) {
+                               ExecutionContext* ctx, size_t num_threads) {
   LocationMap map;
-  map.columns_.reserve(sample_tuple.size());
-  for (size_t i = 0; i < sample_tuple.size(); ++i) {
-    ColumnLocations col;
-    col.target_column = static_cast<int>(i);
-    col.sample = sample_tuple[i];
-    if (!col.sample.empty() && !(ctx != nullptr && ctx->ShouldStop())) {
-      col.occurrences = engine.FindOccurrences(
-          col.sample, ctx != nullptr ? &ctx->probe_counters() : nullptr);
-    }
-    map.columns_.push_back(std::move(col));
-  }
+  map.columns_.resize(sample_tuple.size());
+  ParallelStageFor(
+      ctx, SearchStage::kLocate, sample_tuple.size(), num_threads,
+      [&](ExecutionContext* c, size_t i) {
+        ColumnLocations& col = map.columns_[i];
+        col.target_column = static_cast<int>(i);
+        col.sample = sample_tuple[i];
+        if (!col.sample.empty() && !(c != nullptr && c->ShouldStop())) {
+          col.occurrences = engine.FindOccurrences(
+              col.sample, c != nullptr ? &c->probe_counters() : nullptr);
+        }
+      });
   return map;
 }
 

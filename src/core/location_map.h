@@ -25,11 +25,15 @@ class LocationMap {
   /// \brief Runs Algorithm 1: one full-text lookup per sample. Empty
   /// samples yield empty occurrence lists (the caller decides whether that
   /// is an error; the Session requires a fully-populated first row). When
-  /// `ctx` is given, the deadline/cancel token is polled between column
-  /// lookups; remaining columns are left empty after a stop.
+  /// `ctx` is given, the deadline/cancel token is polled before each column
+  /// lookup; columns not examined after a stop are left empty. With
+  /// `num_threads > 1` the per-column lookups run in parallel on child
+  /// context views; each column's occurrences land in its own slot, so the
+  /// map is identical for any thread count.
   static LocationMap Build(const text::FullTextEngine& engine,
                            const std::vector<std::string>& sample_tuple,
-                           ExecutionContext* ctx = nullptr);
+                           ExecutionContext* ctx = nullptr,
+                           size_t num_threads = 1);
 
   /// \brief Builds a location map from explicit attribute sets (no
   /// occurrence rows). Used by schema-level enumeration (the naive baseline

@@ -42,9 +42,11 @@ struct SearchOptions {
   /// display/explanation (scores are computed over all of them regardless).
   size_t retained_tuple_paths_per_mapping = 3;
 
-  /// Worker threads for the pairwise tuple-path creation step (the
+  /// Worker threads for the parallel stages of the search core: the
+  /// per-column location probes, the pairwise tuple-path creation step (the
   /// dominant cost of sample search: one approximate-search query per
-  /// pairwise mapping). 1 = sequential. Results are deterministic
+  /// pairwise mapping), and the per-candidate pruning probes of the
+  /// interactive path. 1 = sequential. Results are deterministic
   /// regardless of the thread count.
   size_t num_threads = 1;
 

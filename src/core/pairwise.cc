@@ -5,7 +5,7 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
-#include "common/parallel.h"
+#include "core/parallel_stage.h"
 
 namespace mweaver::core {
 
@@ -153,21 +153,23 @@ Result<PairwiseTupleMap> CreatePairwiseTuplePaths(
       work.size(), Result<std::vector<TuplePath>>(std::vector<TuplePath>{}));
   // One stop check per query keeps the overhead negligible (each query is
   // orders of magnitude heavier than a clock read, and ShouldStop itself
-  // throttles clock reads); the sticky latch inside the context makes late
-  // work items skip without re-reading the clock. ShouldStop is
-  // thread-safe (relaxed atomics), so workers poll the shared context
-  // directly.
-  ParallelFor(work.size(), options.num_threads, [&](size_t idx) {
-    // Chaos site: a spurious cancel landing mid-enumeration (client
-    // disconnect). Unlike core.weave.step this is reachable for two-column
-    // targets, where the weave loop never runs.
-    if (MW_FAILPOINT_FIRE("core.pairwise.step") == FailAction::kCancel) {
-      ctx.RequestStop();
-    }
-    if (ctx.ShouldStop()) return;
-    results[idx] = executor.Execute(*work[idx].mapping, work[idx].samples,
-                                    exec_options, &ctx);
-  });
+  // throttles clock reads); the sticky latch makes late work items skip
+  // without re-reading the clock. Each worker polls and records through its
+  // own child context view; a stop observed by one (deadline, cancel, the
+  // chaos failpoint below) propagates to the rest via the shared latch.
+  ParallelStageFor(
+      &ctx, SearchStage::kPairwiseExec, work.size(), options.num_threads,
+      [&](ExecutionContext* wctx, size_t idx) {
+        // Chaos site: a spurious cancel landing mid-enumeration (client
+        // disconnect). Unlike core.weave.step this is reachable for
+        // two-column targets, where the weave loop never runs.
+        if (MW_FAILPOINT_FIRE("core.pairwise.step") == FailAction::kCancel) {
+          wctx->RequestStop();
+        }
+        if (wctx->ShouldStop()) return;
+        results[idx] = executor.Execute(*work[idx].mapping, work[idx].samples,
+                                        exec_options, wctx);
+      });
 
   PairwiseTupleMap ptpm;
   PairwiseStats local;

@@ -1,0 +1,38 @@
+#include "core/parallel_stage.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace mweaver::core {
+
+size_t ParallelStageFor(
+    ExecutionContext* parent, SearchStage stage, size_t n, size_t num_threads,
+    const std::function<void(ExecutionContext*, size_t)>& fn) {
+  if (n == 0) return 0;
+  const size_t workers = ParallelWorkerCount(n, num_threads);
+  if (workers <= 1 || parent == nullptr) {
+    // Serial path: run on the parent directly. A null parent stays null —
+    // stages accept optional contexts and parallelism without one would
+    // have no deadline or counters to share anyway.
+    for (size_t i = 0; i < n; ++i) fn(parent, i);
+    return workers;
+  }
+
+  std::vector<std::unique_ptr<ExecutionContext>> children;
+  children.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) children.push_back(parent->ForkChild());
+
+  ParallelFor(n, num_threads, [&children, &fn](size_t worker, size_t i) {
+    fn(children[worker].get(), i);
+  });
+
+  // The barrier has passed: fold the children back in worker order so the
+  // parent's counters accumulate identically across runs and thread counts.
+  for (const auto& child : children) parent->MergeChild(*child);
+  parent->RecordStageWorkers(stage, workers);
+  return workers;
+}
+
+}  // namespace mweaver::core

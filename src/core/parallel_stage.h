@@ -1,0 +1,37 @@
+// ParallelStageFor: the bridge between the TPW pipeline's per-request
+// ExecutionContext and the worker-identified ParallelFor. One call runs a
+// pipeline stage's per-item work over min(num_threads, n) workers, handing
+// each worker its own child context view (shared deadline/cancel/stop
+// latch, private counters) and folding the children back into the parent
+// in fixed worker order once the region's barrier passes — so the merged
+// counters, like the per-index results the callers write, are identical
+// for every thread count.
+#ifndef MWEAVER_CORE_PARALLEL_STAGE_H_
+#define MWEAVER_CORE_PARALLEL_STAGE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/execution_context.h"
+
+namespace mweaver::core {
+
+/// \brief Invokes `fn(ctx, i)` for every i in [0, n) on up to `num_threads`
+/// workers, where `ctx` is the worker's own context view. The serial path
+/// (num_threads <= 1, n <= 1, or `parent == nullptr`) calls `fn(parent, i)`
+/// inline on the caller — byte-for-byte today's single-threaded behavior.
+/// The parallel path forks one child view per worker, runs the loop, merges
+/// every child back into `parent` in worker order, and records the fan-out
+/// on `stage`'s trace. Blocks until all invocations finish. Returns the
+/// number of worker contexts used (1 on the serial path, 0 for n == 0).
+///
+/// `fn` must not touch `parent` directly on the parallel path (poll and
+/// record through the context it is handed), and results must be written to
+/// per-index slots so the output order never depends on scheduling.
+size_t ParallelStageFor(ExecutionContext* parent, SearchStage stage, size_t n,
+                        size_t num_threads,
+                        const std::function<void(ExecutionContext*, size_t)>& fn);
+
+}  // namespace mweaver::core
+
+#endif  // MWEAVER_CORE_PARALLEL_STAGE_H_

@@ -1,52 +1,90 @@
 #include "core/pruning.h"
 
-#include <algorithm>
+#include <utility>
+
+#include "core/parallel_stage.h"
 
 namespace mweaver::core {
+
+namespace {
+
+// Compacts `candidates` in place, keeping index order, dropping every entry
+// whose drop flag is set. Returns the number removed.
+size_t CompactDropped(std::vector<CandidateMapping>* candidates,
+                      const std::vector<unsigned char>& drop) {
+  const size_t before = candidates->size();
+  size_t out = 0;
+  for (size_t i = 0; i < before; ++i) {
+    if (drop[i]) continue;
+    if (out != i) (*candidates)[out] = std::move((*candidates)[i]);
+    ++out;
+  }
+  candidates->resize(out);
+  return before - out;
+}
+
+}  // namespace
 
 size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
                         const std::string& sample,
                         std::vector<CandidateMapping>* candidates,
-                        ExecutionContext* ctx) {
-  const size_t before = candidates->size();
-  text::ProbeCounters* counters =
-      ctx != nullptr ? &ctx->probe_counters() : nullptr;
-  candidates->erase(
-      std::remove_if(
-          candidates->begin(), candidates->end(),
-          [&](const CandidateMapping& c) {
-            const Projection* p = c.mapping.FindProjection(target_column);
-            if (p == nullptr) return true;  // malformed: drop
-            const storage::RelationId rel =
-                c.mapping.vertex(p->vertex).relation;
-            return engine
+                        ExecutionContext* ctx, size_t num_threads) {
+  // drop[i] set => candidate i was examined and disproven (or malformed).
+  // Unexamined candidates — the deadline/cancel fired before their probe —
+  // keep their zero: a stop may only leave extra candidates, never remove
+  // valid ones. A pre-expired deadline therefore costs zero probes.
+  std::vector<unsigned char> drop(candidates->size(), 0);
+  ParallelStageFor(
+      ctx, SearchStage::kPrune, candidates->size(), num_threads,
+      [&](ExecutionContext* c, size_t i) {
+        const CandidateMapping& cand = (*candidates)[i];
+        const Projection* p = cand.mapping.FindProjection(target_column);
+        if (p == nullptr) {  // malformed: drop, no probe needed
+          drop[i] = 1;
+          return;
+        }
+        if (c != nullptr && c->ShouldStop()) return;
+        const storage::RelationId rel = cand.mapping.vertex(p->vertex).relation;
+        if (engine
                 .MatchingRows(text::AttributeRef{rel, p->attribute}, sample,
-                              counters)
-                ->empty();
-          }),
-      candidates->end());
-  return before - candidates->size();
+                              c != nullptr ? &c->probe_counters() : nullptr)
+                ->empty()) {
+          drop[i] = 1;
+        }
+      });
+  return CompactDropped(candidates, drop);
 }
 
 Status PruneByStructure(const query::PathExecutor& executor,
                         const query::SampleMap& row_samples,
                         std::vector<CandidateMapping>* candidates,
-                        size_t* num_pruned, ExecutionContext* ctx) {
-  std::vector<CandidateMapping> kept;
-  kept.reserve(candidates->size());
-  for (CandidateMapping& c : *candidates) {
-    if (ctx != nullptr && ctx->ShouldStop()) {
-      // Unexamined candidates stay: a stop may only leave extra
-      // candidates, never remove valid ones.
-      kept.push_back(std::move(c));
-      continue;
-    }
-    MW_ASSIGN_OR_RETURN(bool supported,
-                        executor.HasSupport(c.mapping, row_samples));
-    if (supported) kept.push_back(std::move(c));
+                        size_t* num_pruned, ExecutionContext* ctx,
+                        size_t num_threads) {
+  const size_t before = candidates->size();
+  std::vector<unsigned char> drop(before, 0);
+  std::vector<Status> errors(before, Status::OK());
+  ParallelStageFor(
+      ctx, SearchStage::kPrune, before, num_threads,
+      [&](ExecutionContext* c, size_t i) {
+        if (c != nullptr && c->ShouldStop()) return;  // unexamined: keep
+        Result<bool> supported =
+            executor.HasSupport((*candidates)[i].mapping, row_samples, c);
+        if (!supported.ok()) {
+          errors[i] = supported.status();
+          return;
+        }
+        // A query cut off mid-enumeration reports false for support it did
+        // not get to find — that is "unexamined", not "disproven", so the
+        // candidate stays.
+        if (!*supported && !(c != nullptr && c->stop_requested())) {
+          drop[i] = 1;
+        }
+      });
+  for (size_t i = 0; i < before; ++i) {
+    MW_RETURN_NOT_OK(errors[i]);
   }
-  if (num_pruned != nullptr) *num_pruned = candidates->size() - kept.size();
-  *candidates = std::move(kept);
+  const size_t removed = CompactDropped(candidates, drop);
+  if (num_pruned != nullptr) *num_pruned = removed;
   return Status::OK();
 }
 

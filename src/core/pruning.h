@@ -24,23 +24,34 @@ namespace mweaver::core {
 /// \brief Pruning-by-attribute. Removes from `candidates` every mapping
 /// whose column-`target_column` projection is not among the attributes
 /// containing `sample`. Returns the number removed. When `ctx` is given,
-/// the keyword probes record into its probe counters.
+/// the deadline/cancel token is polled before each candidate's probe and
+/// the probes record into its counters; candidates not examined before a
+/// stop are kept (pruning must never drop a mapping it did not disprove),
+/// and a pre-expired deadline costs zero probes. With `num_threads > 1`
+/// the per-candidate probes run in parallel on child context views; the
+/// surviving set is identical for any thread count.
 size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
                         const std::string& sample,
                         std::vector<CandidateMapping>* candidates,
-                        ExecutionContext* ctx = nullptr);
+                        ExecutionContext* ctx = nullptr,
+                        size_t num_threads = 1);
 
 /// \brief Pruning-by-structure. `row_samples` holds every non-empty cell of
 /// one spreadsheet row (column -> sample); requires >= 2 entries to convey
 /// join information, but safely degrades to attribute-style filtering for
 /// fewer. Removes candidates with no supporting tuple path. Returns the
 /// number removed via `*num_pruned`. When `ctx` is given, the deadline is
-/// polled per candidate; candidates not examined before a stop are kept
-/// (pruning must never drop a mapping it did not disprove).
+/// polled per candidate and inside each support query; candidates not
+/// examined — or whose query was cut off before support could be found —
+/// are kept (pruning must never drop a mapping it did not disprove). With
+/// `num_threads > 1` the per-candidate support queries run in parallel on
+/// child context views; the surviving set is identical for any thread
+/// count.
 Status PruneByStructure(const query::PathExecutor& executor,
                         const query::SampleMap& row_samples,
                         std::vector<CandidateMapping>* candidates,
-                        size_t* num_pruned, ExecutionContext* ctx = nullptr);
+                        size_t* num_pruned, ExecutionContext* ctx = nullptr,
+                        size_t num_threads = 1);
 
 }  // namespace mweaver::core
 

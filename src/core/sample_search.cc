@@ -54,7 +54,8 @@ Result<SearchResult> SampleSearch(const text::FullTextEngine& engine,
   LocationMap locations;
   {
     ExecutionContext::StageSpan span = ctx.TraceStage(SearchStage::kLocate);
-    locations = LocationMap::Build(engine, sample_tuple, &ctx);
+    locations =
+        LocationMap::Build(engine, sample_tuple, &ctx, options.num_threads);
     span.AddItems(locations.TotalOccurrences());
   }
   result.stats.num_occurrences = locations.TotalOccurrences();

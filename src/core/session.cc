@@ -101,17 +101,24 @@ void Session::Reset() {
   grid_.clear();
   candidates_.clear();
   searched_ = false;
+  // A rejection from before the Reset() is not an event of the new
+  // interaction; leaving it set reports a phantom rejection.
+  last_input_rejected_ = false;
   state_ = SessionState::kAwaitingFirstRow;
   search_stats_ = SearchStats{};
   last_search_ms_ = 0.0;
   last_prune_ms_ = 0.0;
 }
 
-Result<std::vector<RowSuggestion>> Session::SuggestRows(size_t limit) const {
+Result<std::vector<RowSuggestion>> Session::SuggestRows(size_t limit) {
   SuggestOptions options;
   options.limit = limit;
+  // Suggestion queries run under the same per-request controls as search
+  // and pruning: the armed deadline/cancel token applies and the
+  // evaluation probes are visible in context().trace().
+  context_.ResetForSearch();
   query::PathExecutor executor(engine_);
-  return SuggestDiscriminatingRows(executor, candidates_, options);
+  return SuggestDiscriminatingRows(executor, candidates_, options, &context_);
 }
 
 Status Session::RunSearch() {
@@ -138,9 +145,12 @@ Status Session::RunPruning(size_t row, size_t col, const std::string& value) {
   std::vector<CandidateMapping> snapshot;
   if (reject_irrelevant_) snapshot = candidates_;
 
+  ExecutionContext::StageSpan span = context_.TraceStage(SearchStage::kPrune);
+  span.AddItems(candidates_.size());
+
   // Pruning by attribute always applies to the newly typed sample.
   PruneByAttribute(*engine_, static_cast<int>(col), value, &candidates_,
-                   &context_);
+                   &context_, options_.num_threads);
 
   // Pruning by mapping structure applies when the row carries more than one
   // sample (Section 5).
@@ -153,8 +163,10 @@ Status Session::RunPruning(size_t row, size_t col, const std::string& value) {
   if (!candidates_.empty() && row_samples.size() >= 2) {
     query::PathExecutor executor(engine_);
     MW_RETURN_NOT_OK(PruneByStructure(executor, row_samples, &candidates_,
-                                      nullptr, &context_));
+                                      nullptr, &context_,
+                                      options_.num_threads));
   }
+  span.Finish();
 
   if (reject_irrelevant_ && candidates_.empty() && !snapshot.empty()) {
     // The sample contradicts every remaining candidate: warn instead of

@@ -99,8 +99,10 @@ class Session {
   /// \brief Suggests target rows whose confirmation would prune the
   /// current candidate set (§7's "automatically suggest relevant data");
   /// see core/suggest.h. Empty before the first search or after
-  /// convergence.
-  Result<std::vector<RowSuggestion>> SuggestRows(size_t limit = 5) const;
+  /// convergence. Runs on the session's context (reset first), so the
+  /// armed deadline/cancel token applies and the evaluation probes land in
+  /// context().trace() — hence non-const.
+  Result<std::vector<RowSuggestion>> SuggestRows(size_t limit = 5);
 
   SessionState state() const { return state_; }
   bool converged() const { return state_ == SessionState::kConverged; }

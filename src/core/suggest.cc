@@ -26,7 +26,7 @@ Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
     MW_ASSIGN_OR_RETURN(
         std::vector<std::vector<std::string>> rows,
         executor.EvaluateTarget(candidates[c].mapping,
-                                options.rows_per_candidate));
+                                options.rows_per_candidate, ctx));
     for (std::vector<std::string>& row : rows) {
       support[std::move(row)].insert(c);
     }

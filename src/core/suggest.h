@@ -45,7 +45,9 @@ struct SuggestOptions {
 /// fastest and rank highest; unanimous rows are never suggested — they
 /// carry no signal). Empty when 0 or 1 candidates remain or nothing
 /// discriminates. When `ctx` is given, the deadline is polled per
-/// candidate; rows materialized so far still yield suggestions.
+/// candidate and inside each candidate's target evaluation, and the
+/// evaluation probes record into its counters; rows materialized so far
+/// still yield suggestions.
 Result<std::vector<RowSuggestion>> SuggestDiscriminatingRows(
     const query::PathExecutor& executor,
     const std::vector<CandidateMapping>& candidates,

@@ -80,6 +80,9 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn() {
 Result<SessionId> MappingService::CreateSession(
     std::vector<std::string> column_names,
     core::SearchOptions search_options) {
+  if (options_.search_parallelism > 0) {
+    search_options.num_threads = options_.search_parallelism;
+  }
   return sessions_.Create(std::move(column_names), search_options,
                           MakeCachingSearchFn());
 }
@@ -199,6 +202,13 @@ RequestResult MappingService::Process(const QueuedRequest& queued) {
               session.state() != core::SessionState::kAwaitingFirstRow;
           result.truncated =
               search_ran_now && session.search_stats().truncated;
+          // A non-empty below-first-row input on a searched session ran a
+          // pruning pass: fold its trace (kPrune latency, worker fan-out,
+          // probe counters) into the metrics. Empty values clear cells
+          // without pruning — the context still holds a stale trace then.
+          if (input.ok() && !was_awaiting && !queued.request.value.empty()) {
+            metrics_.RecordPruneTrace(session.context().trace());
+          }
           return input;
         });
     result.cache_hit = tls_last_search_was_cache_hit;

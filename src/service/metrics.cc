@@ -87,6 +87,10 @@ std::string MetricsSnapshot::ToString() const {
                      core::SearchStageName(stage),
                      ApproxStageLatencyPercentileMs(stage, 0.50),
                      ApproxStageLatencyPercentileMs(stage, 0.95));
+    if (s < stage_worker_peaks.size() && stage_worker_peaks[s] > 1) {
+      out += StrFormat(" (w%llu)",
+                       static_cast<unsigned long long>(stage_worker_peaks[s]));
+    }
   }
   if (text_probes > 0) {
     out += StrFormat(
@@ -148,15 +152,51 @@ void ServiceMetrics::RecordSearchRetry() {
   search_retries_.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+void MaxInto(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t seen = peak.load(std::memory_order_relaxed);
+  while (value > seen && !peak.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void ServiceMetrics::RecordSearchTrace(const core::ExecutionTrace& trace) {
   for (size_t s = 0; s < core::kNumSearchStages; ++s) {
+    if (static_cast<core::SearchStage>(s) == core::SearchStage::kPrune) {
+      continue;  // interactive-path stage: RecordPruneTrace owns it
+    }
     const double ms = trace.stages[s].wall_ms;
     size_t bucket = 0;
     while (bucket + 1 < kNumBuckets && ms > BucketUpperMs(bucket)) {
       ++bucket;
     }
     stage_buckets_[s][bucket].fetch_add(1, std::memory_order_relaxed);
+    MaxInto(stage_worker_peaks_[s], trace.stages[s].workers);
   }
+  const text::ProbeStats& probes = trace.text_probes;
+  text_probes_.fetch_add(probes.probes, std::memory_order_relaxed);
+  text_memo_hits_.fetch_add(probes.memo_hits, std::memory_order_relaxed);
+  text_memo_misses_.fetch_add(probes.memo_misses, std::memory_order_relaxed);
+  text_candidates_examined_.fetch_add(probes.candidates_examined,
+                                      std::memory_order_relaxed);
+  text_scan_fallbacks_.fetch_add(probes.scan_fallbacks,
+                                 std::memory_order_relaxed);
+  text_all_rows_fallbacks_.fetch_add(probes.all_rows_fallbacks,
+                                     std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordPruneTrace(const core::ExecutionTrace& trace) {
+  constexpr size_t kPruneIdx = static_cast<size_t>(core::SearchStage::kPrune);
+  const double ms = trace.stages[kPruneIdx].wall_ms;
+  size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets && ms > BucketUpperMs(bucket)) {
+    ++bucket;
+  }
+  stage_buckets_[kPruneIdx][bucket].fetch_add(1, std::memory_order_relaxed);
+  MaxInto(stage_worker_peaks_[kPruneIdx], trace.stages[kPruneIdx].workers);
   const text::ProbeStats& probes = trace.text_probes;
   text_probes_.fetch_add(probes.probes, std::memory_order_relaxed);
   text_memo_hits_.fetch_add(probes.memo_hits, std::memory_order_relaxed);
@@ -187,11 +227,14 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   }
   snap.stage_latency_buckets.assign(core::kNumSearchStages,
                                     std::vector<uint64_t>(kNumBuckets, 0));
+  snap.stage_worker_peaks.resize(core::kNumSearchStages);
   for (size_t s = 0; s < core::kNumSearchStages; ++s) {
     for (size_t i = 0; i < kNumBuckets; ++i) {
       snap.stage_latency_buckets[s][i] =
           stage_buckets_[s][i].load(std::memory_order_relaxed);
     }
+    snap.stage_worker_peaks[s] =
+        stage_worker_peaks_[s].load(std::memory_order_relaxed);
   }
   snap.text_probes = text_probes_.load(std::memory_order_relaxed);
   snap.text_memo_hits = text_memo_hits_.load(std::memory_order_relaxed);

@@ -60,9 +60,16 @@ struct MetricsSnapshot {
   std::vector<uint64_t> latency_buckets;
 
   /// stage_latency_buckets[s][i]: same bucket scheme, per TPW pipeline
-  /// stage (s indexes core::SearchStage). Recorded per uncached search
-  /// from its ExecutionTrace; cache hits contribute nothing.
+  /// stage (s indexes core::SearchStage). The search stages are recorded
+  /// per uncached search from its ExecutionTrace; the kPrune stage per
+  /// interactive pruning pass (RecordPruneTrace). Cache hits contribute
+  /// nothing.
   std::vector<std::vector<uint64_t>> stage_latency_buckets;
+
+  /// stage_worker_peaks[s]: the most worker contexts stage s ever fanned
+  /// out over in one recorded trace (0 = the stage never ran a parallel
+  /// region; serial runs report at most 1 work item per worker slot).
+  std::vector<uint64_t> stage_worker_peaks;
 
   /// Approximate-keyword-lookup counters summed over every recorded search
   /// trace: per-attribute probes, probe-memo hits/misses, candidate tokens
@@ -110,8 +117,16 @@ class ServiceMetrics {
   /// \brief Counts one absorbed transient search failure (retry issued).
   void RecordSearchRetry();
   /// \brief Folds one search's per-stage trace into the per-stage latency
-  /// histograms.
+  /// histograms and worker peaks. The kPrune stage is skipped — sample
+  /// search never runs it, and folding its empty span would fill the prune
+  /// histogram with zeroes.
   void RecordSearchTrace(const core::ExecutionTrace& trace);
+
+  /// \brief Folds one interactive pruning pass's trace: the kPrune latency
+  /// bucket, its worker peak, and the pass's text-probe counters. The
+  /// search-stage histograms are left untouched (a pruning context carries
+  /// no search spans).
+  void RecordPruneTrace(const core::ExecutionTrace& trace);
 
   MetricsSnapshot Snapshot() const;
 
@@ -129,6 +144,8 @@ class ServiceMetrics {
   std::array<std::array<std::atomic<uint64_t>, kNumBuckets>,
              core::kNumSearchStages>
       stage_buckets_{};
+  std::array<std::atomic<uint64_t>, core::kNumSearchStages>
+      stage_worker_peaks_{};
   // Text-layer probe counters folded from each search's trace.
   std::atomic<uint64_t> text_probes_{0};
   std::atomic<uint64_t> text_memo_hits_{0};

@@ -469,6 +469,100 @@ TEST_F(CoreTest, SessionRejectsIrrelevantSamplesWhenEnabled) {
   EXPECT_FALSE(session.last_input_rejected());
 }
 
+// Regression: a rejection from before Reset() must not survive it — the
+// new interaction starts with a clean flag.
+TEST_F(CoreTest, SessionResetClearsRejectionFlag) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  session.set_reject_irrelevant_samples(true);
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  ASSERT_TRUE(session.Input(1, 1, "Nobody Anywhere").ok());
+  ASSERT_TRUE(session.last_input_rejected());
+
+  session.Reset();
+  EXPECT_FALSE(session.last_input_rejected());
+}
+
+// The rollback path end to end, across a Reset()/re-search cycle: the
+// rejected cell is cleared, the candidate set is restored, and the flag
+// tracks exactly the rejecting input on both sides of the cycle.
+TEST_F(CoreTest, SessionRejectRollbackAcrossResetCycle) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  session.set_reject_irrelevant_samples(true);
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  const std::vector<CandidateMapping> before = session.candidates();
+  ASSERT_EQ(before.size(), 2u);
+
+  ASSERT_TRUE(session.Input(1, 0, "Nobody Anywhere").ok());
+  EXPECT_TRUE(session.last_input_rejected());
+  EXPECT_EQ(session.cell(1, 0), "");  // rolled back
+  ASSERT_EQ(session.candidates().size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(session.candidates()[i].mapping.Canonical(),
+              before[i].mapping.Canonical());
+  }
+
+  // Re-search after Reset(): same first row, fresh interaction. The prior
+  // rejection leaves no residue, and the rollback works again.
+  session.Reset();
+  EXPECT_FALSE(session.last_input_rejected());
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  EXPECT_FALSE(session.last_input_rejected());
+  ASSERT_EQ(session.candidates().size(), before.size());
+  ASSERT_TRUE(session.Input(1, 1, "Nobody Anywhere").ok());
+  EXPECT_TRUE(session.last_input_rejected());
+  EXPECT_EQ(session.cell(1, 1), "");
+  EXPECT_EQ(session.candidates().size(), before.size());
+  // An accepted sample clears the flag again.
+  ASSERT_TRUE(session.Input(1, 0, "Harry Potter").ok());
+  EXPECT_FALSE(session.last_input_rejected());
+}
+
+// Regression: PruneByAttribute must observe a pre-expired deadline BEFORE
+// paying any per-candidate probe, and unexamined candidates must stay.
+TEST_F(CoreTest, PruneByAttributePreExpiredDeadlineKeepsCandidates) {
+  SearchResult result = Search({"Avatar", "James Cameron"});
+  std::vector<CandidateMapping> candidates = result.candidates;
+  ASSERT_EQ(candidates.size(), 2u);
+
+  ExecutionContext ctx;
+  ctx.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
+  // "Nobody Anywhere" would disprove every candidate if probed — the
+  // expired deadline must win, keeping all of them at zero probe cost.
+  const size_t pruned =
+      PruneByAttribute(engine_, 1, "Nobody Anywhere", &candidates, &ctx);
+  EXPECT_EQ(pruned, 0u);
+  EXPECT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(ctx.trace().text_probes.probes, 0u);
+  EXPECT_TRUE(ctx.stop_requested());
+}
+
+// Regression: SuggestRows must run under the session's context — the armed
+// deadline applies and the polls/probes are visible in the trace.
+TEST_F(CoreTest, SessionSuggestRowsHonorsDeadlineAndTracesProbes) {
+  Session session(&engine_, &graph_, {"Name", "Director"});
+  ASSERT_TRUE(session.Input(0, 0, "Avatar").ok());
+  ASSERT_TRUE(session.Input(0, 1, "James Cameron").ok());
+  ASSERT_EQ(session.candidates().size(), 2u);
+
+  session.context().set_deadline(SearchClock::now() -
+                                 std::chrono::milliseconds(1));
+  auto expired = session.SuggestRows();
+  ASSERT_TRUE(expired.ok());
+  EXPECT_TRUE(expired->empty());  // no candidate evaluated past the deadline
+  EXPECT_GE(session.context().stop_checks(), 1u);
+  EXPECT_TRUE(session.context().stop_requested());
+
+  session.context().clear_deadline();
+  auto fresh = session.SuggestRows();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->empty());
+  EXPECT_FALSE(session.context().stop_requested());
+  EXPECT_GE(session.context().stop_checks(), 1u);
+}
+
 TEST_F(CoreTest, SessionEmptyCellIsIgnored) {
   Session session(&engine_, &graph_, {"Name", "Director"});
   ASSERT_TRUE(session.Input(0, 0, "").ok());
@@ -542,6 +636,48 @@ TEST(ExecutionContextTest, NoDeadlineNeverReadsClock) {
   EXPECT_EQ(g_fake_now_calls, 0u);
 }
 
+TEST(ExecutionContextTest, ChildViewSharesStopLatchBothWays) {
+  ExecutionContext parent;
+  auto a = parent.ForkChild();
+  auto b = parent.ForkChild();
+  EXPECT_FALSE(a->stop_requested());
+
+  // A stop on one worker propagates to the parent, and the sibling
+  // observes it at its next poll — without a deadline or clock read.
+  a->RequestStop();
+  EXPECT_TRUE(parent.stop_requested());
+  EXPECT_TRUE(b->ShouldStop());
+  EXPECT_EQ(b->clock_reads(), 0u);
+
+  // Children forked from an already-stopped parent are born stopped.
+  EXPECT_TRUE(parent.ForkChild()->stop_requested());
+}
+
+TEST(ExecutionContextTest, ChildInheritsDeadlineAndStopsParent) {
+  ExecutionContext parent;
+  parent.set_deadline(SearchClock::now() - std::chrono::milliseconds(1));
+  auto child = parent.ForkChild();
+  // The child's very first poll reads the inherited (expired) deadline and
+  // trips the shared latch.
+  EXPECT_TRUE(child->ShouldStop());
+  EXPECT_TRUE(parent.stop_requested());
+}
+
+TEST(ExecutionContextTest, MergeChildFoldsCounters) {
+  ExecutionContext parent;
+  auto child = parent.ForkChild();
+  for (int i = 0; i < 3; ++i) child->ShouldStop();
+  text::ProbeStats probes;
+  probes.probes = 5;
+  probes.memo_hits = 2;
+  child->probe_counters().Record(probes);
+
+  parent.MergeChild(*child);
+  EXPECT_EQ(parent.stop_checks(), 3u);
+  EXPECT_EQ(parent.trace().text_probes.probes, 5u);
+  EXPECT_EQ(parent.trace().text_probes.memo_hits, 2u);
+}
+
 // Every TPW stage must observe a pre-expired deadline: the result comes
 // back promptly, flagged, and with every stage span marked stopped-early.
 TEST_F(CoreTest, PreExpiredDeadlineTruncatesEveryStage) {
@@ -556,6 +692,9 @@ TEST_F(CoreTest, PreExpiredDeadlineTruncatesEveryStage) {
   EXPECT_TRUE(result->stats.truncated);
   EXPECT_TRUE(result->candidates.empty());
   for (size_t s = 0; s < kNumSearchStages; ++s) {
+    // kPrune belongs to the interactive refinement path; SampleSearch
+    // never opens a span for it.
+    if (static_cast<SearchStage>(s) == SearchStage::kPrune) continue;
     EXPECT_TRUE(result->stats.trace.stages[s].stopped_early)
         << SearchStageName(static_cast<SearchStage>(s));
   }

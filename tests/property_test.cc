@@ -4,7 +4,10 @@
 //      the mapping set of the brute-force naive baseline — the paper's
 //      soundness + completeness claim, fuzzed across schema instances
 //      instead of a handful of fixed seeds.
-//   2. The accelerated text lookup equals the frozen linear-scan reference
+//   2. On the same corpus, the parallel search core (and the interactive
+//      pruning path) returns byte-identical candidates to the serial path
+//      at every thread count — parallelism is a pure timing optimization.
+//   3. The accelerated text lookup equals the frozen linear-scan reference
 //      row-for-row even while fault injection randomly forces scan
 //      fallbacks and evicts/drops probe-memo entries mid-stream: cache
 //      chaos may cost recomputation, never rows.
@@ -17,7 +20,9 @@
 #include "baselines/naive_search.h"
 #include "common/failpoint.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "core/sample_search.h"
+#include "core/session.h"
 #include "graph/schema_graph.h"
 #include "test_util.h"
 #include "text/fulltext_engine.h"
@@ -69,6 +74,98 @@ TEST(TpwNaiveEquivalenceProperty, AgreesOnRandomDatabases) {
     for (const auto& mp : *naive) naive_canon.insert(mp.Canonical());
     EXPECT_EQ(CanonicalMappingSet(tpw->candidates), naive_canon)
         << "m=" << m << " first sample: '" << sample_tuple[0] << "'";
+  }
+}
+
+// ----------------- Parallel TPW == serial TPW, byte for byte --------------
+
+// Serializes everything a client can observe about one candidate list:
+// canonical mapping, full-precision score, support count, and the retained
+// example tuple paths in order. Any divergence between thread counts —
+// ordering, a float summed in a different order, a dropped example — shows
+// up as a byte difference.
+std::string SerializeCandidates(
+    const std::vector<core::CandidateMapping>& candidates) {
+  std::string out;
+  for (const core::CandidateMapping& c : candidates) {
+    out += c.mapping.Canonical();
+    out += StrFormat("|score=%.17g|support=%zu", c.score, c.support);
+    for (const core::TuplePath& tp : c.example_tuple_paths) {
+      out += "|ex:" + tp.Canonical();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// The parallel search core must be a pure timing optimization: on every
+// random database, match mode, and target width, running with 2, 4 and 7
+// workers returns byte-identical candidates to num_threads=1. Reuses the
+// TPW==naive corpus generator, cycling the match policy so the fuzzy
+// lookup paths parallelize too.
+TEST(ParallelSerialEquivalenceProperty, ByteIdenticalOnRandomDatabases) {
+  constexpr int kDatabases = 50;
+  for (int seed = 0; seed < kDatabases; ++seed) {
+    SCOPED_TRACE("database seed " + std::to_string(seed));
+    const storage::Database db =
+        MakeUniversityDb(7'000 + static_cast<uint64_t>(seed),
+                         /*people=*/8 + seed % 5);
+    const text::MatchPolicy policy =
+        seed % 3 == 0   ? text::MatchPolicy::Substring()
+        : seed % 3 == 1 ? text::MatchPolicy::Fuzzy(1)
+                        : text::MatchPolicy::Fuzzy(2);
+    const text::FullTextEngine engine(&db, policy);
+    const graph::SchemaGraph graph(&db);
+    Rng rng(40'000 + static_cast<uint64_t>(seed) * 13);
+
+    const int m = 2 + seed % 3;  // target widths 2..4
+    std::vector<std::string> sample_tuple;
+    for (int i = 0; i < m; ++i) {
+      sample_tuple.push_back(RandomSearchableValue(db, &rng));
+    }
+
+    core::SearchOptions serial_options;
+    serial_options.num_threads = 1;
+    auto serial = core::SampleSearch(engine, graph, sample_tuple,
+                                     serial_options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    const std::string expected = SerializeCandidates(serial->candidates);
+
+    for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+      SCOPED_TRACE("num_threads " + std::to_string(threads));
+      core::SearchOptions parallel_options;
+      parallel_options.num_threads = threads;
+      auto parallel = core::SampleSearch(engine, graph, sample_tuple,
+                                         parallel_options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(SerializeCandidates(parallel->candidates), expected)
+          << "m=" << m << " first sample: '" << sample_tuple[0] << "'";
+    }
+
+    // The interactive pruning path must be thread-count invariant too:
+    // drive two identical sessions (serial vs 4-way) through the same
+    // first row and refinement inputs. The second-row inputs exercise both
+    // PruneByAttribute (first cell) and PruneByStructure (second cell,
+    // once the row carries two samples) over parallel candidate shards.
+    core::SearchOptions four_way = serial_options;
+    four_way.num_threads = 4;
+    const std::vector<std::string> columns(static_cast<size_t>(m), "col");
+    core::Session serial_session(&engine, &graph, columns, serial_options);
+    core::Session parallel_session(&engine, &graph, columns, four_way);
+    for (int i = 0; i < m; ++i) {
+      ASSERT_TRUE(serial_session.Input(0, i, sample_tuple[i]).ok());
+      ASSERT_TRUE(parallel_session.Input(0, i, sample_tuple[i]).ok());
+    }
+    const std::string refine_a = RandomSearchableValue(db, &rng);
+    const std::string refine_b = RandomSearchableValue(db, &rng);
+    for (size_t col = 0; col < 2; ++col) {
+      const std::string& value = col == 0 ? refine_a : refine_b;
+      SCOPED_TRACE("refine col " + std::to_string(col) + " '" + value + "'");
+      ASSERT_TRUE(serial_session.Input(1, col, value).ok());
+      ASSERT_TRUE(parallel_session.Input(1, col, value).ok());
+      EXPECT_EQ(SerializeCandidates(parallel_session.candidates()),
+                SerializeCandidates(serial_session.candidates()));
+    }
   }
 }
 
