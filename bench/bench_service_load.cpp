@@ -1,228 +1,94 @@
-// Service-layer load test: a closed-loop generator driving the concurrent
-// MappingService the way a fleet of interactive users would.
-//
-// N client threads (MWEAVER_BENCH_CLIENTS, default 8) each replay mapping
-// sessions drawn round-robin from the Section-6.2 task workload: open a
-// session, type the first row cell by cell (firing sample search), then
-// keep typing goal-target rows until the session converges or the replay
-// rows run out. Closed loop: one outstanding request per client; an
-// overloaded (queue-full) response backs off and retries, so overloads
-// shed latency instead of queueing it.
-//
-// Reported: QPS, exact p50/p95/p99 request latency, queue high-water mark,
-// cache hit rate (clients replay the same tasks, so repeated first rows
-// hit), overload retries, and failed (non-overload) requests — the process
-// exits non-zero if any request failed.
+// Service-layer load test, now a thin wrapper over the phased workload
+// harness (src/workload/). The historical closed-loop generator lives on
+// as a one-phase scenario built from the same environment knobs; the
+// session-replay loop itself is the harness's "pruner" actor
+// (workload/actors.h), and percentile math comes from the shared
+// aggregator instead of a local copy.
 //
 // Knobs (environment): MWEAVER_BENCH_MOVIES (default 80),
 // MWEAVER_BENCH_CLIENTS (8), MWEAVER_BENCH_SESSIONS (6 per client),
 // MWEAVER_BENCH_WORKERS (4), MWEAVER_BENCH_QUEUE (64),
-// MWEAVER_BENCH_DEADLINE_MS (0 = none).
-#include <algorithm>
-#include <atomic>
+// MWEAVER_BENCH_DEADLINE_MS (0 = none), MWEAVER_BENCH_JSON (optional
+// report path; unset = no JSON output).
+//
+// For multi-phase mixes, open-loop arrival, and baseline gating use
+// bench_workload with a scenario file instead.
 #include <cstdio>
-#include <thread>
-#include <tuple>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
-#include "query/executor.h"
 #include "service/mapping_service.h"
-
-namespace {
-
-using mweaver::bench::EnvSize;
-using mweaver::service::InputRequest;
-using mweaver::service::MappingService;
-using mweaver::service::RequestOutcome;
-using mweaver::service::RequestResult;
-
-struct ReplayScript {
-  std::vector<std::string> column_names;
-  /// Goal-target rows with every cell non-empty; row 0 fires the search.
-  std::vector<std::vector<std::string>> rows;
-};
-
-// Materializes up to `max_rows` fully populated goal-target rows per task.
-std::vector<ReplayScript> BuildScripts(const mweaver::bench::YahooEnv& env,
-                                       size_t max_rows) {
-  std::vector<ReplayScript> scripts;
-  mweaver::query::PathExecutor executor(&env.engine());
-  for (const auto& set : env.task_sets()) {
-    for (const auto& task : set.tasks) {
-      auto rows = executor.EvaluateTarget(task.mapping, /*max_rows=*/200);
-      if (!rows.ok()) continue;
-      ReplayScript script;
-      script.column_names = task.column_names;
-      for (const auto& row : *rows) {
-        const bool complete =
-            std::all_of(row.begin(), row.end(),
-                        [](const std::string& cell) { return !cell.empty(); });
-        if (!complete) continue;
-        script.rows.push_back(row);
-        if (script.rows.size() >= max_rows) break;
-      }
-      if (!script.rows.empty()) scripts.push_back(std::move(script));
-    }
-  }
-  return scripts;
-}
-
-struct ClientStats {
-  std::vector<double> latencies_ms;
-  size_t overload_retries = 0;
-  size_t failed = 0;
-  size_t truncated = 0;
-  size_t sessions_converged = 0;
-  size_t sessions_run = 0;
-};
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(p * static_cast<double>(
-                                                 sorted.size() - 1));
-  return sorted[idx];
-}
-
-}  // namespace
+#include "workload/runner.h"
+#include "workload/scenario.h"
 
 int main() {
   using namespace mweaver;
-  const bench::YahooEnv env(EnvSize("MWEAVER_BENCH_MOVIES", 80));
-  const size_t clients = EnvSize("MWEAVER_BENCH_CLIENTS", 8);
-  const size_t sessions_per_client = EnvSize("MWEAVER_BENCH_SESSIONS", 6);
-  const size_t deadline_ms = EnvSize("MWEAVER_BENCH_DEADLINE_MS", 0);
+  using workload::ActorType;
+
+  workload::Scenario scenario;
+  scenario.name = "service_load";
+  scenario.movies = bench::EnvSize("MWEAVER_BENCH_MOVIES", 80);
+  scenario.workers = bench::EnvSize("MWEAVER_BENCH_WORKERS", 4);
+  scenario.queue_depth = bench::EnvSize("MWEAVER_BENCH_QUEUE", 64);
+  scenario.cache_capacity = 256;
+  scenario.max_script_rows = 8;
+
+  workload::PhaseSpec load;
+  load.name = "load";
+  load.arrival = workload::ArrivalModel::kClosed;
+  // One pruner actor per historical "client"; each session replay is one
+  // actor iteration, so the old sessions-per-client knob maps directly.
+  load.actor_counts[static_cast<size_t>(ActorType::kPruner)] =
+      bench::EnvSize("MWEAVER_BENCH_CLIENTS", 8);
+  load.iterations = bench::EnvSize("MWEAVER_BENCH_SESSIONS", 6);
+  load.request_deadline =
+      std::chrono::milliseconds(bench::EnvSize("MWEAVER_BENCH_DEADLINE_MS", 0));
+
+  const bench::YahooEnv env(scenario.movies);
   env.PrintHeader("Service load: closed-loop concurrent mapping sessions");
+  std::printf("%zu clients x %llu sessions, %zu workers, queue depth %zu, "
+              "deadline %s\n\n",
+              load.ActorCount(ActorType::kPruner),
+              static_cast<unsigned long long>(load.iterations),
+              scenario.workers, scenario.queue_depth,
+              load.request_deadline.count() > 0
+                  ? (std::to_string(load.request_deadline.count()) + " ms")
+                        .c_str()
+                  : "none");
+  scenario.phases.push_back(std::move(load));
 
   service::ServiceOptions options;
-  options.num_workers = EnvSize("MWEAVER_BENCH_WORKERS", 4);
-  options.max_queue_depth = EnvSize("MWEAVER_BENCH_QUEUE", 64);
-  options.cache_capacity = 256;
+  options.num_workers = scenario.workers;
+  options.max_queue_depth = scenario.queue_depth;
+  options.cache_capacity = scenario.cache_capacity;
   service::MappingService svc(&env.engine(), &env.graph(), options);
 
-  const std::vector<ReplayScript> scripts = BuildScripts(env, /*max_rows=*/8);
-  if (scripts.empty()) {
-    std::fprintf(stderr, "no replayable tasks\n");
+  const std::vector<workload::ReplayScript> scripts =
+      workload::BuildReplayScripts(env.engine(), env.task_sets(),
+                                   scenario.max_script_rows);
+  workload::ScenarioRunner runner(&svc, &scripts);
+  auto run = runner.Run(scenario);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run error: %s\n", run.status().ToString().c_str());
     return 1;
   }
-  std::printf("%zu clients x %zu sessions, %zu workers, queue depth %zu, "
-              "%zu replay tasks, deadline %s\n\n",
-              clients, sessions_per_client, options.num_workers,
-              options.max_queue_depth, scripts.size(),
-              deadline_ms > 0 ? (std::to_string(deadline_ms) + " ms").c_str()
-                              : "none");
+  run->PrintSummary(stdout);
 
-  std::vector<ClientStats> stats(clients);
-  std::atomic<size_t> next_task{0};
-  Stopwatch wall;
-  std::vector<std::thread> threads;
-  for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c]() {
-      ClientStats& mine = stats[c];
-      for (size_t s = 0; s < sessions_per_client; ++s) {
-        const ReplayScript& script =
-            scripts[next_task.fetch_add(1) % scripts.size()];
-        auto created = svc.CreateSession(script.column_names);
-        if (!created.ok()) {
-          ++mine.failed;
-          continue;
-        }
-        ++mine.sessions_run;
-        bool converged = false;
-        for (size_t row = 0; row < script.rows.size() && !converged; ++row) {
-          for (size_t col = 0; col < script.rows[row].size(); ++col) {
-            InputRequest request;
-            request.session_id = *created;
-            request.row = row;
-            request.col = col;
-            request.value = script.rows[row][col];
-            if (deadline_ms > 0) {
-              request.deadline = std::chrono::milliseconds(deadline_ms);
-            }
-            RequestResult result = svc.Call(request);
-            while (result.outcome == RequestOutcome::kOverloaded) {
-              ++mine.overload_retries;
-              std::this_thread::sleep_for(std::chrono::microseconds(200));
-              result = svc.Call(request);
-            }
-            if (!result.status.ok()) {
-              ++mine.failed;
-              continue;
-            }
-            mine.latencies_ms.push_back(result.latency_ms);
-            if (result.truncated) ++mine.truncated;
-            if (result.state == core::SessionState::kConverged) {
-              converged = true;
-            }
-          }
-        }
-        if (converged) ++mine.sessions_converged;
-        (void)svc.CloseSession(*created);
-      }
-    });
+  if (const char* json_path = std::getenv("MWEAVER_BENCH_JSON");
+      json_path != nullptr && *json_path != '\0') {
+    if (Status write = workload::WriteFileAtomic(json_path, run->ToJson());
+        !write.ok()) {
+      std::fprintf(stderr, "write error: %s\n", write.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path);
   }
-  for (std::thread& thread : threads) thread.join();
-  const double wall_s = wall.ElapsedSeconds();
 
-  std::vector<double> latencies;
-  size_t overload_retries = 0, failed = 0, truncated = 0;
-  size_t sessions_run = 0, sessions_converged = 0;
-  for (const ClientStats& s : stats) {
-    latencies.insert(latencies.end(), s.latencies_ms.begin(),
-                     s.latencies_ms.end());
-    overload_retries += s.overload_retries;
-    failed += s.failed;
-    truncated += s.truncated;
-    sessions_run += s.sessions_run;
-    sessions_converged += s.sessions_converged;
-  }
-  std::sort(latencies.begin(), latencies.end());
-
-  const service::MetricsSnapshot metrics = svc.SnapshotMetrics();
-  std::printf("sessions:          %zu run, %zu converged\n", sessions_run,
-              sessions_converged);
-  std::printf("requests:          %zu completed, %zu failed, %zu truncated, "
-              "%zu overload retries\n",
-              latencies.size(), failed, truncated, overload_retries);
-  std::printf("wall / throughput: %.2f s  ->  %.1f QPS\n", wall_s,
-              static_cast<double>(latencies.size()) / wall_s);
-  std::printf("latency (ms):      p50 %.3f   p95 %.3f   p99 %.3f   max %.3f\n",
-              Percentile(latencies, 0.50), Percentile(latencies, 0.95),
-              Percentile(latencies, 0.99),
-              latencies.empty() ? 0.0 : latencies.back());
-  std::printf("queue high-water:  %llu (bound %zu)\n",
-              static_cast<unsigned long long>(metrics.queue_high_water),
-              options.max_queue_depth);
-  std::printf("result cache:      %llu hits / %llu misses  ->  %.1f%% hit "
-              "rate\n",
-              static_cast<unsigned long long>(metrics.cache_hits),
-              static_cast<unsigned long long>(metrics.cache_misses),
-              metrics.CacheHitRate() * 100.0);
-  std::printf("text probes:       %llu (memo %llu hits / %llu misses  ->  "
-              "%.1f%% hit rate)\n",
-              static_cast<unsigned long long>(metrics.text_probes),
-              static_cast<unsigned long long>(metrics.text_memo_hits),
-              static_cast<unsigned long long>(metrics.text_memo_misses),
-              metrics.TextMemoHitRate() * 100.0);
-  std::printf("text candidates:   %llu examined, %llu scan fallbacks, %llu "
-              "all-rows fallbacks\n",
-              static_cast<unsigned long long>(metrics.text_candidates_examined),
-              static_cast<unsigned long long>(metrics.text_scan_fallbacks),
-              static_cast<unsigned long long>(metrics.text_all_rows_fallbacks));
-  std::printf("stage latency (ms, uncached searches, histogram bounds):\n");
-  for (size_t s = 0; s < core::kNumSearchStages; ++s) {
-    const auto stage = static_cast<core::SearchStage>(s);
-    std::printf("  %-13s p50 <= %-8.2f p95 <= %.2f\n",
-                core::SearchStageName(stage),
-                metrics.ApproxStageLatencyPercentileMs(stage, 0.50),
-                metrics.ApproxStageLatencyPercentileMs(stage, 0.95));
-  }
-  std::printf("service counters:  %s\n", metrics.ToString().c_str());
-
-  if (failed > 0) {
-    std::fprintf(stderr, "\nFAILED: %zu non-overload request failures\n",
-                 failed);
+  if (run->TotalFailures() > 0) {
+    std::fprintf(stderr, "\nFAILED: %llu hard request/session failures\n",
+                 static_cast<unsigned long long>(run->TotalFailures()));
     return 1;
   }
   return 0;

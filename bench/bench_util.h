@@ -11,6 +11,7 @@
 #ifndef MWEAVER_BENCH_BENCH_UTIL_H_
 #define MWEAVER_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -23,6 +24,14 @@
 #include "text/fulltext_engine.h"
 
 namespace mweaver::bench {
+
+/// \brief The one clock benchmarks may time with. Wall clocks
+/// (system_clock) can step backwards under NTP and skew measured
+/// latencies; every harness timestamp goes through this alias so the
+/// steadiness guarantee is checked in one place.
+using BenchClock = std::chrono::steady_clock;
+static_assert(BenchClock::is_steady,
+              "benchmark timing requires a monotonic clock");
 
 inline size_t EnvSize(const char* name, size_t fallback) {
   const char* value = std::getenv(name);

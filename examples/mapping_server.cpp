@@ -137,6 +137,7 @@ int main(int argc, char** argv) {
   std::cout << "users converged:  " << converged.load() << "/" << num_users
             << "\n";
   std::cout << "metrics:          " << metrics.ToString() << "\n";
+  std::cout << "metrics (json):   " << svc.SnapshotMetricsJson() << "\n";
   std::cout << "open sessions:    " << svc.sessions().size() << "\n";
 
   if (converged.load() != num_users) {

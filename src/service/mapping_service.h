@@ -139,6 +139,12 @@ class MappingService {
   SessionManager& sessions() { return sessions_; }
   const ResultCache& cache() const { return cache_; }
   MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  /// \brief The metrics snapshot as a JSON object (export hook for the
+  /// workload runner, examples, and monitoring).
+  std::string SnapshotMetricsJson() const { return metrics_.SnapshotJson(); }
+  /// \brief Starts a fresh latency-histogram interval (scalar counters
+  /// stay monotonic; see ServiceMetrics::ResetHistograms).
+  void ResetMetricsHistograms() { metrics_.ResetHistograms(); }
   const ServiceOptions& options() const { return options_; }
 
  private:

@@ -107,6 +107,120 @@ std::string MetricsSnapshot::ToString() const {
   return out;
 }
 
+namespace {
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+
+void AppendJsonKey(std::string* out, const char* key, bool* first) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":";
+}
+
+void AppendJsonUInt(std::string* out, const char* key, uint64_t value,
+                    bool* first) {
+  AppendJsonKey(out, key, first);
+  *out += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void AppendJsonDouble(std::string* out, const char* key, double value,
+                      bool* first) {
+  AppendJsonKey(out, key, first);
+  *out += StrFormat("%.6g", value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  AppendJsonUInt(&out, "requests_ok", requests_ok, &first);
+  AppendJsonUInt(&out, "requests_degraded", requests_degraded, &first);
+  AppendJsonUInt(&out, "requests_overloaded", requests_overloaded, &first);
+  AppendJsonUInt(&out, "requests_truncated", requests_truncated, &first);
+  AppendJsonUInt(&out, "requests_failed", requests_failed, &first);
+  AppendJsonUInt(&out, "search_retries", search_retries, &first);
+  AppendJsonUInt(&out, "cache_hits", cache_hits, &first);
+  AppendJsonUInt(&out, "cache_misses", cache_misses, &first);
+  AppendJsonDouble(&out, "cache_hit_rate", CacheHitRate(), &first);
+  AppendJsonUInt(&out, "queue_high_water", queue_high_water, &first);
+  AppendJsonDouble(&out, "approx_latency_p50_ms",
+                   ApproxLatencyPercentileMs(0.50), &first);
+  AppendJsonDouble(&out, "approx_latency_p95_ms",
+                   ApproxLatencyPercentileMs(0.95), &first);
+  AppendJsonDouble(&out, "approx_latency_p99_ms",
+                   ApproxLatencyPercentileMs(0.99), &first);
+  AppendJsonUInt(&out, "text_probes", text_probes, &first);
+  AppendJsonUInt(&out, "text_memo_hits", text_memo_hits, &first);
+  AppendJsonUInt(&out, "text_memo_misses", text_memo_misses, &first);
+  AppendJsonUInt(&out, "text_candidates_examined", text_candidates_examined,
+                 &first);
+  AppendJsonUInt(&out, "text_scan_fallbacks", text_scan_fallbacks, &first);
+  AppendJsonUInt(&out, "text_all_rows_fallbacks", text_all_rows_fallbacks,
+                 &first);
+
+  AppendJsonKey(&out, "stages", &first);
+  out += '{';
+  bool first_stage = true;
+  for (size_t s = 0; s < stage_latency_buckets.size(); ++s) {
+    uint64_t total = 0;
+    for (uint64_t count : stage_latency_buckets[s]) total += count;
+    if (total == 0) continue;
+    const auto stage = static_cast<core::SearchStage>(s);
+    if (!first_stage) out += ',';
+    first_stage = false;
+    out += '"';
+    out += core::SearchStageName(stage);
+    out += "\":{";
+    bool first_field = true;
+    AppendJsonUInt(&out, "recorded", total, &first_field);
+    AppendJsonDouble(&out, "p50_ms",
+                     ApproxStageLatencyPercentileMs(stage, 0.50),
+                     &first_field);
+    AppendJsonDouble(&out, "p95_ms",
+                     ApproxStageLatencyPercentileMs(stage, 0.95),
+                     &first_field);
+    if (s < stage_worker_peaks.size()) {
+      AppendJsonUInt(&out, "worker_peak", stage_worker_peaks[s],
+                     &first_field);
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  delta.requests_ok = SaturatingSub(requests_ok, earlier.requests_ok);
+  delta.requests_overloaded =
+      SaturatingSub(requests_overloaded, earlier.requests_overloaded);
+  delta.requests_truncated =
+      SaturatingSub(requests_truncated, earlier.requests_truncated);
+  delta.requests_degraded =
+      SaturatingSub(requests_degraded, earlier.requests_degraded);
+  delta.requests_failed =
+      SaturatingSub(requests_failed, earlier.requests_failed);
+  delta.cache_hits = SaturatingSub(cache_hits, earlier.cache_hits);
+  delta.cache_misses = SaturatingSub(cache_misses, earlier.cache_misses);
+  delta.search_retries = SaturatingSub(search_retries, earlier.search_retries);
+  delta.text_probes = SaturatingSub(text_probes, earlier.text_probes);
+  delta.text_memo_hits = SaturatingSub(text_memo_hits, earlier.text_memo_hits);
+  delta.text_memo_misses =
+      SaturatingSub(text_memo_misses, earlier.text_memo_misses);
+  delta.text_candidates_examined = SaturatingSub(
+      text_candidates_examined, earlier.text_candidates_examined);
+  delta.text_scan_fallbacks =
+      SaturatingSub(text_scan_fallbacks, earlier.text_scan_fallbacks);
+  delta.text_all_rows_fallbacks =
+      SaturatingSub(text_all_rows_fallbacks, earlier.text_all_rows_fallbacks);
+  // queue_high_water, latency/stage buckets and worker peaks keep this
+  // snapshot's values (see header).
+  return delta;
+}
+
 double ServiceMetrics::BucketUpperMs(size_t i) {
   if (i + 1 >= kNumBuckets) return 1e18;  // +inf bucket
   return 0.25 * static_cast<double>(uint64_t{1} << i);
@@ -207,6 +321,22 @@ void ServiceMetrics::RecordPruneTrace(const core::ExecutionTrace& trace) {
                                  std::memory_order_relaxed);
   text_all_rows_fallbacks_.fetch_add(probes.all_rows_fallbacks,
                                      std::memory_order_relaxed);
+}
+
+std::string ServiceMetrics::SnapshotJson() const {
+  return Snapshot().ToJson();
+}
+
+void ServiceMetrics::ResetHistograms() {
+  for (auto& bucket : latency_buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  for (auto& stage : stage_buckets_) {
+    for (auto& bucket : stage) bucket.store(0, std::memory_order_relaxed);
+  }
+  for (auto& peak : stage_worker_peaks_) {
+    peak.store(0, std::memory_order_relaxed);
+  }
 }
 
 MetricsSnapshot ServiceMetrics::Snapshot() const {

@@ -102,6 +102,21 @@ struct MetricsSnapshot {
                                         double p) const;
 
   std::string ToString() const;
+
+  /// \brief The snapshot as one JSON object (counters, cache/text rates,
+  /// approximate latency percentiles, per-stage percentiles + worker
+  /// peaks). This is what the workload runner embeds in BENCH_*.json and
+  /// examples/mapping_server prints — external tooling reads metrics
+  /// without friending service internals. Schema in DESIGN.md §11.
+  std::string ToJson() const;
+
+  /// \brief Counter-wise difference against an `earlier` snapshot of the
+  /// same service: monotonic counters subtract (saturating at 0 in case
+  /// histograms were reset in between); histogram buckets, worker peaks
+  /// and the queue high-water keep THIS snapshot's values — with
+  /// ServiceMetrics::ResetHistograms() at interval starts they already
+  /// describe just the interval.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
 };
 
 /// \brief The live counters. One instance per MappingService.
@@ -129,6 +144,17 @@ class ServiceMetrics {
   void RecordPruneTrace(const core::ExecutionTrace& trace);
 
   MetricsSnapshot Snapshot() const;
+
+  /// \brief Snapshot().ToJson() — the export hook for benches/monitoring.
+  std::string SnapshotJson() const;
+
+  /// \brief Zeroes the request/stage latency histograms and the per-stage
+  /// worker peaks, starting a fresh measurement interval (the workload
+  /// runner calls this at phase boundaries). Scalar counters stay
+  /// monotonic — interval values come from MetricsSnapshot::Delta().
+  /// Concurrent recording during a reset is safe but the affected events
+  /// may land in either interval.
+  void ResetHistograms();
 
  private:
   std::atomic<uint64_t> ok_{0};

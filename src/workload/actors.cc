@@ -1,0 +1,209 @@
+#include "workload/actors.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mweaver::workload {
+
+namespace {
+
+using Clock = Orchestrator::Clock;
+
+/// Closed-loop overload backoff: long enough to let a worker drain one
+/// request, short enough not to distort sub-millisecond latencies.
+constexpr std::chrono::microseconds kOverloadBackoff{200};
+
+double LagMs(Clock::time_point intended, Clock::time_point actual) {
+  return std::max(
+      0.0,
+      std::chrono::duration<double, std::milli>(actual - intended).count());
+}
+
+}  // namespace
+
+Actor::Actor(const Config& config, size_t num_phases)
+    : config_(config),
+      recorder_(num_phases, config.type,
+                config.seed * 1000003ull +
+                    static_cast<uint64_t>(config.type) * 101ull +
+                    config.ordinal),
+      rng_(config.seed * 0x5851F42D4C957F2Dull +
+           static_cast<uint64_t>(config.type) * 7919ull + config.ordinal) {
+  MW_CHECK(config_.service != nullptr);
+  MW_CHECK(config_.scripts != nullptr && !config_.scripts->empty())
+      << "actors need at least one replay script";
+}
+
+const ReplayScript& Actor::PickScript(uint64_t iteration) const {
+  const std::vector<ReplayScript>& scripts = *config_.scripts;
+  switch (config_.type) {
+    case ActorType::kSearcher:
+      // Pinned per actor: repeated popular-entity traffic.
+      return scripts[config_.ordinal % scripts.size()];
+    case ActorType::kPruner:
+    case ActorType::kBulkLoader:
+    case ActorType::kCacheBuster:
+      // Rotate round robin, staggered per actor so concurrent actors of
+      // one type spread over the task list.
+      return scripts[(config_.ordinal + iteration) % scripts.size()];
+  }
+  return scripts[0];
+}
+
+bool Actor::IssueCell(const PhaseRuntime& phase, service::SessionId session,
+                      size_t row, size_t col, const std::string& value,
+                      double extra_latency_ms, service::RequestResult* out) {
+  service::InputRequest request;
+  request.session_id = session;
+  request.row = row;
+  request.col = col;
+  request.value = value;
+  request.deadline = phase.spec->request_deadline;
+
+  service::RequestResult result = config_.service->Call(request);
+  if (phase.spec->arrival == ArrivalModel::kClosed) {
+    while (result.outcome == service::RequestOutcome::kOverloaded) {
+      recorder_.RecordOverloadRetry(phase.index);
+      if (Clock::now() >= phase.deadline) {
+        // The phase expired while backing off: book the rejection and let
+        // the iteration wind down.
+        recorder_.Record(phase.index, result.outcome, 0.0);
+        return false;
+      }
+      std::this_thread::sleep_for(kOverloadBackoff);
+      result = config_.service->Call(request);
+    }
+  }
+  recorder_.Record(phase.index, result.outcome,
+                   result.latency_ms + extra_latency_ms);
+  if (out != nullptr) *out = result;
+  // A shed (overloaded) or timed-out (truncated) cell ends the iteration:
+  // the user gave up — and a queue-expired truncation never applied the
+  // input, so typing the next cell would hit an inconsistent session.
+  if (result.outcome == service::RequestOutcome::kOverloaded ||
+      result.outcome == service::RequestOutcome::kTruncated) {
+    return false;
+  }
+  return result.status.ok();
+}
+
+void Actor::RunIteration(const PhaseRuntime& phase, uint64_t iteration,
+                         double extra_latency_ms) {
+  const ReplayScript& script = PickScript(lifetime_iterations_);
+  ++lifetime_iterations_;
+
+  auto created = config_.service->CreateSession(script.column_names);
+  if (!created.ok()) {
+    recorder_.RecordSessionFailure(phase.index);
+    return;
+  }
+  const service::SessionId session = *created;
+
+  switch (config_.type) {
+    case ActorType::kSearcher: {
+      // The pinned script's first row, every iteration: cache-friendly.
+      const std::vector<std::string>& first = script.rows.front();
+      for (size_t col = 0; col < first.size(); ++col) {
+        if (!IssueCell(phase, session, 0, col, first[col],
+                       extra_latency_ms)) {
+          break;
+        }
+      }
+      break;
+    }
+    case ActorType::kCacheBuster: {
+      // A different goal-target row as the first row each time: distinct
+      // cache keys, so (almost) every search runs the full pipeline.
+      const std::vector<std::string>& first =
+          script.rows[iteration % script.rows.size()];
+      for (size_t col = 0; col < first.size(); ++col) {
+        if (!IssueCell(phase, session, 0, col, first[col],
+                       extra_latency_ms)) {
+          break;
+        }
+      }
+      break;
+    }
+    case ActorType::kPruner: {
+      service::RequestResult last;
+      bool alive = true;
+      for (size_t row = 0; alive && row < script.rows.size(); ++row) {
+        for (size_t col = 0; col < script.rows[row].size(); ++col) {
+          if (!IssueCell(phase, session, row, col, script.rows[row][col],
+                         extra_latency_ms, &last)) {
+            alive = false;
+            break;
+          }
+        }
+        if (last.state == core::SessionState::kConverged ||
+            last.state == core::SessionState::kNoMapping) {
+          break;  // the interactive user stops once the answer is clear
+        }
+      }
+      break;
+    }
+    case ActorType::kBulkLoader: {
+      // Everything, back to back — convergence does not stop a batch load.
+      bool alive = true;
+      for (size_t row = 0; alive && row < script.rows.size(); ++row) {
+        for (size_t col = 0; col < script.rows[row].size(); ++col) {
+          if (!IssueCell(phase, session, row, col, script.rows[row][col],
+                         extra_latency_ms)) {
+            alive = false;
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  (void)config_.service->CloseSession(session);
+}
+
+void Actor::RunPhase(const PhaseRuntime& phase) {
+  const PhaseSpec& spec = *phase.spec;
+  const bool count_bounded = spec.iterations > 0;
+
+  if (spec.arrival == ArrivalModel::kClosed) {
+    for (uint64_t i = 0;; ++i) {
+      if (count_bounded) {
+        if (i >= spec.iterations) break;
+      } else if (Clock::now() >= phase.deadline) {
+        break;
+      }
+      RunIteration(phase, i, /*extra_latency_ms=*/0.0);
+      if (spec.think_time.count() > 0 && !count_bounded) {
+        std::this_thread::sleep_for(spec.think_time);
+      }
+    }
+    return;
+  }
+
+  // Open loop: iterations start on the fixed schedule
+  //   intended(i) = phase.start + stagger + i * interval
+  // where interval spreads rate_per_sec over the phase's active actors
+  // and `stagger` offsets this actor so the fleet doesn't fire in bursts.
+  // Latency is charged from intended(i): if the service (or this thread)
+  // falls behind schedule, the lag lands in the recorded tail.
+  const double per_actor_rate =
+      spec.rate_per_sec / static_cast<double>(phase.active_actors);
+  MW_CHECK(per_actor_rate > 0.0);
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / per_actor_rate));
+  const auto stagger = interval * phase.active_slot / phase.active_actors;
+
+  for (uint64_t i = 0;; ++i) {
+    const Clock::time_point intended = phase.start + stagger + interval * i;
+    if (count_bounded) {
+      if (i >= spec.iterations) break;
+    } else if (intended >= phase.deadline) {
+      break;
+    }
+    std::this_thread::sleep_until(intended);
+    RunIteration(phase, i, LagMs(intended, Clock::now()));
+  }
+}
+
+}  // namespace mweaver::workload

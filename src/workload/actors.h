@@ -1,0 +1,101 @@
+// Actors: the per-thread load generators of the workload harness. Each
+// actor owns one EventRecorder (single-writer, lock-free recording) and
+// implements one traffic shape against the MappingService:
+//
+//   searcher      open session -> type one popular first row -> close.
+//                 Replays the same row every iteration, so it exercises
+//                 the result cache the way repeated popular-entity
+//                 traffic does.
+//   pruner        the full interactive loop: first row, then goal-target
+//                 samples row by row until the session converges (or the
+//                 script runs out).
+//   bulk_loader   types every script row into one session back to back —
+//                 batch sample ingestion, the highest request density per
+//                 session.
+//   cache_buster  rotates a distinct first row every iteration, forcing
+//                 cold searches through the whole TPW pipeline.
+//
+// Arrival pacing lives here too: closed-loop iterations chain (with think
+// time and overload retry), open-loop iterations run on a fixed schedule
+// with latency measured from the intended start (see ArrivalModel).
+#ifndef MWEAVER_WORKLOAD_ACTORS_H_
+#define MWEAVER_WORKLOAD_ACTORS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "service/mapping_service.h"
+#include "workload/event_recorder.h"
+#include "workload/orchestrator.h"
+#include "workload/replay.h"
+#include "workload/scenario.h"
+
+namespace mweaver::workload {
+
+/// \brief Everything an actor needs to run one phase.
+struct PhaseRuntime {
+  const PhaseSpec* spec = nullptr;
+  size_t index = 0;
+  /// Stamped by the orchestrator's entry barrier — identical across
+  /// actors.
+  Orchestrator::Clock::time_point start{};
+  /// start + duration for time-bounded phases; time_point::max() for
+  /// count-bounded ones.
+  Orchestrator::Clock::time_point deadline{};
+  /// This actor's slot among the phase's active actors (for open-loop
+  /// schedule staggering), and how many are active in total.
+  size_t active_slot = 0;
+  size_t active_actors = 1;
+};
+
+/// \brief One load-generating actor thread's state and behaviour.
+class Actor {
+ public:
+  struct Config {
+    service::MappingService* service = nullptr;
+    const std::vector<ReplayScript>* scripts = nullptr;
+    ActorType type = ActorType::kSearcher;
+    /// Index of this actor within its type (0-based).
+    size_t ordinal = 0;
+    /// Scenario seed; mixed with the type and ordinal for the actor RNG.
+    uint64_t seed = 1;
+  };
+
+  Actor(const Config& config, size_t num_phases);
+
+  ActorType type() const { return config_.type; }
+  EventRecorder& recorder() { return recorder_; }
+  const EventRecorder& recorder() const { return recorder_; }
+
+  /// \brief Runs the phase loop to its bound (duration or iterations).
+  /// Must be called phase by phase, between the orchestrator barriers.
+  void RunPhase(const PhaseRuntime& phase);
+
+ private:
+  /// \brief One iteration of this actor's shape. `extra_latency_ms` is the
+  /// open-loop schedule lag folded into every recorded latency.
+  void RunIteration(const PhaseRuntime& phase, uint64_t iteration,
+                    double extra_latency_ms);
+
+  /// \brief Sends one cell. Closed loops retry overload with backoff (up
+  /// to the phase deadline); open loops record the rejection and move on.
+  /// Returns false when the iteration should stop (phase expired
+  /// mid-retry or the request failed hard).
+  bool IssueCell(const PhaseRuntime& phase, service::SessionId session,
+                 size_t row, size_t col, const std::string& value,
+                 double extra_latency_ms,
+                 service::RequestResult* out = nullptr);
+
+  const ReplayScript& PickScript(uint64_t iteration) const;
+
+  Config config_;
+  EventRecorder recorder_;
+  Rng rng_;
+  uint64_t lifetime_iterations_ = 0;  // across phases: rotates scripts
+};
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_ACTORS_H_

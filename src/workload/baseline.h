@@ -1,0 +1,53 @@
+// Baseline gating: compares a fresh BENCH_service_scenarios.json against
+// the checked-in baseline and fails on p95 latency regressions beyond a
+// tolerance band. The band is relative (default +25%) with an absolute
+// floor (default +10 ms): sub-millisecond smoke latencies on noisy CI
+// runners must not flap the gate, while a genuine 2x regression on a
+// meaningful latency still trips it.
+#ifndef MWEAVER_WORKLOAD_BASELINE_H_
+#define MWEAVER_WORKLOAD_BASELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mweaver::workload {
+
+struct BaselineCheckOptions {
+  /// Relative tolerance on p95: current may be baseline * (1 + tolerance).
+  double tolerance = 0.25;
+  /// Absolute slack in ms added to the band (CI noise floor).
+  double abs_floor_ms = 10.0;
+};
+
+/// \brief One compared cell (a phase total or a phase/actor pair).
+struct BaselineEntry {
+  std::string phase;
+  std::string cell;  // "total" or an actor type name
+  double baseline_p95_ms = 0.0;
+  double current_p95_ms = 0.0;
+  double allowed_p95_ms = 0.0;
+  /// Current exceeds the band, or the cell vanished from the current run.
+  bool regressed = false;
+  bool missing = false;
+};
+
+struct BaselineComparison {
+  std::vector<BaselineEntry> entries;
+  bool ok = true;
+  std::string ToString() const;
+};
+
+/// \brief Compares p95 latencies of every (phase, cell) present in the
+/// baseline document against the current document. Cells only present in
+/// the current run (new phases/actors) pass silently — the next baseline
+/// refresh picks them up.
+Result<BaselineComparison> CompareToBaseline(
+    std::string_view current_json, std::string_view baseline_json,
+    const BaselineCheckOptions& options = {});
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_BASELINE_H_

@@ -1,0 +1,140 @@
+#include "workload/event_recorder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mweaver::workload {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void OutcomeCounts::Add(const OutcomeCounts& other) {
+  ok += other.ok;
+  degraded += other.degraded;
+  overloaded += other.overloaded;
+  timeout += other.timeout;
+  failed += other.failed;
+}
+
+LatencyReservoir::LatencyReservoir(uint64_t seed, size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {}
+
+void LatencyReservoir::Add(double latency_ms) {
+  ++count_;
+  sum_ms_ += latency_ms;
+  if (latency_ms > max_ms_) max_ms_ = latency_ms;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(latency_ms);
+    return;
+  }
+  // Algorithm R: keep each of the `count_` offered samples with equal
+  // probability capacity_/count_.
+  const size_t slot = static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(count_) - 1));
+  if (slot < capacity_) samples_[slot] = latency_ms;
+}
+
+void LatencyReservoir::Merge(const LatencyReservoir& other) {
+  // Exact when the union fits the capacity (the common case for per-phase
+  // cells); otherwise every retained sample of `other` is offered through
+  // the same reservoir discipline.
+  sum_ms_ += other.sum_ms_;
+  if (other.max_ms_ > max_ms_) max_ms_ = other.max_ms_;
+  const uint64_t merged_count = count_ + other.count_;
+  for (double sample : other.samples_) {
+    ++count_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(sample);
+      continue;
+    }
+    const size_t slot = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(count_) - 1));
+    if (slot < capacity_) samples_[slot] = sample;
+  }
+  count_ = merged_count;
+}
+
+double LatencyReservoir::PercentileMs(double p) const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileSorted(sorted, p);
+}
+
+void CellStats::Merge(const CellStats& other) {
+  outcomes.Add(other.outcomes);
+  overload_retries += other.overload_retries;
+  session_failures += other.session_failures;
+  latency.Merge(other.latency);
+}
+
+EventRecorder::EventRecorder(size_t num_phases, ActorType type, uint64_t seed)
+    : type_(type) {
+  phases_.reserve(num_phases);
+  for (size_t p = 0; p < num_phases; ++p) {
+    CellStats cell;
+    // Distinct stream per (actor, phase) so merged subsamples stay
+    // unbiased; the constants are arbitrary odd mixers.
+    cell.latency = LatencyReservoir(seed * 0x9E3779B97F4A7C15ull + p);
+    phases_.push_back(std::move(cell));
+  }
+}
+
+void EventRecorder::Record(size_t phase, service::RequestOutcome outcome,
+                           double latency_ms) {
+  MW_DCHECK(phase < phases_.size());
+  CellStats& cell = phases_[phase];
+  switch (outcome) {
+    case service::RequestOutcome::kOk:
+      ++cell.outcomes.ok;
+      break;
+    case service::RequestOutcome::kDegraded:
+      ++cell.outcomes.degraded;
+      break;
+    case service::RequestOutcome::kOverloaded:
+      ++cell.outcomes.overloaded;
+      // Rejected at admission: there is no service latency to record.
+      return;
+    case service::RequestOutcome::kTruncated:
+      ++cell.outcomes.timeout;
+      break;
+    case service::RequestOutcome::kFailed:
+      ++cell.outcomes.failed;
+      break;
+  }
+  cell.latency.Add(latency_ms);
+}
+
+void EventRecorder::RecordOverloadRetry(size_t phase) {
+  MW_DCHECK(phase < phases_.size());
+  ++phases_[phase].overload_retries;
+}
+
+void EventRecorder::RecordSessionFailure(size_t phase) {
+  MW_DCHECK(phase < phases_.size());
+  ++phases_[phase].session_failures;
+}
+
+std::vector<PhaseStats> AggregateRecorders(
+    const std::vector<EventRecorder>& recorders, size_t num_phases) {
+  std::vector<PhaseStats> phases(num_phases);
+  for (PhaseStats& phase : phases) {
+    phase.by_actor.resize(kNumActorTypes);
+  }
+  for (const EventRecorder& recorder : recorders) {
+    const size_t type = static_cast<size_t>(recorder.type());
+    for (size_t p = 0; p < num_phases && p < recorder.num_phases(); ++p) {
+      phases[p].by_actor[type].Merge(recorder.phase_stats(p));
+      phases[p].total.Merge(recorder.phase_stats(p));
+    }
+  }
+  return phases;
+}
+
+}  // namespace mweaver::workload

@@ -1,0 +1,134 @@
+// EventRecorder: per-actor request bookkeeping, and the aggregator that
+// folds every recorder into per-phase / per-actor-type statistics.
+//
+// Each actor thread owns exactly one EventRecorder and is its only writer,
+// so the hot Record() path takes no lock and touches no shared cache line —
+// the "lock-free-ish" design the harness needs to avoid perturbing the
+// latencies it measures. Aggregation happens once, after all actor threads
+// have joined.
+//
+// Latency percentiles are exact over a bounded reservoir: every recorder
+// keeps up to kReservoirCapacity samples per (phase, outcome-recording)
+// cell via deterministic reservoir sampling (seeded per actor), plus a
+// power-of-two bucket histogram that is never downsampled. The aggregator
+// concatenates reservoirs and computes exact percentiles over the merged
+// sample; with the default capacity the merge is exact for any phase that
+// records fewer than capacity samples per actor — true for every shipped
+// scenario — and a uniform subsample beyond that.
+#ifndef MWEAVER_WORKLOAD_EVENT_RECORDER_H_
+#define MWEAVER_WORKLOAD_EVENT_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "service/metrics.h"
+#include "workload/scenario.h"
+
+namespace mweaver::workload {
+
+/// \brief Exact latency percentile over an already-sorted sample:
+/// sorted[floor(p * (n-1))]. The single percentile definition of the
+/// harness — benches share it instead of rolling their own (it is the
+/// helper bench_service_load used to define inline).
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/// \brief Terminal request outcomes bucketed by the harness. Truncated
+/// responses count as `timeout` — a deadline cut the work short.
+struct OutcomeCounts {
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t overloaded = 0;
+  uint64_t timeout = 0;
+  uint64_t failed = 0;
+
+  uint64_t Total() const {
+    return ok + degraded + overloaded + timeout + failed;
+  }
+  void Add(const OutcomeCounts& other);
+};
+
+/// \brief Bounded deterministic reservoir of latency samples.
+class LatencyReservoir {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit LatencyReservoir(uint64_t seed = 0,
+                            size_t capacity = kDefaultCapacity);
+
+  void Add(double latency_ms);
+  /// \brief Folds `other`'s samples in (reservoir-sampling the union).
+  void Merge(const LatencyReservoir& other);
+
+  uint64_t count() const { return count_; }
+  double max_ms() const { return max_ms_; }
+  double sum_ms() const { return sum_ms_; }
+  double MeanMs() const {
+    return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// \brief Exact percentile over the retained samples (sorts a copy).
+  double PercentileMs(double p) const;
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t count_ = 0;    // samples offered (retained <= capacity_)
+  double max_ms_ = 0.0;   // exact, over all offered samples
+  double sum_ms_ = 0.0;   // exact, over all offered samples
+  std::vector<double> samples_;
+};
+
+/// \brief Aggregated statistics for one (phase, actor type) cell — also
+/// used for per-phase totals.
+struct CellStats {
+  OutcomeCounts outcomes;
+  uint64_t overload_retries = 0;
+  /// Sessions the actor could not even open (service errors).
+  uint64_t session_failures = 0;
+  LatencyReservoir latency;
+
+  void Merge(const CellStats& other);
+};
+
+/// \brief One actor thread's private recorder. NOT thread-safe by design:
+/// exactly one actor writes it, and the aggregator reads it only after the
+/// actor joined.
+class EventRecorder {
+ public:
+  /// \brief `seed` differentiates the reservoirs across actors so the
+  /// merged subsample is unbiased yet replayable.
+  EventRecorder(size_t num_phases, ActorType type, uint64_t seed);
+
+  ActorType type() const { return type_; }
+
+  void Record(size_t phase, service::RequestOutcome outcome,
+              double latency_ms);
+  void RecordOverloadRetry(size_t phase);
+  void RecordSessionFailure(size_t phase);
+
+  const CellStats& phase_stats(size_t phase) const {
+    return phases_[phase];
+  }
+  size_t num_phases() const { return phases_.size(); }
+
+ private:
+  ActorType type_;
+  std::vector<CellStats> phases_;
+};
+
+/// \brief Everything the aggregator distills for one phase.
+struct PhaseStats {
+  /// Indexed by ActorType.
+  std::vector<CellStats> by_actor;
+  CellStats total;
+};
+
+/// \brief Merges all recorders into per-phase stats (index = phase).
+std::vector<PhaseStats> AggregateRecorders(
+    const std::vector<EventRecorder>& recorders, size_t num_phases);
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_EVENT_RECORDER_H_

@@ -1,0 +1,57 @@
+#include "workload/orchestrator.h"
+
+#include "common/logging.h"
+
+namespace mweaver::workload {
+
+Orchestrator::Orchestrator(size_t num_actors) : num_actors_(num_actors) {
+  MW_CHECK(num_actors_ > 0) << "orchestrator needs at least one actor";
+}
+
+Orchestrator::Clock::time_point Orchestrator::Await(size_t phase,
+                                                    bool entering) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cancelled_) return Clock::now();
+  // Each phase consumes two barrier generations: enter (even) and leave
+  // (odd). The check catches protocol bugs (an actor skipping a phase)
+  // before they deadlock the fleet.
+  const uint64_t expected = phase * 2 + (entering ? 0 : 1);
+  MW_DCHECK(generation_ == expected)
+      << "barrier protocol violation: generation " << generation_
+      << ", expected " << expected;
+  const uint64_t my_generation = generation_;
+  if (++waiting_ == num_actors_) {
+    waiting_ = 0;
+    ++generation_;
+    if (entering) phase_start_ = Clock::now();
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] {
+      return cancelled_ || generation_ != my_generation;
+    });
+  }
+  return phase_start_;
+}
+
+Orchestrator::Clock::time_point Orchestrator::EnterPhase(size_t phase) {
+  return Await(phase, /*entering=*/true);
+}
+
+void Orchestrator::LeavePhase(size_t phase) {
+  (void)Await(phase, /*entering=*/false);
+}
+
+void Orchestrator::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Orchestrator::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+}  // namespace mweaver::workload

@@ -1,0 +1,65 @@
+// Orchestrator: gates every actor thread at phase boundaries so the whole
+// fleet moves through a scenario's phases in lockstep (the PhaseLoop /
+// Orchestrator split of MongoDB's Genny, reduced to what this harness
+// needs).
+//
+// Protocol, per phase p, on every actor thread:
+//
+//   start = orch.EnterPhase(p);   // barrier; last arrival stamps `start`
+//   ... run the phase's loop until its bound ...
+//   orch.LeavePhase(p);           // barrier; nobody enters p+1 early
+//
+// The two barriers guarantee (a) no actor starts phase p before every
+// actor has finished p-1 — a drain phase really observes a drained
+// service — and (b) every actor measures the phase from the same start
+// instant, so per-phase throughput is wall-clock-consistent across actors.
+//
+// Cancel() unblocks every waiter (used when an actor thread hits a fatal
+// setup error); cancelled orchestrations make Enter/LeavePhase return
+// immediately.
+#ifndef MWEAVER_WORKLOAD_ORCHESTRATOR_H_
+#define MWEAVER_WORKLOAD_ORCHESTRATOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mweaver::workload {
+
+class Orchestrator {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Orchestrator(size_t num_actors);
+
+  /// \brief Blocks until all actors arrive at phase `phase`'s start; the
+  /// last arrival stamps the phase start time, and every actor receives
+  /// that same instant. Returns immediately (with the current time) when
+  /// cancelled.
+  Clock::time_point EnterPhase(size_t phase);
+
+  /// \brief Blocks until all actors finished phase `phase`.
+  void LeavePhase(size_t phase);
+
+  /// \brief Unblocks all current and future waiters.
+  void Cancel();
+  bool cancelled() const;
+
+ private:
+  /// A reusable generation-counted barrier step. `phase` is only used to
+  /// sanity-check the lockstep protocol in debug builds.
+  Clock::time_point Await(size_t phase, bool entering);
+
+  const size_t num_actors_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  uint64_t generation_ = 0;  // completed barrier steps
+  size_t waiting_ = 0;
+  Clock::time_point phase_start_{};
+};
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_ORCHESTRATOR_H_

@@ -1,0 +1,35 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "query/executor.h"
+
+namespace mweaver::workload {
+
+std::vector<ReplayScript> BuildReplayScripts(
+    const text::FullTextEngine& engine,
+    const std::vector<datagen::TaskSet>& task_sets, size_t max_rows) {
+  std::vector<ReplayScript> scripts;
+  query::PathExecutor executor(&engine);
+  for (const auto& set : task_sets) {
+    for (const auto& task : set.tasks) {
+      auto rows = executor.EvaluateTarget(task.mapping, /*max_rows=*/200);
+      if (!rows.ok()) continue;
+      ReplayScript script;
+      script.column_names = task.column_names;
+      for (const auto& row : *rows) {
+        const bool complete =
+            std::all_of(row.begin(), row.end(),
+                        [](const std::string& cell) { return !cell.empty(); });
+        if (!complete) continue;
+        script.rows.push_back(row);
+        if (script.rows.size() >= max_rows) break;
+      }
+      if (!script.rows.empty()) scripts.push_back(std::move(script));
+    }
+  }
+  return scripts;
+}
+
+}  // namespace mweaver::workload

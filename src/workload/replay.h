@@ -1,0 +1,32 @@
+// ReplayScript: materialized goal-target rows the actors type into mapping
+// sessions. Moved here from bench_service_load so the runner, the benches,
+// and the tests share one materialization path.
+#ifndef MWEAVER_WORKLOAD_REPLAY_H_
+#define MWEAVER_WORKLOAD_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/workload.h"
+#include "text/fulltext_engine.h"
+
+namespace mweaver::workload {
+
+/// \brief One replayable mapping task: the target schema plus fully
+/// populated goal-target rows. Row 0 fires the first-row sample search;
+/// the rest drive pruning.
+struct ReplayScript {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Materializes up to `max_rows` fully populated goal-target rows
+/// per task by evaluating each task's goal mapping against the source.
+/// Tasks with no complete row are skipped.
+std::vector<ReplayScript> BuildReplayScripts(
+    const text::FullTextEngine& engine,
+    const std::vector<datagen::TaskSet>& task_sets, size_t max_rows);
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_REPLAY_H_

@@ -1,0 +1,87 @@
+// ScenarioRunner: executes a parsed Scenario against a MappingService and
+// produces a ScenarioReport — the persisted perf-trajectory record written
+// as BENCH_service_scenarios.json (schema in DESIGN.md §11).
+//
+// One std::thread per actor (the per-phase maximum across the scenario);
+// actors that a phase doesn't use park at the phase barrier and sleep the
+// phase out. Per phase the runner also snapshots the service metrics and
+// resets the latency histograms, so each PhaseReport carries the service's
+// own view of just that interval alongside the harness-side measurements.
+#ifndef MWEAVER_WORKLOAD_RUNNER_H_
+#define MWEAVER_WORKLOAD_RUNNER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/mapping_service.h"
+#include "workload/event_recorder.h"
+#include "workload/replay.h"
+#include "workload/scenario.h"
+
+namespace mweaver::workload {
+
+/// \brief Measured results of one phase.
+struct PhaseReport {
+  std::string name;
+  ArrivalModel arrival = ArrivalModel::kClosed;
+  double wall_seconds = 0.0;
+  PhaseStats stats;
+  /// Service-side counters for this interval: counter fields are deltas
+  /// against the phase start, histogram percentiles cover only this phase
+  /// (the runner resets the histograms at each phase boundary).
+  service::MetricsSnapshot service;
+};
+
+/// \brief The full scenario result.
+struct ScenarioReport {
+  std::string scenario_name;
+  uint64_t seed = 0;
+  size_t movies = 0;
+  size_t workers = 0;
+  size_t queue_depth = 0;
+  size_t cache_capacity = 0;
+  size_t scripts = 0;
+  double wall_seconds = 0.0;
+  std::vector<PhaseReport> phases;
+  /// Cumulative service counters at scenario end (histograms reflect the
+  /// final phase only, per the interval resets).
+  service::MetricsSnapshot final_service;
+
+  uint64_t TotalRequests() const;
+  /// Hard request failures (kFailed outcomes + failed session opens) —
+  /// nonzero means the run itself is suspect.
+  uint64_t TotalFailures() const;
+
+  /// \brief Serializes the report as the BENCH_service_scenarios.json
+  /// document.
+  std::string ToJson() const;
+
+  /// \brief Human-readable per-phase table.
+  void PrintSummary(std::FILE* out) const;
+};
+
+/// \brief Runs scenarios over one service + replay-script set. The service
+/// and scripts must outlive the runner.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(service::MappingService* service,
+                 const std::vector<ReplayScript>* scripts);
+
+  /// \brief Executes every phase. Fails fast on impossible setups (no
+  /// scripts, no phases); request-level failures are reported, not thrown.
+  Result<ScenarioReport> Run(const Scenario& scenario);
+
+ private:
+  service::MappingService* service_;
+  const std::vector<ReplayScript>* scripts_;
+};
+
+/// \brief Writes `content` to `path` atomically enough for bench output
+/// (temp file + rename).
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_RUNNER_H_

@@ -1,0 +1,47 @@
+// ScenarioParser: reads the plain-text scenario format of bench/scenarios/
+// (DESIGN.md §11 documents the grammar). The format is a small key/value +
+// sections dialect parsed entirely in-tree — no YAML or third-party
+// dependency:
+//
+//   # comment (blank lines ignored)
+//   name: smoke            <- top-level "key: value" pairs first
+//   seed: 42
+//   movies: 60
+//   workers: 4
+//   queue: 64
+//   cache: 256
+//   script_rows: 8
+//
+//   [phase ramp]           <- one section per phase, in run order
+//   duration_ms: 500       <- XOR iterations: N (count-bounded phases)
+//   arrival: closed        <- closed | open (open needs rate_per_sec)
+//   deadline_ms: 200
+//   think_time_ms: 0
+//   actors: searcher=2 pruner=1 bulk_loader=1 cache_buster=1
+//
+// Every diagnostic is an InvalidArgument Status carrying the 1-based line
+// number ("line 12: unknown actor type 'frobber'"), so a bad checked-in
+// scenario points at itself.
+#ifndef MWEAVER_WORKLOAD_SCENARIO_PARSER_H_
+#define MWEAVER_WORKLOAD_SCENARIO_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "workload/scenario.h"
+
+namespace mweaver::workload {
+
+class ScenarioParser {
+ public:
+  /// \brief Parses a full scenario spec from text.
+  static Result<Scenario> Parse(std::string_view text);
+
+  /// \brief Reads and parses `path`; errors are prefixed with the path.
+  static Result<Scenario> ParseFile(const std::string& path);
+};
+
+}  // namespace mweaver::workload
+
+#endif  // MWEAVER_WORKLOAD_SCENARIO_PARSER_H_
