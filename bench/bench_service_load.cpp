@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "catalog/catalog.h"
 #include "service/mapping_service.h"
 #include "workload/runner.h"
 #include "workload/scenario.h"
@@ -59,11 +60,20 @@ int main() {
                   : "none");
   scenario.phases.push_back(std::move(load));
 
+  catalog::Catalog cat;
+  if (auto published =
+          cat.Publish(service::kDefaultTenant, env.db().Clone());
+      !published.ok()) {
+    std::fprintf(stderr, "publish error: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+
   service::ServiceOptions options;
   options.num_workers = scenario.workers;
   options.max_queue_depth = scenario.queue_depth;
   options.cache_capacity = scenario.cache_capacity;
-  service::MappingService svc(&env.engine(), &env.graph(), options);
+  service::MappingService svc(&cat, options);
 
   const std::vector<workload::ReplayScript> scripts =
       workload::BuildReplayScripts(env.engine(), env.task_sets(),

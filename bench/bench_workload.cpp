@@ -13,6 +13,8 @@
 //     --tolerance=F       relative p95 band for --baseline (default 0.25)
 //     --floor-ms=F        absolute p95 slack in ms (default 10)
 //     --movies=N          override the scenario's source-database scale
+//     --tenants=N         override the scenario's tenant count (each gets
+//                         its own catalog snapshot of the same source)
 //
 // Exit codes: 0 ok; 1 hard request failures or baseline regression;
 // 2 usage/config errors.
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "catalog/catalog.h"
 #include "workload/baseline.h"
 #include "workload/runner.h"
 #include "workload/scenario_parser.h"
@@ -52,7 +55,7 @@ bool ReadFile(const std::string& path, std::string* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--out=FILE] [--baseline=FILE] "
-               "[--tolerance=F] [--floor-ms=F] [--movies=N]\n",
+               "[--tolerance=F] [--floor-ms=F] [--movies=N] [--tenants=N]\n",
                argv0);
   return 2;
 }
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   BaselineCheckOptions baseline_options;
   size_t movies_override = 0;
+  size_t tenants_override = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +84,8 @@ int main(int argc, char** argv) {
       baseline_options.abs_floor_ms = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg.rfind("--movies=", 0) == 0) {
       movies_override = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--tenants=", 0) == 0) {
+      tenants_override = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -99,25 +105,51 @@ int main(int argc, char** argv) {
   }
   Scenario scenario = std::move(parsed).ValueOrDie();
   if (movies_override > 0) scenario.movies = movies_override;
+  if (tenants_override > 0) scenario.tenants = tenants_override;
 
   const bench::YahooEnv env(scenario.movies);
   env.PrintHeader("Phased workload scenario runner");
   std::printf("scenario '%s' (%zu phases), seed %llu, %zu workers, queue "
-              "%zu, cache %zu\n\n",
+              "%zu, cache %zu, tenants %zu%s\n\n",
               scenario.name.c_str(), scenario.phases.size(),
               static_cast<unsigned long long>(scenario.seed),
               scenario.workers, scenario.queue_depth,
-              scenario.cache_capacity);
+              scenario.cache_capacity, scenario.tenants,
+              scenario.publish_churn ? " (publish churn)" : "");
+
+  // Every tenant serves its own snapshot of the same synthetic source:
+  // identical data per tenant keeps cells comparable across tenant
+  // counts, while the catalog still treats them as fully independent
+  // (separate snapshots, epochs, cache key spaces).
+  catalog::Catalog cat;
+  workload::TenantTopology topology;
+  topology.catalog = &cat;
+  topology.make_database = [&env]() { return env.db().Clone(); };
+  if (scenario.tenants == 1) {
+    topology.tenants.push_back(std::string(service::kDefaultTenant));
+  } else {
+    for (size_t t = 0; t < scenario.tenants; ++t) {
+      topology.tenants.push_back("t" + std::to_string(t));
+    }
+  }
+  for (const std::string& tenant : topology.tenants) {
+    if (auto published = cat.Publish(tenant, env.db().Clone());
+        !published.ok()) {
+      std::fprintf(stderr, "publish error (%s): %s\n", tenant.c_str(),
+                   published.status().ToString().c_str());
+      return 2;
+    }
+  }
 
   service::ServiceOptions options;
   options.num_workers = scenario.workers;
   options.max_queue_depth = scenario.queue_depth;
   options.cache_capacity = scenario.cache_capacity;
-  service::MappingService svc(&env.engine(), &env.graph(), options);
+  service::MappingService svc(&cat, options);
 
   const std::vector<ReplayScript> scripts = workload::BuildReplayScripts(
       env.engine(), env.task_sets(), scenario.max_script_rows);
-  ScenarioRunner runner(&svc, &scripts);
+  ScenarioRunner runner(&svc, &scripts, std::move(topology));
   auto run = runner.Run(scenario);
   if (!run.ok()) {
     std::fprintf(stderr, "run error: %s\n", run.status().ToString().c_str());
@@ -125,6 +157,9 @@ int main(int argc, char** argv) {
   }
   const ScenarioReport& report = *run;
   report.PrintSummary(stdout);
+  if (scenario.tenants > 1) {
+    std::printf("\nper-tenant: %s\n", svc.PerTenantMetricsJson().c_str());
+  }
 
   const std::string json = report.ToJson();
   if (Status write = workload::WriteFileAtomic(out_path, json);

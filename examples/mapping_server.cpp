@@ -1,21 +1,25 @@
-// mapping_server: demo of the concurrent service layer. Spins up a
-// MappingService over the Figure-2 movie database and drives several
-// concurrent "users" through it — each opens a session, types sample rows
+// mapping_server: demo of the concurrent service layer. Publishes the
+// Figure-2 movie database to one or more catalog tenants, spins up a
+// MappingService over the catalog, and drives several concurrent "users"
+// through it — each opens a session on its tenant, types sample rows
 // keystroke by keystroke, and converges on the Director join path — then
 // prints the service metrics snapshot (request outcomes, latency
-// histogram percentiles, queue high-water, cache hit rate).
+// histogram percentiles, queue high-water, cache hit rate) plus the
+// per-tenant rollups.
 //
-//   $ ./examples/mapping_server [num_users]
+//   $ ./examples/mapping_server [num_users] [--tenants=N]
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
-#include "graph/schema_graph.h"
+#include "catalog/catalog.h"
 #include "service/mapping_service.h"
 #include "storage/database.h"
-#include "text/fulltext_engine.h"
 
 namespace {
 
@@ -74,29 +78,54 @@ Database MakeExampleDb() {
 
 int main(int argc, char** argv) {
   using namespace mweaver;
-  const size_t num_users =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  size_t num_users = 6;
+  size_t num_tenants = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      num_tenants = std::strtoul(argv[i] + 10, nullptr, 10);
+      if (num_tenants == 0) num_tenants = 1;
+    } else {
+      num_users = std::strtoul(argv[i], nullptr, 10);
+    }
+  }
 
-  Database db = MakeExampleDb();
-  text::FullTextEngine engine(&db, text::MatchPolicy::Substring());
-  graph::SchemaGraph schema_graph(&db);
+  // Each tenant serves its own snapshot of the example source. Tenant "0"
+  // doubles as the default tenant so `--tenants=1` exercises the plain
+  // single-tenant path.
+  catalog::Catalog cat;
+  std::vector<std::string> tenants;
+  for (size_t t = 0; t < num_tenants; ++t) {
+    tenants.push_back(num_tenants == 1
+                          ? std::string(service::kDefaultTenant)
+                          : "tenant-" + std::to_string(t));
+    auto published = cat.Publish(tenants.back(), MakeExampleDb());
+    if (!published.ok()) {
+      std::cerr << "publish: " << published.status() << "\n";
+      return 1;
+    }
+  }
 
   service::ServiceOptions options;
   options.num_workers = 4;
   options.max_queue_depth = 32;
   options.cache_capacity = 64;
-  service::MappingService svc(&engine, &schema_graph, options);
+  service::MappingService svc(&cat, options);
 
-  std::cout << "mapping_server: " << num_users << " concurrent users, "
-            << options.num_workers << " workers, queue depth "
-            << options.max_queue_depth << "\n\n";
+  std::cout << "mapping_server: " << num_users << " concurrent users over "
+            << num_tenants << " tenant(s), " << options.num_workers
+            << " workers, queue depth " << options.max_queue_depth
+            << "\n\n";
 
   std::atomic<size_t> converged{0};
   std::atomic<size_t> cache_hits_seen{0};
   std::vector<std::thread> users;
   for (size_t u = 0; u < num_users; ++u) {
     users.emplace_back([&, u]() {
-      auto created = svc.CreateSession({"Name", "Director"});
+      // Users are dealt round-robin over the tenants; sessions pin their
+      // tenant's snapshot at creation.
+      auto created =
+          svc.CreateSession(tenants[u % tenants.size()],
+                            {"Name", "Director"});
       if (!created.ok()) {
         std::cerr << "user " << u << ": " << created.status() << "\n";
         return;
@@ -138,15 +167,18 @@ int main(int argc, char** argv) {
             << "\n";
   std::cout << "metrics:          " << metrics.ToString() << "\n";
   std::cout << "metrics (json):   " << svc.SnapshotMetricsJson() << "\n";
+  std::cout << "per-tenant (json): " << svc.PerTenantMetricsJson() << "\n";
   std::cout << "open sessions:    " << svc.sessions().size() << "\n";
 
   if (converged.load() != num_users) {
     std::cerr << "expected every user to converge\n";
     return 1;
   }
-  // Every user types the identical first row, so all but the first search
-  // should be answered from the result cache.
-  if (num_users > 1 && metrics.cache_hits == 0) {
+  // Every user types the identical first row, so whenever a tenant hosts
+  // at least two users, all but that tenant's first search should be
+  // answered from the result cache (keys are tenant-scoped: users on
+  // DIFFERENT tenants never share entries).
+  if (num_users > num_tenants && metrics.cache_hits == 0) {
     std::cerr << "expected cache hits on repeated first rows\n";
     return 1;
   }

@@ -1,0 +1,165 @@
+#include "catalog/catalog.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace mweaver::catalog {
+
+Catalog::Catalog(CatalogOptions options) : options_(std::move(options)) {}
+
+int64_t Catalog::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<SnapshotPtr> Catalog::Publish(std::string_view tenant,
+                                     storage::Database db) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  // Chaos site: ingestion flaking before the build starts (source dump
+  // unreachable, quota trip). The tenant keeps serving its old epoch; the
+  // default injected code is Unavailable, the retryable class.
+  MW_FAILPOINT_RETURN_NOT_OK("catalog.tenant.publish");
+
+  // Claim the epoch before the build: concurrent publishers to one tenant
+  // build in parallel and install in claim order (a slower build holding
+  // an older epoch must not clobber a newer one — see the install check).
+  const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+
+  // The expensive step — index construction over the new instance — runs
+  // with NO catalog lock held: readers keep pinning the previous epoch at
+  // full speed for the whole build.
+  auto snapshot = std::make_shared<const Snapshot>(
+      std::string(tenant), epoch,
+      std::make_unique<storage::Database>(std::move(db)),
+      options_.match_policy, options_.engine_options);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    if (tenants_.size() >= options_.max_tenants) {
+      return Status::ResourceExhausted(
+          StrFormat("tenant limit reached (%zu live tenants)",
+                    tenants_.size()));
+    }
+    it = tenants_.emplace(std::string(tenant), std::make_shared<Tenant>())
+             .first;
+  }
+  Tenant& entry = *it->second;
+  if (entry.current != nullptr && entry.current->epoch() > epoch) {
+    // A concurrent publish claimed a later epoch and finished first; this
+    // build is already stale. The built snapshot is discarded here (its
+    // only reference), never exposed.
+    return Status::FailedPrecondition(
+        StrFormat("publish of tenant '%.*s' superseded by epoch %llu",
+                  static_cast<int>(tenant.size()), tenant.data(),
+                  static_cast<unsigned long long>(entry.current->epoch())));
+  }
+  entry.current = snapshot;  // the atomic swap: one pointer assignment
+  entry.publishes += 1;
+  entry.last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  return snapshot;
+}
+
+Result<SnapshotPtr> Catalog::Pin(std::string_view tenant) const {
+  SnapshotPtr pinned;
+  std::shared_ptr<Tenant> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) {
+      entry = it->second;
+      pinned = entry->current;
+    }
+  }
+  if (pinned == nullptr) {
+    return Status::NotFound(StrFormat("no tenant '%.*s'",
+                                      static_cast<int>(tenant.size()),
+                                      tenant.data()));
+  }
+  entry->last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  return pinned;
+}
+
+Result<uint64_t> Catalog::CurrentEpoch(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second->current == nullptr) {
+    return Status::NotFound(StrFormat("no tenant '%.*s'",
+                                      static_cast<int>(tenant.size()),
+                                      tenant.data()));
+  }
+  return it->second->current->epoch();
+}
+
+Status Catalog::Drop(std::string_view tenant) {
+  SnapshotPtr released;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      return Status::NotFound(StrFormat("no tenant '%.*s'",
+                                        static_cast<int>(tenant.size()),
+                                        tenant.data()));
+    }
+    released = std::move(it->second->current);
+    tenants_.erase(it);
+  }
+  // `released` (possibly the last reference to a large index bundle)
+  // destructs here, outside the registry lock.
+  return Status::OK();
+}
+
+size_t Catalog::EvictIdle() {
+  const int64_t cutoff_ns =
+      NowNs() - std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    options_.idle_ttl)
+                    .count();
+  std::vector<SnapshotPtr> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = tenants_.begin(); it != tenants_.end();) {
+      Tenant& entry = *it->second;
+      if (entry.last_used_ns.load(std::memory_order_relaxed) > cutoff_ns) {
+        ++it;
+        continue;
+      }
+      evicted.push_back(std::move(entry.current));
+      it = tenants_.erase(it);
+    }
+  }
+  // Cold snapshots destruct here, outside the lock. Sessions still holding
+  // pins are unaffected: their SnapshotPtr keeps the bundle alive.
+  return evicted.size();
+}
+
+size_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+std::vector<TenantInfo> Catalog::ListTenants() const {
+  std::vector<TenantInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(tenants_.size());
+  for (const auto& [name, entry] : tenants_) {
+    TenantInfo info;
+    info.name = name;
+    info.publishes = entry->publishes;
+    if (entry->current != nullptr) {
+      info.epoch = entry->current->epoch();
+      info.rows = entry->current->db().TotalRows();
+      info.index_bytes = entry->current->index_bytes();
+      // One reference is the catalog's own; anything beyond it is a pin.
+      info.pins = entry->current.use_count() - 1;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace mweaver::catalog

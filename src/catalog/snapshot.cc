@@ -1,0 +1,20 @@
+#include "catalog/snapshot.h"
+
+#include "common/logging.h"
+
+namespace mweaver::catalog {
+
+Snapshot::Snapshot(std::string tenant, uint64_t epoch,
+                   std::unique_ptr<storage::Database> db,
+                   text::MatchPolicy policy,
+                   text::EngineOptions engine_options)
+    : tenant_(std::move(tenant)),
+      epoch_(epoch),
+      db_(std::move(db)),
+      engine_(std::make_unique<text::FullTextEngine>(db_.get(), policy,
+                                                     engine_options)),
+      graph_(std::make_unique<graph::SchemaGraph>(db_.get())) {
+  MW_CHECK(db_ != nullptr) << "a snapshot needs a database";
+}
+
+}  // namespace mweaver::catalog

@@ -1,0 +1,69 @@
+// Snapshot: one tenant's immutable serving state at one epoch — the source
+// Database together with the FullTextEngine and SchemaGraph built over it.
+// A snapshot never changes after construction; it is shared by refcount
+// (SnapshotPtr) between the catalog's "current" slot and every session /
+// request pinning it. Publishing a new epoch swaps the catalog's pointer;
+// readers pinned on the old epoch keep searching it, byte-for-byte
+// unchanged, and the old bundle is destroyed only when the last pin drops.
+#ifndef MWEAVER_CATALOG_SNAPSHOT_H_
+#define MWEAVER_CATALOG_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+#include "text/fulltext_engine.h"
+#include "text/match.h"
+
+namespace mweaver::catalog {
+
+/// \brief An immutable, refcounted bundle of per-tenant serving state.
+///
+/// The database is held behind a unique_ptr so its address stays stable for
+/// the engine's and graph's back-pointers regardless of where the snapshot
+/// itself is moved or shared. Construction is the expensive step (the
+/// engine builds its inverted / n-gram / deletion indexes eagerly): the
+/// catalog runs it outside any lock so publishing never stalls readers.
+class Snapshot {
+ public:
+  Snapshot(std::string tenant, uint64_t epoch,
+           std::unique_ptr<storage::Database> db, text::MatchPolicy policy,
+           text::EngineOptions engine_options = {});
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// \brief The owning tenant's name.
+  const std::string& tenant() const { return tenant_; }
+  /// \brief Monotonic publish epoch, unique across the whole catalog (so a
+  /// tenant evicted and later republished can never alias an old epoch in
+  /// result-cache fingerprints).
+  uint64_t epoch() const { return epoch_; }
+
+  const storage::Database& db() const { return *db_; }
+  const text::FullTextEngine& engine() const { return *engine_; }
+  const graph::SchemaGraph& graph() const { return *graph_; }
+
+  /// \brief Approximate heap footprint of the text indexes (capacity
+  /// accounting for eviction policies and per-tenant metrics).
+  size_t index_bytes() const { return engine_->index_bytes(); }
+
+ private:
+  const std::string tenant_;
+  const uint64_t epoch_;
+  const std::unique_ptr<storage::Database> db_;
+  const std::unique_ptr<text::FullTextEngine> engine_;
+  const std::unique_ptr<graph::SchemaGraph> graph_;
+};
+
+/// \brief The pin: holding one keeps the whole bundle alive. Searches that
+/// must see one consistent instance for their full duration copy the
+/// tenant's current SnapshotPtr once and use only that.
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+}  // namespace mweaver::catalog
+
+#endif  // MWEAVER_CATALOG_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "service/mapping_service.h"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -10,15 +11,15 @@
 
 namespace mweaver::service {
 
-MappingService::MappingService(const text::FullTextEngine* engine,
-                               const graph::SchemaGraph* schema_graph,
+MappingService::MappingService(catalog::Catalog* catalog,
                                ServiceOptions options)
-    : engine_(engine),
-      schema_graph_(schema_graph),
+    : catalog_(catalog),
       options_(options),
-      sessions_(engine, schema_graph, options.sessions),
+      sessions_(options.sessions),
       cache_(options.cache_capacity),
-      pool_(std::make_unique<ThreadPool>(options.num_workers)) {}
+      pool_(std::make_unique<ThreadPool>(options.num_workers)) {
+  MW_CHECK(catalog != nullptr);
+}
 
 MappingService::~MappingService() {
   {
@@ -33,14 +34,25 @@ MappingService::~MappingService() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     leftovers.swap(queue_);
+    tenant_queued_.clear();
   }
   for (QueuedRequest& queued : leftovers) {
     RequestResult result;
     result.status = Status::Internal("service shutting down");
     result.outcome = RequestOutcome::kFailed;
     metrics_.RecordRequest(result.outcome, 0.0);
+    if (!queued.tenant.empty()) {
+      tenant_metrics_.RecordRequest(queued.tenant, result.outcome);
+    }
     if (queued.done) queued.done(std::move(result));
   }
+}
+
+size_t MappingService::TenantQueueCap() const {
+  const double share = std::clamp(options_.max_tenant_queue_share, 0.0, 1.0);
+  const auto cap =
+      static_cast<size_t>(share * static_cast<double>(options_.max_queue_depth));
+  return std::max<size_t>(1, cap);
 }
 
 namespace {
@@ -51,26 +63,41 @@ namespace {
 thread_local bool tls_last_search_was_cache_hit = false;
 }  // namespace
 
-core::Session::SearchFn MappingService::MakeCachingSearchFn() {
+core::Session::SearchFn MappingService::MakeCachingSearchFn(
+    catalog::SnapshotPtr snapshot) {
   // The wrapper runs inside Session::RunSearch, i.e. under the session's
   // mutex on a worker thread. The cache has its own lock, so concurrent
-  // sessions share results safely.
-  return [this](const std::vector<std::string>& first_row,
-                const core::SearchOptions& opts, core::ExecutionContext& ctx)
+  // sessions share results safely — across sessions of the SAME tenant
+  // and epoch only, because both are baked into the key.
+  //
+  // The lambda holds its own snapshot pin: even if the session entry were
+  // torn down mid-call, the engine/graph it searches stay alive.
+  // Resolve the counters before the capture list: the `snapshot` init-
+  // capture moves the parameter, so touching it in a later initializer
+  // would read a moved-from pointer.
+  auto tenant_counters = tenant_metrics_.ForTenant(snapshot->tenant());
+  return [this, snapshot = std::move(snapshot),
+          tenant_counters = std::move(tenant_counters)](
+             const std::vector<std::string>& first_row,
+             const core::SearchOptions& opts, core::ExecutionContext& ctx)
              -> Result<core::SearchResult> {
-    const std::string key = ResultCache::MakeKey(first_row, opts);
+    const std::string key = ResultCache::MakeKey(
+        snapshot->tenant(), snapshot->epoch(), first_row, opts);
     if (std::optional<core::SearchResult> hit = cache_.Lookup(key)) {
       metrics_.RecordCacheLookup(/*hit=*/true);
+      tenant_counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
       tls_last_search_was_cache_hit = true;
       return std::move(*hit);
     }
     metrics_.RecordCacheLookup(/*hit=*/false);
+    tenant_counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
     // Chaos site: the backend flaking at search dispatch. Injects an
     // Unavailable status, which Process() absorbs with one retry.
     MW_FAILPOINT_RETURN_NOT_OK("service.search.transient");
-    MW_ASSIGN_OR_RETURN(
-        core::SearchResult result,
-        core::SampleSearch(*engine_, *schema_graph_, first_row, opts, ctx));
+    MW_ASSIGN_OR_RETURN(core::SearchResult result,
+                        core::SampleSearch(snapshot->engine(),
+                                           snapshot->graph(), first_row,
+                                           opts, ctx));
     metrics_.RecordSearchTrace(result.stats.trace);
     cache_.Insert(key, result);  // rejects truncated results itself
     return result;
@@ -78,13 +105,23 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn() {
 }
 
 Result<SessionId> MappingService::CreateSession(
-    std::vector<std::string> column_names,
+    std::string_view tenant, std::vector<std::string> column_names,
     core::SearchOptions search_options) {
+  // Pin the tenant's current snapshot NOW: everything this session ever
+  // searches — and every cache key it produces — is this epoch, no matter
+  // how many publishes land while the session is open.
+  MW_ASSIGN_OR_RETURN(catalog::SnapshotPtr snapshot, catalog_->Pin(tenant));
   if (options_.search_parallelism > 0) {
     search_options.num_threads = options_.search_parallelism;
   }
-  return sessions_.Create(std::move(column_names), search_options,
-                          MakeCachingSearchFn());
+  auto search_fn = MakeCachingSearchFn(snapshot);
+  MW_ASSIGN_OR_RETURN(
+      SessionId id,
+      sessions_.Create(std::move(snapshot), std::move(column_names),
+                       search_options, std::move(search_fn)));
+  tenant_metrics_.ForTenant(tenant)->sessions_created.fetch_add(
+      1, std::memory_order_relaxed);
+  return id;
 }
 
 Status MappingService::CloseSession(SessionId id) {
@@ -98,12 +135,22 @@ Status MappingService::Enqueue(InputRequest request,
       request.deadline.count() != 0 ? request.deadline
                                     : options_.default_deadline;
   QueuedRequest queued;
+  // Resolve the session's tenant before taking the queue lock (it's a
+  // registry lookup with its own mutex). Unknown session: leave the
+  // tenant empty and let the worker report NotFound — admission order
+  // must not depend on registry races.
+  if (Result<catalog::SnapshotPtr> pinned =
+          sessions_.SnapshotOf(request.session_id);
+      pinned.ok()) {
+    queued.tenant = (*pinned)->tenant();
+  }
   queued.request = std::move(request);
   queued.done = std::move(done);
   queued.admitted = now;
   queued.deadline = budget.count() != 0
                         ? now + budget
                         : core::SearchClock::time_point::max();
+  const size_t tenant_cap = TenantQueueCap();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (shutdown_) {
@@ -114,8 +161,35 @@ Status MappingService::Enqueue(InputRequest request,
     if (MW_FAILPOINT_TRIGGERED("service.queue.admit") ||
         queue_.size() >= options_.max_queue_depth) {
       metrics_.RecordRequest(RequestOutcome::kOverloaded, 0.0);
+      if (!queued.tenant.empty()) {
+        tenant_metrics_.RecordRequest(queued.tenant,
+                                      RequestOutcome::kOverloaded);
+      }
       return Status::ResourceExhausted(
           "request queue full; back off and retry");
+    }
+    if (!queued.tenant.empty()) {
+      auto it = tenant_queued_.find(queued.tenant);
+      const size_t tenant_depth = it == tenant_queued_.end() ? 0 : it->second;
+      if (tenant_depth >= tenant_cap) {
+        // The queue has room but this tenant already owns its share of it:
+        // reject so other tenants keep getting admitted. Recorded both as
+        // a plain overload (the client-visible truth) and as a
+        // share_rejection (the operator-visible cause).
+        const auto counters = tenant_metrics_.ForTenant(queued.tenant);
+        counters->share_rejections.fetch_add(1, std::memory_order_relaxed);
+        counters->by_outcome[static_cast<size_t>(
+                                 RequestOutcome::kOverloaded)]
+            .fetch_add(1, std::memory_order_relaxed);
+        metrics_.RecordRequest(RequestOutcome::kOverloaded, 0.0);
+        return Status::ResourceExhausted(
+            "tenant queue share exhausted; back off and retry");
+      }
+      if (it == tenant_queued_.end()) {
+        tenant_queued_.emplace(queued.tenant, 1);
+      } else {
+        ++it->second;
+      }
     }
     queue_.push_back(std::move(queued));
     metrics_.RecordQueueDepth(queue_.size());
@@ -141,6 +215,28 @@ RequestResult MappingService::Call(InputRequest request) {
   return future.get();
 }
 
+size_t MappingService::EvictIdleTenants() {
+  // Names first: once the catalog erases a tenant its name is gone, so
+  // diff the listing around the sweep to know whose cache entries to drop.
+  std::vector<std::string> before;
+  for (catalog::TenantInfo& info : catalog_->ListTenants()) {
+    before.push_back(std::move(info.name));
+  }
+  const size_t evicted = catalog_->EvictIdle();
+  if (evicted > 0) {
+    std::vector<catalog::TenantInfo> after = catalog_->ListTenants();
+    for (const std::string& name : before) {
+      const bool alive =
+          std::any_of(after.begin(), after.end(),
+                      [&](const catalog::TenantInfo& info) {
+                        return info.name == name;
+                      });
+      if (!alive) cache_.EvictTenantEntries(name);
+    }
+  }
+  return evicted;
+}
+
 void MappingService::DrainOne() {
   // Chaos site: a worker stalling between dequeue token and dispatch
   // (scheduler hiccup, page fault storm) — eats into request deadlines.
@@ -153,9 +249,17 @@ void MappingService::DrainOne() {
     MW_CHECK(!queue_.empty());
     queued = std::move(queue_.front());
     queue_.pop_front();
+    if (!queued.tenant.empty()) {
+      auto it = tenant_queued_.find(queued.tenant);
+      MW_CHECK(it != tenant_queued_.end() && it->second > 0);
+      if (--it->second == 0) tenant_queued_.erase(it);
+    }
   }
   RequestResult result = Process(queued);
   metrics_.RecordRequest(result.outcome, result.latency_ms);
+  if (!queued.tenant.empty()) {
+    tenant_metrics_.RecordRequest(queued.tenant, result.outcome);
+  }
   if (queued.done) queued.done(std::move(result));
 }
 

@@ -1,16 +1,26 @@
 // MappingService: the concurrent front-end multiplexing many interactive
-// mapping sessions over one immutable source database.
+// mapping sessions over a multi-tenant catalog of immutable snapshots.
 //
 //   clients --> bounded FIFO queue --> common::ThreadPool workers
 //                     |                     |
-//                 kOverloaded          SessionManager (per-session mutex)
-//               (explicit, never           |
-//                blocking)            ResultCache (first-row searches)
+//                 kOverloaded          SessionManager (per-session mutex,
+//               (explicit, never        each session pins one Snapshot)
+//                blocking; global           |
+//                AND per-tenant)       ResultCache (first-row searches,
+//                                       keys scoped by tenant + epoch)
 //
-// Backpressure: admission is non-blocking. When the queue is full,
-// Enqueue() returns ResourceExhausted immediately ("kOverloaded") so the
-// client can back off — a closed-loop client retries, an interactive UI
-// greys out the spreadsheet — instead of piling latency onto the queue.
+// Tenancy: every session is created against one tenant of the catalog and
+// pins that tenant's current snapshot for its whole lifetime — bulk loads
+// publishing new epochs never change what an open session sees. Requests
+// are attributed to the tenant of their session: per-tenant metric
+// rollups, and a per-tenant admission share so one hot tenant cannot
+// occupy the whole queue and starve the rest.
+//
+// Backpressure: admission is non-blocking. When the queue is full — or
+// the request's tenant already holds its share of it — Enqueue() returns
+// ResourceExhausted immediately ("kOverloaded") so the client can back
+// off — a closed-loop client retries, an interactive UI greys out the
+// spreadsheet — instead of piling latency onto the queue.
 //
 // Deadlines: each request carries a wall-clock budget measured from
 // admission (queue wait counts — a request that waited out its budget is
@@ -26,11 +36,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/options.h"
@@ -41,13 +54,25 @@
 
 namespace mweaver::service {
 
+/// \brief The tenant single-tenant callers land on: CreateSession without
+/// a tenant name targets it (the catalog must have it published).
+inline constexpr std::string_view kDefaultTenant = "default";
+
 struct ServiceOptions {
   /// Dedicated worker threads processing requests.
   size_t num_workers = 4;
   /// Admission bound: Enqueue() returns kOverloaded beyond this many
   /// queued-but-unstarted requests.
   size_t max_queue_depth = 256;
-  /// LRU capacity of the first-row search cache (0 disables it).
+  /// Per-tenant admission share: one tenant may occupy at most
+  /// ceil-to-1(max_tenant_queue_share * max_queue_depth) queued slots;
+  /// beyond that its requests are rejected kOverloaded even though the
+  /// queue has room, keeping headroom for every other tenant. 1.0
+  /// effectively disables the share (the global bound still applies).
+  double max_tenant_queue_share = 0.5;
+  /// LRU capacity of the first-row search cache (0 disables it). The
+  /// cache is shared across tenants; keys are tenant+epoch scoped so
+  /// entries can never leak between tenants or across republishes.
   size_t cache_capacity = 128;
   /// Deadline applied to requests that don't carry their own (0 = none).
   std::chrono::milliseconds default_deadline{0};
@@ -102,10 +127,11 @@ struct RequestResult {
 /// thread-safe.
 class MappingService {
  public:
-  /// \brief `engine` and `schema_graph` must outlive the service.
-  MappingService(const text::FullTextEngine* engine,
-                 const graph::SchemaGraph* schema_graph,
-                 ServiceOptions options = {});
+  /// \brief `catalog` must outlive the service. The service does not own
+  /// the catalog: ingestion (Catalog::Publish) runs beside it, and several
+  /// services could front one catalog.
+  explicit MappingService(catalog::Catalog* catalog,
+                          ServiceOptions options = {});
 
   /// \brief Stops accepting work, then fails every still-queued request
   /// with Internal("service shutting down") before joining the workers.
@@ -114,17 +140,29 @@ class MappingService {
   MappingService(const MappingService&) = delete;
   MappingService& operator=(const MappingService&) = delete;
 
-  /// \brief Opens a session (registry-level call, not queued: creation is
-  /// cheap and must not contend with search traffic for workers).
-  Result<SessionId> CreateSession(std::vector<std::string> column_names,
+  /// \brief Opens a session on `tenant`, pinning the tenant's CURRENT
+  /// snapshot for the session's whole lifetime (registry-level call, not
+  /// queued: creation is cheap and must not contend with search traffic
+  /// for workers). NotFound when the tenant has never been published (or
+  /// was evicted).
+  Result<SessionId> CreateSession(std::string_view tenant,
+                                  std::vector<std::string> column_names,
                                   core::SearchOptions search_options = {});
+
+  /// \brief Single-tenant convenience: CreateSession on kDefaultTenant.
+  Result<SessionId> CreateSession(std::vector<std::string> column_names,
+                                  core::SearchOptions search_options = {}) {
+    return CreateSession(kDefaultTenant, std::move(column_names),
+                         search_options);
+  }
 
   /// \brief Closes a session explicitly (idle ones expire via TTL).
   Status CloseSession(SessionId id);
 
   /// \brief Submits a request. Returns immediately: OK when admitted
   /// (`done` fires exactly once, on a worker thread), ResourceExhausted
-  /// when the queue is full (`done` never fires).
+  /// when the queue — or the session's tenant share of it — is full
+  /// (`done` never fires).
   Status Enqueue(InputRequest request,
                  std::function<void(RequestResult)> done);
 
@@ -136,21 +174,42 @@ class MappingService {
   /// \brief Runs an idle-session sweep; returns sessions reclaimed.
   size_t EvictIdleSessions() { return sessions_.EvictIdle(); }
 
+  /// \brief Runs the catalog's cold-tenant sweep and drops the evicted
+  /// tenants' result-cache entries; returns tenants reclaimed. Sessions
+  /// still pinning an evicted tenant's snapshot keep serving from it.
+  size_t EvictIdleTenants();
+
+  catalog::Catalog& catalog() { return *catalog_; }
   SessionManager& sessions() { return sessions_; }
   const ResultCache& cache() const { return cache_; }
+  ResultCache& mutable_cache() { return cache_; }
   MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
   /// \brief The metrics snapshot as a JSON object (export hook for the
   /// workload runner, examples, and monitoring).
   std::string SnapshotMetricsJson() const { return metrics_.SnapshotJson(); }
+  /// \brief Per-tenant rollups as `{"<tenant>": {...}, ...}` (embedded
+  /// beside the global metrics in BENCH_*.json and mapping_server output).
+  std::string PerTenantMetricsJson() const {
+    return tenant_metrics_.ToJson();
+  }
+  std::map<std::string, TenantMetricsSnapshot> PerTenantMetrics() const {
+    return tenant_metrics_.Snapshot();
+  }
   /// \brief Starts a fresh latency-histogram interval (scalar counters
   /// stay monotonic; see ServiceMetrics::ResetHistograms).
   void ResetMetricsHistograms() { metrics_.ResetHistograms(); }
   const ServiceOptions& options() const { return options_; }
+  /// \brief The per-tenant queued-slot cap derived from the options.
+  size_t TenantQueueCap() const;
 
  private:
   struct QueuedRequest {
     InputRequest request;
     std::function<void(RequestResult)> done;
+    /// Tenant of the request's session at admission (empty when the
+    /// session id is unknown — Process() then reports NotFound; such
+    /// requests count toward the global bound but no tenant share).
+    std::string tenant;
     core::SearchClock::time_point admitted;
     core::SearchClock::time_point deadline;  // max() = none
   };
@@ -158,18 +217,24 @@ class MappingService {
   /// Pops and processes one queued request (runs on a pool worker).
   void DrainOne();
   RequestResult Process(const QueuedRequest& queued);
-  core::Session::SearchFn MakeCachingSearchFn();
+  /// The caching first-row search bound to one session's pinned snapshot:
+  /// keys carry the snapshot's tenant + epoch, per-tenant cache counters
+  /// bump alongside the global ones.
+  core::Session::SearchFn MakeCachingSearchFn(catalog::SnapshotPtr snapshot);
 
-  const text::FullTextEngine* engine_;
-  const graph::SchemaGraph* schema_graph_;
+  catalog::Catalog* const catalog_;
   const ServiceOptions options_;
 
   SessionManager sessions_;
   ResultCache cache_;
   ServiceMetrics metrics_;
+  TenantMetricsRegistry tenant_metrics_;
 
   std::mutex queue_mu_;
   std::deque<QueuedRequest> queue_;
+  /// Queued-but-unstarted requests per tenant (admission shares); entries
+  /// are erased at zero so dropped tenants don't accumulate.
+  std::map<std::string, size_t, std::less<>> tenant_queued_;
   bool shutdown_ = false;
 
   // Last: workers must start after (and be joined before) everything they

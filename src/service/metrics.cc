@@ -378,4 +378,109 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   return snap;
 }
 
+std::shared_ptr<TenantMetricsRegistry::Counters>
+TenantMetricsRegistry::ForTenant(std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant), std::make_shared<Counters>())
+             .first;
+  }
+  return it->second;
+}
+
+void TenantMetricsRegistry::RecordRequest(std::string_view tenant,
+                                          RequestOutcome outcome) {
+  const auto counters = ForTenant(tenant);
+  counters->by_outcome[static_cast<size_t>(outcome)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::map<std::string, TenantMetricsSnapshot>
+TenantMetricsRegistry::Snapshot() const {
+  // Copy the (name -> counters) pairs under the lock, read the atomics
+  // outside it.
+  std::map<std::string, std::shared_ptr<Counters>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.insert(tenants_.begin(), tenants_.end());
+  }
+  std::map<std::string, TenantMetricsSnapshot> out;
+  for (const auto& [name, counters] : live) {
+    TenantMetricsSnapshot snap;
+    const auto outcome = [&](RequestOutcome o) {
+      return counters->by_outcome[static_cast<size_t>(o)].load(
+          std::memory_order_relaxed);
+    };
+    snap.requests_ok = outcome(RequestOutcome::kOk);
+    snap.requests_overloaded = outcome(RequestOutcome::kOverloaded);
+    snap.requests_truncated = outcome(RequestOutcome::kTruncated);
+    snap.requests_degraded = outcome(RequestOutcome::kDegraded);
+    snap.requests_failed = outcome(RequestOutcome::kFailed);
+    snap.cache_hits = counters->cache_hits.load(std::memory_order_relaxed);
+    snap.cache_misses =
+        counters->cache_misses.load(std::memory_order_relaxed);
+    snap.sessions_created =
+        counters->sessions_created.load(std::memory_order_relaxed);
+    snap.share_rejections =
+        counters->share_rejections.load(std::memory_order_relaxed);
+    out.emplace(name, snap);
+  }
+  return out;
+}
+
+namespace {
+
+// Tenant names are caller-chosen strings: escape the JSON specials so a
+// quote or backslash in a name cannot corrupt the document.
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string TenantMetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first_tenant = true;
+  for (const auto& [name, snap] : Snapshot()) {
+    if (!first_tenant) out += ',';
+    first_tenant = false;
+    AppendJsonString(&out, name);
+    out += ":{";
+    bool first = true;
+    AppendJsonUInt(&out, "requests_ok", snap.requests_ok, &first);
+    AppendJsonUInt(&out, "requests_degraded", snap.requests_degraded,
+                   &first);
+    AppendJsonUInt(&out, "requests_overloaded", snap.requests_overloaded,
+                   &first);
+    AppendJsonUInt(&out, "requests_truncated", snap.requests_truncated,
+                   &first);
+    AppendJsonUInt(&out, "requests_failed", snap.requests_failed, &first);
+    AppendJsonUInt(&out, "share_rejections", snap.share_rejections, &first);
+    AppendJsonUInt(&out, "cache_hits", snap.cache_hits, &first);
+    AppendJsonUInt(&out, "cache_misses", snap.cache_misses, &first);
+    AppendJsonUInt(&out, "sessions_created", snap.sessions_created, &first);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace mweaver::service

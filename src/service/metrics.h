@@ -8,7 +8,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/execution_context.h"
@@ -179,6 +183,63 @@ class ServiceMetrics {
   std::atomic<uint64_t> text_candidates_examined_{0};
   std::atomic<uint64_t> text_scan_fallbacks_{0};
   std::atomic<uint64_t> text_all_rows_fallbacks_{0};
+};
+
+/// \brief A point-in-time copy of one tenant's rollup counters.
+struct TenantMetricsSnapshot {
+  uint64_t requests_ok = 0;
+  uint64_t requests_overloaded = 0;
+  uint64_t requests_truncated = 0;
+  uint64_t requests_degraded = 0;
+  uint64_t requests_failed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t sessions_created = 0;
+  /// Admissions refused by the per-tenant queue share specifically (these
+  /// are also counted in requests_overloaded — this tells a hot tenant's
+  /// overload apart from a globally full queue).
+  uint64_t share_rejections = 0;
+
+  uint64_t TotalRequests() const {
+    return requests_ok + requests_overloaded + requests_truncated +
+           requests_degraded + requests_failed;
+  }
+};
+
+/// \brief Per-tenant rollups the service keys by the tenant a request's
+/// session is pinned to. The global ServiceMetrics stay the fleet-wide
+/// truth (histograms live only there); this registry answers "which tenant
+/// is hot / degraded / starving the cache" for ops and benches.
+class TenantMetricsRegistry {
+ public:
+  /// \brief One tenant's live counters. Handed out as a shared_ptr so hot
+  /// paths (the per-session caching search fn) bump atomics without
+  /// re-taking the registry lock — and so counters survive a concurrent
+  /// tenant eviction until the last session drops them.
+  struct Counters {
+    std::array<std::atomic<uint64_t>, 5> by_outcome{};  // RequestOutcome
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> sessions_created{0};
+    std::atomic<uint64_t> share_rejections{0};
+  };
+
+  /// \brief Finds or creates the tenant's counters.
+  std::shared_ptr<Counters> ForTenant(std::string_view tenant);
+
+  /// \brief Convenience: ForTenant + one outcome bump.
+  void RecordRequest(std::string_view tenant, RequestOutcome outcome);
+
+  /// \brief Name-ordered snapshot of every tenant seen so far.
+  std::map<std::string, TenantMetricsSnapshot> Snapshot() const;
+
+  /// \brief `{"<tenant>": {"requests_ok": ..., ...}, ...}` — the
+  /// per-tenant block embedded in BENCH_*.json and mapping_server output.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Counters>, std::less<>> tenants_;
 };
 
 }  // namespace mweaver::service

@@ -18,17 +18,50 @@ static_assert(sizeof(core::SearchOptions) == 56,
               "update this assert");
 #endif
 
-std::string ResultCache::MakeKey(const std::vector<std::string>& first_row,
+namespace {
+// `t=<len>:<name>;` — the length prefix makes the tenant segment
+// self-delimiting, so a tenant named "a;e=7" cannot forge another
+// tenant/epoch's key space.
+std::string TenantPrefix(std::string_view tenant) {
+  std::string prefix = StrFormat("t=%zu:", tenant.size());
+  prefix.append(tenant.data(), tenant.size());
+  prefix += ';';
+  return prefix;
+}
+}  // namespace
+
+std::string ResultCache::MakeKey(std::string_view tenant, uint64_t epoch,
+                                 const std::vector<std::string>& first_row,
                                  const core::SearchOptions& options) {
-  // Options fingerprint: everything that can change the result set
+  // Tenant + epoch scope the key to one published snapshot; the options
+  // fingerprint covers everything else that can change the result set
   // (canonically defined next to the options themselves).
-  std::string key =
-      StrFormat("m=%zu;", first_row.size()) + options.Fingerprint() + "|";
+  std::string key = TenantPrefix(tenant) +
+                    StrFormat("e=%llu;m=%zu;",
+                              static_cast<unsigned long long>(epoch),
+                              first_row.size()) +
+                    options.Fingerprint() + "|";
   for (const std::string& sample : first_row) {
     key += ToLower(sample);
     key += '\x1f';  // unit separator: never produced by user keystrokes
   }
   return key;
+}
+
+size_t ResultCache::EvictTenantEntries(std::string_view tenant) {
+  const std::string prefix = TenantPrefix(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      ++it;
+      continue;
+    }
+    index_.erase(it->first);
+    it = lru_.erase(it);
+    ++evicted;
+  }
+  return evicted;
 }
 
 std::optional<core::SearchResult> ResultCache::Lookup(const std::string& key) {

@@ -3,23 +3,32 @@
 // against the same source — so identical first rows across sessions can
 // skip the TPW pipeline entirely.
 //
-// Cache key (see DESIGN.md "Service layer"): the target-column count, a
+// Cache key (see DESIGN.md "Service layer"): the tenant (length-prefixed,
+// so a crafted tenant name can never splice into the rest of the key) and
+// the snapshot EPOCH the session is pinned to, the target-column count, a
 // fingerprint of every search option that affects the result set (PMNJ,
 // ranking weights, tuple-path caps — NOT num_threads or the deadline,
 // which change timing but never the converged output), and the
 // NORMALIZED first-row samples (ASCII-lowercased; sound because every
 // match mode compares case-insensitively — but NOT trimmed, since the
 // engine matches samples verbatim and a stray space changes the result).
-// Truncated results are never inserted: a partial candidate list must not
-// be replayed to a client with a looser deadline.
+//
+// Tenant + epoch are load-bearing: two tenants may host different
+// databases under identical queries, and one tenant's republish changes
+// its answers — the epoch (catalog-wide monotonic, never reused) makes
+// every publish a new key space, so stale entries can never be served,
+// only aged out by LRU. Truncated results are never inserted: a partial
+// candidate list must not be replayed to a client with a looser deadline.
 #ifndef MWEAVER_SERVICE_RESULT_CACHE_H_
 #define MWEAVER_SERVICE_RESULT_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -37,10 +46,17 @@ class ResultCache {
   /// Lookup misses and Insert is a no-op).
   explicit ResultCache(size_t capacity);
 
-  /// \brief Builds the canonical cache key for a first row under
-  /// `options`.
-  static std::string MakeKey(const std::vector<std::string>& first_row,
+  /// \brief Builds the canonical cache key for a first row searched on
+  /// `tenant`'s snapshot at `epoch` under `options`.
+  static std::string MakeKey(std::string_view tenant, uint64_t epoch,
+                             const std::vector<std::string>& first_row,
                              const core::SearchOptions& options);
+
+  /// \brief Drops every entry belonging to `tenant` (any epoch); returns
+  /// how many were removed. Used when a tenant is dropped/evicted —
+  /// correctness never depends on this (epochs are never reused), it just
+  /// stops dead entries from squatting LRU capacity.
+  size_t EvictTenantEntries(std::string_view tenant);
 
   /// \brief Returns a copy of the cached result and refreshes its
   /// recency, or nullopt on a miss.

@@ -4,13 +4,8 @@
 
 namespace mweaver::service {
 
-SessionManager::SessionManager(const text::FullTextEngine* engine,
-                               const graph::SchemaGraph* schema_graph,
-                               SessionManagerOptions options)
-    : engine_(engine), schema_graph_(schema_graph), options_(options) {
-  MW_CHECK(engine != nullptr);
-  MW_CHECK(schema_graph != nullptr);
-}
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(options) {}
 
 int64_t SessionManager::NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -19,12 +14,15 @@ int64_t SessionManager::NowNs() {
 }
 
 Result<SessionId> SessionManager::Create(
-    std::vector<std::string> column_names,
+    catalog::SnapshotPtr snapshot, std::vector<std::string> column_names,
     core::SearchOptions search_options, core::Session::SearchFn search_fn) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("a session needs a snapshot to pin");
+  }
   if (column_names.empty()) {
     return Status::InvalidArgument("a session needs at least 1 column");
   }
-  auto entry = std::make_shared<Entry>(engine_, schema_graph_,
+  auto entry = std::make_shared<Entry>(std::move(snapshot),
                                        std::move(column_names),
                                        search_options);
   if (search_fn) entry->session.set_search_fn(std::move(search_fn));
@@ -83,6 +81,17 @@ Status SessionManager::WithSession(
   return status;
 }
 
+Result<catalog::SnapshotPtr> SessionManager::SnapshotOf(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrFormat("no session %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  // The pin is const for the entry's lifetime — no entry mutex needed.
+  return it->second->snapshot;
+}
+
 size_t SessionManager::EvictIdle() {
   const int64_t cutoff_ns =
       NowNs() - std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -109,7 +118,9 @@ size_t SessionManager::EvictIdle() {
       it = sessions_.erase(it);
     }
   }
-  // Entries (and their Sessions) destruct here, outside the registry lock.
+  // Entries (their Sessions AND their snapshot pins) destruct here,
+  // outside the registry lock — evicting the last session on an old epoch
+  // is what finally frees that epoch's index bundle.
   return evicted.size();
 }
 

@@ -1,8 +1,14 @@
-// SessionManager: owns many named core::Sessions over one shared immutable
-// source (FullTextEngine + SchemaGraph). Sessions are identified by ids
+// SessionManager: owns many named core::Sessions, each pinned to one
+// immutable catalog::Snapshot (database + FullTextEngine + SchemaGraph at
+// a fixed epoch) for its whole lifetime. Sessions are identified by ids
 // from a monotonically increasing space (never reused, so a stale client
 // can never alias a newer user's session), serialized individually by a
 // per-session mutex, and evicted after an idle TTL.
+//
+// The pin is the multi-tenant contract: a session created against epoch N
+// of its tenant keeps searching epoch N byte-for-byte even while bulk
+// loads publish N+1, N+2, ... — the snapshot only dies when the last
+// session (or in-flight request) holding it drops its SnapshotPtr.
 #ifndef MWEAVER_SERVICE_SESSION_MANAGER_H_
 #define MWEAVER_SERVICE_SESSION_MANAGER_H_
 
@@ -14,12 +20,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "catalog/snapshot.h"
 #include "common/result.h"
 #include "core/session.h"
-#include "graph/schema_graph.h"
-#include "text/fulltext_engine.h"
 
 namespace mweaver::service {
 
@@ -41,15 +47,15 @@ struct SessionManagerOptions {
 /// in one session never blocks lookups or other sessions.
 class SessionManager {
  public:
-  /// \brief `engine` and `schema_graph` must outlive the manager.
-  SessionManager(const text::FullTextEngine* engine,
-                 const graph::SchemaGraph* schema_graph,
-                 SessionManagerOptions options = {});
+  explicit SessionManager(SessionManagerOptions options = {});
 
-  /// \brief Creates a session for `column_names`, returning its id.
-  /// `search_fn` (optional) overrides the first-row search — the service
-  /// installs its caching wrapper here.
-  Result<SessionId> Create(std::vector<std::string> column_names,
+  /// \brief Creates a session for `column_names` over `snapshot`,
+  /// returning its id. The session holds the snapshot pin until it is
+  /// closed or evicted — later publishes to the same tenant never change
+  /// what this session searches. `search_fn` (optional) overrides the
+  /// first-row search — the service installs its caching wrapper here.
+  Result<SessionId> Create(catalog::SnapshotPtr snapshot,
+                           std::vector<std::string> column_names,
                            core::SearchOptions search_options = {},
                            core::Session::SearchFn search_fn = nullptr);
 
@@ -61,6 +67,12 @@ class SessionManager {
   /// its idle clock. Returns NotFound for unknown/closed/evicted ids.
   Status WithSession(SessionId id,
                      const std::function<Status(core::Session&)>& fn);
+
+  /// \brief The snapshot the session is pinned to (tenant name and epoch
+  /// ride along on it). NotFound for unknown/closed ids. Cheap: one map
+  /// lookup plus a shared_ptr copy — the admission path calls this per
+  /// request to attribute it to a tenant.
+  Result<catalog::SnapshotPtr> SnapshotOf(SessionId id) const;
 
   /// \brief Evicts every session idle longer than the TTL; returns how
   /// many were reclaimed. Sessions currently executing a request are
@@ -74,13 +86,16 @@ class SessionManager {
 
  private:
   struct Entry {
-    Entry(const text::FullTextEngine* engine,
-          const graph::SchemaGraph* schema_graph,
-          std::vector<std::string> column_names,
+    Entry(catalog::SnapshotPtr snap, std::vector<std::string> column_names,
           core::SearchOptions search_options)
-        : session(engine, schema_graph, std::move(column_names),
-                  search_options) {}
+        : snapshot(std::move(snap)),
+          session(&snapshot->engine(), &snapshot->graph(),
+                  std::move(column_names), search_options) {}
 
+    /// Declared before `session`: the session's engine/graph pointers
+    /// point INTO the snapshot, so the pin must outlive (construct before,
+    /// destruct after) the session.
+    const catalog::SnapshotPtr snapshot;
     std::mutex mu;          // serializes access to `session` and `closed`
     core::Session session;
     bool closed = false;    // set by Close/EvictIdle; guards the zombie
@@ -92,8 +107,6 @@ class SessionManager {
 
   static int64_t NowNs();
 
-  const text::FullTextEngine* engine_;
-  const graph::SchemaGraph* schema_graph_;
   const SessionManagerOptions options_;
 
   mutable std::mutex mu_;  // guards sessions_ only

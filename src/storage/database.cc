@@ -4,6 +4,17 @@
 
 namespace mweaver::storage {
 
+Database Database::Clone() const {
+  Database copy(name_);
+  copy.relations_.reserve(relations_.size());
+  for (const Relation& rel : relations_) {
+    copy.relations_.push_back(rel.Clone());
+  }
+  copy.relations_by_name_ = relations_by_name_;
+  copy.foreign_keys_ = foreign_keys_;
+  return copy;
+}
+
 Result<RelationId> Database::AddRelation(RelationSchema schema) {
   if (schema.name().empty()) {
     return Status::InvalidArgument("relation name must be non-empty");

@@ -26,6 +26,12 @@ class Database {
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
+  /// \brief Deep copy: relations (rows included), name index, and foreign
+  /// keys. The clone is a fully independent instance — the catalog layer
+  /// uses it to publish one source to several tenants and tests use it as
+  /// a frozen reference copy while the original's tenant moves on.
+  Database Clone() const;
+
   const std::string& name() const { return name_; }
 
   /// \brief Registers a new empty relation; fails on duplicate names.

@@ -37,11 +37,21 @@ class Relation {
  public:
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
 
-  // Indexes hold row ids; moving is fine, copying would be wasteful.
+  // Indexes hold row ids; moving is fine, implicit copying would be
+  // wasteful. Deliberate deep copies go through Clone().
   Relation(const Relation&) = delete;
   Relation& operator=(const Relation&) = delete;
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
+
+  /// \brief Deep copy of schema and rows. Lazily built hash indexes are NOT
+  /// copied — the clone rebuilds them on first use (they index by row id,
+  /// which survives the copy, but sharing them would couple lifetimes).
+  Relation Clone() const {
+    Relation copy(schema_);
+    copy.rows_ = rows_;
+    return copy;
+  }
 
   const RelationSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }

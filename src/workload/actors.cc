@@ -94,7 +94,25 @@ void Actor::RunIteration(const PhaseRuntime& phase, uint64_t iteration,
   const ReplayScript& script = PickScript(lifetime_iterations_);
   ++lifetime_iterations_;
 
-  auto created = config_.service->CreateSession(script.column_names);
+  // Publish churn: the bulk loader stamps a fresh epoch of its tenant
+  // before loading, so its session below pins the NEW snapshot while
+  // every concurrent searcher keeps its own pinned epoch. A failed
+  // publish (chaos-injected or superseded) leaves the tenant on its old
+  // epoch — book it and load against that.
+  if (config_.publish_churn && config_.type == ActorType::kBulkLoader &&
+      config_.catalog != nullptr && config_.make_database != nullptr) {
+    auto published = config_.catalog->Publish(
+        config_.tenant.empty() ? service::kDefaultTenant
+                               : std::string_view(config_.tenant),
+        (*config_.make_database)());
+    if (!published.ok()) recorder_.RecordSessionFailure(phase.index);
+  }
+
+  auto created =
+      config_.tenant.empty()
+          ? config_.service->CreateSession(script.column_names)
+          : config_.service->CreateSession(config_.tenant,
+                                           script.column_names);
   if (!created.ok()) {
     recorder_.RecordSessionFailure(phase.index);
     return;

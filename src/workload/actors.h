@@ -23,10 +23,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/random.h"
 #include "service/mapping_service.h"
+#include "storage/database.h"
 #include "workload/event_recorder.h"
 #include "workload/orchestrator.h"
 #include "workload/replay.h"
@@ -61,6 +65,15 @@ class Actor {
     size_t ordinal = 0;
     /// Scenario seed; mixed with the type and ordinal for the actor RNG.
     uint64_t seed = 1;
+    /// Tenant this actor's sessions target; empty = the service's default
+    /// tenant (single-tenant scenarios).
+    std::string tenant;
+    /// Set together when the scenario runs publish churn: bulk_loader
+    /// actors call catalog->Publish(tenant, (*make_database)()) at the top
+    /// of every iteration. Other actor types ignore them.
+    catalog::Catalog* catalog = nullptr;
+    const std::function<storage::Database()>* make_database = nullptr;
+    bool publish_churn = false;
   };
 
   Actor(const Config& config, size_t num_phases);

@@ -85,6 +85,8 @@ std::string ScenarioReport::ToJson() const {
   w.KV("queue_depth", static_cast<uint64_t>(queue_depth));
   w.KV("cache_capacity", static_cast<uint64_t>(cache_capacity));
   w.KV("replay_scripts", static_cast<uint64_t>(scripts));
+  w.KV("tenants", static_cast<uint64_t>(tenants));
+  w.KV("publish_churn", publish_churn ? "on" : "off");
   w.EndObject();
   w.KV("wall_seconds", wall_seconds);
   w.KV("total_requests", TotalRequests());
@@ -120,6 +122,8 @@ std::string ScenarioReport::ToJson() const {
   w.EndArray();
 
   w.Key("service_final").Raw(final_service.ToJson());
+  w.Key("service_per_tenant")
+      .Raw(per_tenant_json.empty() ? "{}" : per_tenant_json);
   w.EndObject();
   return w.Finish();
 }
@@ -166,7 +170,12 @@ void ScenarioReport::PrintSummary(std::FILE* out) const {
 
 ScenarioRunner::ScenarioRunner(service::MappingService* service,
                                const std::vector<ReplayScript>* scripts)
-    : service_(service), scripts_(scripts) {
+    : ScenarioRunner(service, scripts, TenantTopology{}) {}
+
+ScenarioRunner::ScenarioRunner(service::MappingService* service,
+                               const std::vector<ReplayScript>* scripts,
+                               TenantTopology topology)
+    : service_(service), scripts_(scripts), topology_(std::move(topology)) {
   MW_CHECK(service_ != nullptr);
   MW_CHECK(scripts_ != nullptr);
 }
@@ -180,9 +189,24 @@ Result<ScenarioReport> ScenarioRunner::Run(const Scenario& scenario) {
   if (scenario.phases.empty()) {
     return Status::InvalidArgument("scenario has no phases");
   }
+  if (scenario.tenants > 1 &&
+      topology_.tenants.size() < scenario.tenants) {
+    return Status::FailedPrecondition(
+        StrFormat("scenario wants %zu tenants but the topology provides "
+                  "%zu",
+                  scenario.tenants, topology_.tenants.size()));
+  }
+  if (scenario.publish_churn &&
+      (topology_.catalog == nullptr || !topology_.make_database)) {
+    return Status::FailedPrecondition(
+        "scenario sets publish_churn but the topology has no catalog / "
+        "make_database");
+  }
 
   // One actor thread per (type, ordinal) up to the per-type maximum; a
-  // phase that uses fewer simply parks the extras at the barriers.
+  // phase that uses fewer simply parks the extras at the barriers. Actors
+  // are dealt their tenant round-robin within each type, so every tenant
+  // sees every traffic shape the scenario mixes.
   const std::array<size_t, kNumActorTypes> max_counts =
       scenario.MaxActorCounts();
   std::deque<Actor> actors;
@@ -194,6 +218,16 @@ Result<ScenarioReport> ScenarioRunner::Run(const Scenario& scenario) {
       config.type = static_cast<ActorType>(t);
       config.ordinal = k;
       config.seed = scenario.seed;
+      if (scenario.tenants > 1) {
+        config.tenant = topology_.tenants[k % scenario.tenants];
+      } else if (!topology_.tenants.empty()) {
+        config.tenant = topology_.tenants.front();
+      }
+      if (scenario.publish_churn) {
+        config.catalog = topology_.catalog;
+        config.make_database = &topology_.make_database;
+        config.publish_churn = true;
+      }
       actors.emplace_back(config, scenario.phases.size());
     }
   }
@@ -253,6 +287,8 @@ Result<ScenarioReport> ScenarioRunner::Run(const Scenario& scenario) {
   report.queue_depth = scenario.queue_depth;
   report.cache_capacity = scenario.cache_capacity;
   report.scripts = scripts_->size();
+  report.tenants = scenario.tenants;
+  report.publish_churn = scenario.publish_churn;
   report.phases.reserve(scenario.phases.size());
 
   const Clock::time_point run_start = Clock::now();
@@ -278,6 +314,7 @@ Result<ScenarioReport> ScenarioRunner::Run(const Scenario& scenario) {
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - run_start).count();
   report.final_service = service_->SnapshotMetrics();
+  report.per_tenant_json = service_->PerTenantMetricsJson();
 
   // Fold the per-actor recorders into the per-phase cells.
   std::vector<EventRecorder> recorders;

@@ -11,11 +11,14 @@
 #define MWEAVER_WORKLOAD_RUNNER_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/result.h"
 #include "service/mapping_service.h"
+#include "storage/database.h"
 #include "workload/event_recorder.h"
 #include "workload/replay.h"
 #include "workload/scenario.h"
@@ -43,11 +46,16 @@ struct ScenarioReport {
   size_t queue_depth = 0;
   size_t cache_capacity = 0;
   size_t scripts = 0;
+  size_t tenants = 1;
+  bool publish_churn = false;
   double wall_seconds = 0.0;
   std::vector<PhaseReport> phases;
   /// Cumulative service counters at scenario end (histograms reflect the
   /// final phase only, per the interval resets).
   service::MetricsSnapshot final_service;
+  /// Per-tenant rollup JSON object at scenario end (from
+  /// MappingService::PerTenantMetricsJson); "{}" when no tenant traffic.
+  std::string per_tenant_json = "{}";
 
   uint64_t TotalRequests() const;
   /// Hard request failures (kFailed outcomes + failed session opens) —
@@ -62,20 +70,41 @@ struct ScenarioReport {
   void PrintSummary(std::FILE* out) const;
 };
 
+/// \brief The multi-tenant wiring for a scenario run: which catalog
+/// tenants exist and how to mint a fresh database instance for publish
+/// churn. Every named tenant must already be published before Run().
+struct TenantTopology {
+  catalog::Catalog* catalog = nullptr;
+  /// Actor assignment targets, round-robin over the scenario's actors.
+  /// Empty = single-tenant (everything lands on service::kDefaultTenant).
+  std::vector<std::string> tenants;
+  /// Builds the database a churning bulk_loader republishes (typically a
+  /// Clone() of the scenario's source). Required when the scenario sets
+  /// publish_churn.
+  std::function<storage::Database()> make_database;
+};
+
 /// \brief Runs scenarios over one service + replay-script set. The service
 /// and scripts must outlive the runner.
 class ScenarioRunner {
  public:
   ScenarioRunner(service::MappingService* service,
                  const std::vector<ReplayScript>* scripts);
+  /// \brief Multi-tenant runs: actors are spread round-robin over
+  /// `topology.tenants` and publish churn draws from it.
+  ScenarioRunner(service::MappingService* service,
+                 const std::vector<ReplayScript>* scripts,
+                 TenantTopology topology);
 
   /// \brief Executes every phase. Fails fast on impossible setups (no
-  /// scripts, no phases); request-level failures are reported, not thrown.
+  /// scripts, no phases, a multi-tenant scenario without a matching
+  /// topology); request-level failures are reported, not thrown.
   Result<ScenarioReport> Run(const Scenario& scenario);
 
  private:
   service::MappingService* service_;
   const std::vector<ReplayScript>* scripts_;
+  TenantTopology topology_;
 };
 
 /// \brief Writes `content` to `path` atomically enough for bench output

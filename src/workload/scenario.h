@@ -104,6 +104,16 @@ struct Scenario {
   size_t cache_capacity = 256;
   /// Replay rows materialized per task script.
   size_t max_script_rows = 8;
+  /// Catalog tenants the scenario spreads its actors over (each actor is
+  /// assigned one round-robin). 1 = the single-tenant default, which runs
+  /// against service::kDefaultTenant — pre-tenancy scenarios parse and
+  /// behave unchanged.
+  size_t tenants = 1;
+  /// When on, bulk_loader actors republish their tenant (a full snapshot
+  /// build + epoch swap) at the top of every iteration before loading —
+  /// the ingest-churn traffic shape that proves reads never block on
+  /// publishes.
+  bool publish_churn = false;
   std::vector<PhaseSpec> phases;
 
   /// \brief Per-type maximum across phases: the threads the runner spawns

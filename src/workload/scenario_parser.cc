@@ -186,6 +186,21 @@ Result<Scenario> ScenarioParser::Parse(std::string_view text) {
         MW_ASSIGN_OR_RETURN(const uint64_t v, ParseUint(value, line_no, key));
         if (v == 0) return LineError(line_no, "script_rows must be > 0");
         scenario.max_script_rows = static_cast<size_t>(v);
+      } else if (key == "tenants") {
+        MW_ASSIGN_OR_RETURN(const uint64_t v, ParseUint(value, line_no, key));
+        if (v == 0) return LineError(line_no, "tenants must be > 0");
+        scenario.tenants = static_cast<size_t>(v);
+      } else if (key == "publish_churn") {
+        if (value == "on") {
+          scenario.publish_churn = true;
+        } else if (value == "off") {
+          scenario.publish_churn = false;
+        } else {
+          return LineError(line_no,
+                           StrFormat("publish_churn must be 'on' or 'off', "
+                                     "got '%s'",
+                                     value.c_str()));
+        }
       } else {
         return LineError(line_no,
                          StrFormat("unknown scenario key '%s'", key.c_str()));

@@ -32,6 +32,7 @@
 #include <tuple>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/session.h"
@@ -51,12 +52,17 @@ constexpr int kRetryBudget = 12;  // > worst-case injected errors + overloads
 
 struct Env {
   Env()
-      : db(testing::MakeFigure2Db()),
-        engine(&db, text::MatchPolicy::Substring()),
-        graph(&db) {}
-  storage::Database db;
-  text::FullTextEngine engine;
-  graph::SchemaGraph graph;
+      : snapshot(catalog
+                     .Publish(kDefaultTenant, testing::MakeFigure2Db())
+                     .ValueOrDie()),
+        engine(snapshot->engine()),
+        graph(snapshot->graph()) {}
+  // mutable: the catalog is internally synchronized, and chaos/stress
+  // drivers share one Env through a const ref.
+  mutable catalog::Catalog catalog;
+  catalog::SnapshotPtr snapshot;
+  const text::FullTextEngine& engine;
+  const graph::SchemaGraph& graph;
 };
 
 const Env& SharedEnv() {
@@ -88,7 +94,7 @@ const Reference& CleanReference() {
     MW_CHECK(FailpointRegistry::Global().ArmedSites().empty());
     auto* r = new Reference();
     const Env& env = SharedEnv();
-    MappingService service(&env.engine, &env.graph, ServiceOptions{});
+    MappingService service(&env.catalog, ServiceOptions{});
     auto created = service.CreateSession({"Name", "Director"});
     MW_CHECK(created.ok());
     for (const auto& [row, col, value] : Script()) {
@@ -297,7 +303,7 @@ void RunSchedule(int schedule, uint64_t seed_base, bool deadline_chaos,
   options.cache_capacity = 16;
 
   const Env& env = SharedEnv();
-  MappingService service(&env.engine, &env.graph, options);
+  MappingService service(&env.catalog, options);
 
   std::vector<SessionId> ids;
   for (size_t i = 0; i < kSessions; ++i) {
@@ -419,7 +425,7 @@ TEST(ChaosTest, DisarmedServiceRecoversCompletely) {
 
   const Reference& reference = CleanReference();
   const Env& env = SharedEnv();
-  MappingService service(&env.engine, &env.graph, ServiceOptions{});
+  MappingService service(&env.catalog, ServiceOptions{});
   auto created = service.CreateSession({"Name", "Director"});
   ASSERT_TRUE(created.ok()) << created.status();
   for (const auto& [row, col, value] : Script()) {
@@ -438,6 +444,104 @@ TEST(ChaosTest, DisarmedServiceRecoversCompletely) {
                                })
                   .ok());
   EXPECT_EQ(candidates, reference.candidates);
+}
+
+// ------------------------- publish-churn chaos ----------------------------
+
+// Bulk-load chaos: the "catalog.tenant.publish" site flakes intermittently
+// while client threads drive sessions AND a publisher churns the tenant.
+// Invariants: a failed publish surfaces the injected (retryable) status
+// and leaves the tenant serving its old epoch untouched; sessions pinned
+// before or during the churn still converge on the fault-free answer; a
+// disarmed republish lands cleanly.
+TEST(ChaosTest, PublishFailuresNeverDisturbServingSnapshots) {
+  const Reference& reference = CleanReference();
+
+  catalog::Catalog catalog;
+  ASSERT_TRUE(catalog.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue_depth = 32;
+  MappingService service(&catalog, options);
+
+  FailpointPolicy flaky;
+  flaky.action = FailAction::kError;  // injects Unavailable
+  flaky.probability = 0.5;
+  flaky.seed = 4242;
+  size_t publish_ok = 0;
+  size_t publish_failed = 0;
+  {
+    ScopedFailpoint armed("catalog.tenant.publish", flaky);
+
+    std::vector<SessionId> ids;
+    for (size_t i = 0; i < kSessions; ++i) {
+      auto created = service.CreateSession({"Name", "Director"});
+      ASSERT_TRUE(created.ok()) << created.status();
+      ids.push_back(*created);
+    }
+
+    std::vector<SessionRun> runs(kSessions);
+    std::thread publisher([&]() {
+      for (int i = 0; i < 24; ++i) {
+        const uint64_t epoch_before = *catalog.CurrentEpoch(kDefaultTenant);
+        auto published =
+            catalog.Publish(kDefaultTenant, testing::MakeFigure2Db());
+        if (published.ok()) {
+          ++publish_ok;
+        } else {
+          ++publish_failed;
+          // Failed ingestion is retryable and side-effect free: the
+          // tenant still serves, at an epoch no older than before.
+          EXPECT_TRUE(published.status().IsUnavailable())
+              << published.status();
+          EXPECT_GE(*catalog.CurrentEpoch(kDefaultTenant), epoch_before);
+        }
+      }
+    });
+    {
+      std::vector<std::thread> clients;
+      for (size_t i = 0; i < kSessions; ++i) {
+        clients.emplace_back([&service, &runs, &ids, i]() {
+          runs[i] = DriveScript(service, ids[i],
+                                std::chrono::milliseconds{0});
+        });
+      }
+      for (auto& t : clients) t.join();
+    }
+    publisher.join();
+
+    // Publish faults are invisible to readers: every clean session holds
+    // the fault-free answer on its pinned epoch.
+    for (size_t i = 0; i < kSessions; ++i) {
+      EXPECT_TRUE(runs[i].classified)
+          << "session " << i << ": " << runs[i].violation;
+      if (runs[i].truncated || runs[i].exhausted) continue;
+      std::set<std::string> candidates;
+      ASSERT_TRUE(service.sessions()
+                      .WithSession(ids[i],
+                                   [&](core::Session& session) {
+                                     candidates =
+                                         testing::CanonicalMappingSet(
+                                             session.candidates());
+                                     return Status::OK();
+                                   })
+                      .ok());
+      EXPECT_EQ(candidates, reference.candidates) << "session " << i;
+    }
+    for (const SessionId id : ids) {
+      EXPECT_TRUE(service.CloseSession(id).ok());
+    }
+  }
+  // The sweep must exercise both sides of the coin flip (seeded, stable).
+  EXPECT_GT(publish_ok, 0u);
+  EXPECT_GT(publish_failed, 0u);
+
+  // Disarmed, ingestion heals: the next publish lands and bumps the epoch.
+  const uint64_t before = *catalog.CurrentEpoch(kDefaultTenant);
+  auto healed = catalog.Publish(kDefaultTenant, testing::MakeFigure2Db());
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_GT((*healed)->epoch(), before);
 }
 
 // ------------------------- storage-load fault sweep -----------------------

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "core/execution_context.h"
 #include "core/sample_search.h"
 #include "core/session.h"
@@ -26,12 +27,17 @@ constexpr size_t kSessionsPerThread = 12;
 
 struct Env {
   Env()
-      : db(testing::MakeFigure2Db()),
-        engine(&db, text::MatchPolicy::Substring()),
-        graph(&db) {}
-  storage::Database db;
-  text::FullTextEngine engine;
-  graph::SchemaGraph graph;
+      : snapshot(catalog
+                     .Publish(kDefaultTenant, testing::MakeFigure2Db())
+                     .ValueOrDie()),
+        engine(snapshot->engine()),
+        graph(snapshot->graph()) {}
+  // mutable: the catalog is internally synchronized, and chaos/stress
+  // drivers share one Env through a const ref.
+  mutable catalog::Catalog catalog;
+  catalog::SnapshotPtr snapshot;
+  const text::FullTextEngine& engine;
+  const graph::SchemaGraph& graph;
 };
 
 // Drives one session through the quickstart convergence script.
@@ -55,7 +61,7 @@ TEST(ServiceStressTest, ManyThreadsManySessionsThroughSessionManager) {
   SessionManagerOptions options;
   options.idle_ttl = std::chrono::milliseconds(1);
   options.max_sessions = kThreads * kSessionsPerThread + 1;
-  SessionManager manager(&env.engine, &env.graph, options);
+  SessionManager manager(options);
 
   std::atomic<size_t> converged{0};
   std::atomic<size_t> evicted{0};
@@ -63,7 +69,7 @@ TEST(ServiceStressTest, ManyThreadsManySessionsThroughSessionManager) {
   for (size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t]() {
       for (size_t s = 0; s < kSessionsPerThread; ++s) {
-        auto created = manager.Create({"Name", "Director"});
+        auto created = manager.Create(env.snapshot, {"Name", "Director"});
         ASSERT_TRUE(created.ok()) << created.status();
         const SessionId id = *created;
         const Status status = manager.WithSession(id, DriveToConvergence);
@@ -93,7 +99,7 @@ TEST(ServiceStressTest, ManyClientsThroughMappingService) {
   options.num_workers = 4;
   options.max_queue_depth = 64;
   options.cache_capacity = 32;
-  MappingService svc(&env.engine, &env.graph, options);
+  MappingService svc(&env.catalog, options);
 
   std::atomic<size_t> converged{0};
   std::atomic<size_t> overloaded{0};

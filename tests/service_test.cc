@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/sample_search.h"
@@ -30,31 +31,39 @@ using core::SessionState;
 class ServiceTest : public ::testing::Test {
  protected:
   ServiceTest()
-      : db_(testing::MakeFigure2Db()),
-        engine_(&db_, text::MatchPolicy::Substring()),
-        graph_(&db_) {}
+      : snapshot_(PublishFigure2(&catalog_)),
+        engine_(snapshot_->engine()),
+        graph_(snapshot_->graph()) {}
 
-  storage::Database db_;
-  text::FullTextEngine engine_;
-  graph::SchemaGraph graph_;
+  static catalog::SnapshotPtr PublishFigure2(catalog::Catalog* cat) {
+    return cat->Publish(kDefaultTenant, testing::MakeFigure2Db())
+        .ValueOrDie();
+  }
+
+  catalog::Catalog catalog_;
+  catalog::SnapshotPtr snapshot_;
+  // Convenience aliases into the snapshot for tests that drive the core
+  // layers directly.
+  const text::FullTextEngine& engine_;
+  const graph::SchemaGraph& graph_;
 };
 
 // ------------------------------------------------------- SessionManager --
 
 TEST_F(ServiceTest, SessionIdsAreMonotonicAndNeverReused) {
-  SessionManager manager(&engine_, &graph_);
-  const SessionId a = *manager.Create({"Name", "Director"});
-  const SessionId b = *manager.Create({"Name", "Director"});
+  SessionManager manager;
+  const SessionId a = *manager.Create(snapshot_, {"Name", "Director"});
+  const SessionId b = *manager.Create(snapshot_, {"Name", "Director"});
   EXPECT_LT(a, b);
   ASSERT_TRUE(manager.Close(a).ok());
-  const SessionId c = *manager.Create({"Name", "Director"});
+  const SessionId c = *manager.Create(snapshot_, {"Name", "Director"});
   EXPECT_LT(b, c);  // closing never recycles ids
   EXPECT_EQ(manager.size(), 2u);
 }
 
 TEST_F(ServiceTest, WithSessionRunsUnderTheSessionAndRefreshesIdleClock) {
-  SessionManager manager(&engine_, &graph_);
-  const SessionId id = *manager.Create({"Name", "Director"});
+  SessionManager manager;
+  const SessionId id = *manager.Create(snapshot_, {"Name", "Director"});
   Status status = manager.WithSession(id, [](core::Session& session) {
     return session.Input(0, 0, "Avatar");
   });
@@ -67,14 +76,14 @@ TEST_F(ServiceTest, WithSessionRunsUnderTheSessionAndRefreshesIdleClock) {
 }
 
 TEST_F(ServiceTest, UnknownAndClosedSessionsReturnNotFound) {
-  SessionManager manager(&engine_, &graph_);
+  SessionManager manager;
   EXPECT_TRUE(manager
                   .WithSession(42, [](core::Session&) {
                     ADD_FAILURE() << "must not run";
                     return Status::OK();
                   })
                   .IsNotFound());
-  const SessionId id = *manager.Create({"Name"});
+  const SessionId id = *manager.Create(snapshot_, {"Name"});
   ASSERT_TRUE(manager.Close(id).ok());
   EXPECT_TRUE(manager.Close(id).IsNotFound());
   EXPECT_TRUE(
@@ -85,18 +94,18 @@ TEST_F(ServiceTest, UnknownAndClosedSessionsReturnNotFound) {
 TEST_F(ServiceTest, CreateFailsBeyondMaxSessions) {
   SessionManagerOptions options;
   options.max_sessions = 2;
-  SessionManager manager(&engine_, &graph_, options);
-  ASSERT_TRUE(manager.Create({"Name"}).ok());
-  ASSERT_TRUE(manager.Create({"Name"}).ok());
-  EXPECT_TRUE(manager.Create({"Name"}).status().IsResourceExhausted());
+  SessionManager manager(options);
+  ASSERT_TRUE(manager.Create(snapshot_, {"Name"}).ok());
+  ASSERT_TRUE(manager.Create(snapshot_, {"Name"}).ok());
+  EXPECT_TRUE(manager.Create(snapshot_, {"Name"}).status().IsResourceExhausted());
 }
 
 TEST_F(ServiceTest, EvictIdleReclaimsOnlyExpiredSessions) {
   SessionManagerOptions options;
   options.idle_ttl = std::chrono::milliseconds(0);  // everything is idle
-  SessionManager manager(&engine_, &graph_, options);
-  const SessionId a = *manager.Create({"Name"});
-  const SessionId b = *manager.Create({"Name"});
+  SessionManager manager(options);
+  const SessionId a = *manager.Create(snapshot_, {"Name"});
+  const SessionId b = *manager.Create(snapshot_, {"Name"});
   EXPECT_EQ(manager.size(), 2u);
   EXPECT_EQ(manager.EvictIdle(), 2u);
   EXPECT_EQ(manager.size(), 0u);
@@ -110,8 +119,8 @@ TEST_F(ServiceTest, EvictIdleReclaimsOnlyExpiredSessions) {
   // A long TTL keeps fresh sessions alive.
   SessionManagerOptions fresh_options;
   fresh_options.idle_ttl = std::chrono::hours(1);
-  SessionManager fresh(&engine_, &graph_, fresh_options);
-  (void)*fresh.Create({"Name"});
+  SessionManager fresh(fresh_options);
+  (void)*fresh.Create(snapshot_, {"Name"});
   EXPECT_EQ(fresh.EvictIdle(), 0u);
   EXPECT_EQ(fresh.size(), 1u);
 }
@@ -185,7 +194,7 @@ TEST_F(ServiceTest, NoDeadlineSearchIsNotTruncated) {
 TEST_F(ServiceTest, ServiceRequestWithExpiredDeadlineAnswersImmediately) {
   ServiceOptions options;
   options.num_workers = 1;
-  MappingService svc(&engine_, &graph_, options);
+  MappingService svc(&catalog_, options);
   const SessionId id = *svc.CreateSession({"Name", "Director"});
 
   InputRequest request;
@@ -203,20 +212,97 @@ TEST_F(ServiceTest, ServiceRequestWithExpiredDeadlineAnswersImmediately) {
 
 TEST_F(ServiceTest, CacheKeyNormalizesCaseButNotWhitespace) {
   const SearchOptions options;
-  EXPECT_EQ(ResultCache::MakeKey({"Avatar", "CAMERON"}, options),
-            ResultCache::MakeKey({"avatar", "cameron"}, options));
-  EXPECT_NE(ResultCache::MakeKey({"Avatar "}, options),
-            ResultCache::MakeKey({"Avatar"}, options));
-  EXPECT_NE(ResultCache::MakeKey({"a", "b"}, options),
-            ResultCache::MakeKey({"ab"}, options));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, {"Avatar", "CAMERON"}, options),
+            ResultCache::MakeKey("t", 1, {"avatar", "cameron"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, {"Avatar "}, options),
+            ResultCache::MakeKey("t", 1, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, {"a", "b"}, options),
+            ResultCache::MakeKey("t", 1, {"ab"}, options));
   SearchOptions other = options;
   other.pmnj = 3;  // different search space -> different key
-  EXPECT_NE(ResultCache::MakeKey({"Avatar"}, options),
-            ResultCache::MakeKey({"Avatar"}, other));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, {"Avatar"}, other));
   other = options;
   other.num_threads = 8;  // timing-only knob -> same key
-  EXPECT_EQ(ResultCache::MakeKey({"Avatar"}, options),
-            ResultCache::MakeKey({"Avatar"}, other));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, {"Avatar"}, other));
+}
+
+TEST_F(ServiceTest, CacheKeyIsTenantAndEpochScoped) {
+  const SearchOptions options;
+  // Identical queries on different tenants never share an entry.
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, {"Avatar"}, options),
+            ResultCache::MakeKey("beta", 1, {"Avatar"}, options));
+  // A republish bumps the epoch, invalidating every prior key.
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 2, {"Avatar"}, options));
+  // Tenant names are length-prefixed, so crafted names cannot splice into
+  // a different tenant's key space.
+  EXPECT_NE(ResultCache::MakeKey("a;e=1", 1, {"x"}, options),
+            ResultCache::MakeKey("a", 1, {"x"}, options));
+}
+
+TEST_F(ServiceTest, EvictTenantEntriesDropsOnlyThatTenant) {
+  ResultCache cache(8);
+  const SearchOptions options;
+  core::SearchResult result;
+  cache.Insert(ResultCache::MakeKey("alpha", 1, {"a"}, options), result);
+  cache.Insert(ResultCache::MakeKey("alpha", 1, {"b"}, options), result);
+  cache.Insert(ResultCache::MakeKey("beta", 1, {"a"}, options), result);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.EvictTenantEntries("alpha"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(
+      cache.Lookup(ResultCache::MakeKey("beta", 1, {"a"}, options))
+          .has_value());
+  EXPECT_EQ(cache.EvictTenantEntries("alpha"), 0u);
+}
+
+TEST_F(ServiceTest, IdenticalQueriesOnDifferentTenantsNeverShareCache) {
+  ASSERT_TRUE(catalog_.Publish("other", testing::MakeFigure2Db()).ok());
+  MappingService svc(&catalog_);
+  const auto first_row = [&](std::string_view tenant) {
+    const SessionId id = *svc.CreateSession(tenant, {"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    return svc.Call(request);
+  };
+  RequestResult a = first_row(kDefaultTenant);
+  ASSERT_TRUE(a.status.ok()) << a.status;
+  EXPECT_FALSE(a.cache_hit);
+  // Same tenant again: served from cache.
+  RequestResult a2 = first_row(kDefaultTenant);
+  ASSERT_TRUE(a2.status.ok()) << a2.status;
+  EXPECT_TRUE(a2.cache_hit);
+  // Different tenant, identical data and query: MUST miss.
+  RequestResult b = first_row("other");
+  ASSERT_TRUE(b.status.ok()) << b.status;
+  EXPECT_FALSE(b.cache_hit);
+}
+
+TEST_F(ServiceTest, RepublishInvalidatesCachedResultsViaEpoch) {
+  MappingService svc(&catalog_);
+  const auto first_row = [&]() {
+    const SessionId id = *svc.CreateSession({"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    return svc.Call(request);
+  };
+  RequestResult before = first_row();
+  ASSERT_TRUE(before.status.ok()) << before.status;
+  EXPECT_FALSE(before.cache_hit);
+  RequestResult warm = first_row();
+  ASSERT_TRUE(warm.status.ok()) << warm.status;
+  EXPECT_TRUE(warm.cache_hit);
+
+  // Republish the tenant: sessions created afterwards pin the new epoch,
+  // so the warm entry from the old epoch can never be returned.
+  ASSERT_TRUE(catalog_.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+  RequestResult after = first_row();
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_FALSE(after.cache_hit);
 }
 
 TEST_F(ServiceTest, CacheLruEvictsOldestAndCountsHits) {
@@ -246,7 +332,7 @@ TEST_F(ServiceTest, CacheRejectsTruncatedResults) {
 TEST_F(ServiceTest, CachedAndFreshSearchesReturnIdenticalCandidates) {
   ServiceOptions options;
   options.num_workers = 2;
-  MappingService svc(&engine_, &graph_, options);
+  MappingService svc(&catalog_, options);
 
   const auto run_first_row = [&](const char* name, const char* director) {
     const SessionId id = *svc.CreateSession({"Name", "Director"});
@@ -309,9 +395,10 @@ TEST_F(ServiceTest, FullQueueRejectsWithOverloadNotBlocking) {
   ServiceOptions options;
   options.num_workers = 0;  // nothing drains: deterministic overload
   options.max_queue_depth = 2;
+  options.max_tenant_queue_share = 1.0;  // exercise the GLOBAL bound only
   std::vector<Status> callback_statuses;
   {
-    MappingService svc(&engine_, &graph_, options);
+    MappingService svc(&catalog_, options);
     const SessionId id = *svc.CreateSession({"Name", "Director"});
     InputRequest request;
     request.session_id = id;
@@ -335,7 +422,7 @@ TEST_F(ServiceTest, FullQueueRejectsWithOverloadNotBlocking) {
 }
 
 TEST_F(ServiceTest, RequestForUnknownSessionFails) {
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   InputRequest request;
   request.session_id = 999;
   request.value = "Avatar";
@@ -345,7 +432,7 @@ TEST_F(ServiceTest, RequestForUnknownSessionFails) {
 }
 
 TEST_F(ServiceTest, EndToEndConvergenceThroughTheService) {
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   const SessionId id = *svc.CreateSession({"Name", "Director"});
   const std::vector<std::tuple<size_t, size_t, const char*>> keystrokes{
       {0, 0, "Avatar"},
@@ -368,6 +455,127 @@ TEST_F(ServiceTest, EndToEndConvergenceThroughTheService) {
   const MetricsSnapshot snapshot = svc.SnapshotMetrics();
   EXPECT_EQ(snapshot.requests_ok, 4u);
   EXPECT_EQ(snapshot.requests_failed, 0u);
+}
+
+// ------------------------------------------------- Tenant admission/metrics --
+
+TEST_F(ServiceTest, HotTenantCannotStarveTheQueueForOthers) {
+  ASSERT_TRUE(catalog_.Publish("other", testing::MakeFigure2Db()).ok());
+  ServiceOptions options;
+  options.num_workers = 0;  // nothing drains: queue occupancy is exact
+  options.max_queue_depth = 4;
+  options.max_tenant_queue_share = 0.5;  // per-tenant cap = 2
+  {
+    MappingService svc(&catalog_, options);
+    EXPECT_EQ(svc.TenantQueueCap(), 2u);
+    const SessionId hot = *svc.CreateSession({"Name"});
+    const SessionId cold = *svc.CreateSession("other", {"Name"});
+    InputRequest request;
+    request.session_id = hot;
+    request.value = "Avatar";
+    const auto sink = [](RequestResult) {};
+    EXPECT_TRUE(svc.Enqueue(request, sink).ok());
+    EXPECT_TRUE(svc.Enqueue(request, sink).ok());
+    // The hot tenant hits its share while the global queue still has room.
+    Status rejected = svc.Enqueue(request, sink);
+    EXPECT_TRUE(rejected.IsResourceExhausted()) << rejected;
+    // The other tenant still has headroom.
+    request.session_id = cold;
+    EXPECT_TRUE(svc.Enqueue(request, sink).ok());
+    EXPECT_TRUE(svc.Enqueue(request, sink).ok());
+
+    const auto per_tenant = svc.PerTenantMetrics();
+    ASSERT_TRUE(per_tenant.count(std::string(kDefaultTenant)));
+    EXPECT_EQ(per_tenant.at(std::string(kDefaultTenant)).share_rejections,
+              1u);
+    EXPECT_EQ(per_tenant.at("other").share_rejections, 0u);
+    // Destructor fails the admitted-but-unprocessed requests.
+  }
+}
+
+TEST_F(ServiceTest, PerTenantMetricsRollUpByTenant) {
+  ASSERT_TRUE(catalog_.Publish("other", testing::MakeFigure2Db()).ok());
+  MappingService svc(&catalog_);
+  const auto run = [&](std::string_view tenant) {
+    const SessionId id = *svc.CreateSession(tenant, {"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    RequestResult result = svc.Call(request);
+    ASSERT_TRUE(result.status.ok()) << result.status;
+  };
+  run(kDefaultTenant);
+  run(kDefaultTenant);
+  run("other");
+
+  const auto per_tenant = svc.PerTenantMetrics();
+  ASSERT_TRUE(per_tenant.count(std::string(kDefaultTenant)));
+  ASSERT_TRUE(per_tenant.count("other"));
+  const TenantMetricsSnapshot& hot =
+      per_tenant.at(std::string(kDefaultTenant));
+  EXPECT_EQ(hot.sessions_created, 2u);
+  EXPECT_EQ(hot.requests_ok, 2u);
+  EXPECT_EQ(hot.cache_misses, 1u);
+  EXPECT_EQ(hot.cache_hits, 1u);  // second identical first row
+  const TenantMetricsSnapshot& cold = per_tenant.at("other");
+  EXPECT_EQ(cold.sessions_created, 1u);
+  EXPECT_EQ(cold.requests_ok, 1u);
+  EXPECT_EQ(cold.cache_misses, 1u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const std::string json = svc.PerTenantMetricsJson();
+  EXPECT_NE(json.find("\"default\""), std::string::npos);
+  EXPECT_NE(json.find("\"other\""), std::string::npos);
+}
+
+TEST(ServiceTenantEvictionTest, IdleTenantsAreEvictedAndCachePurged) {
+  catalog::CatalogOptions catalog_options;
+  catalog_options.idle_ttl = std::chrono::milliseconds(0);
+  catalog::Catalog catalog(catalog_options);
+  ASSERT_TRUE(
+      catalog.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+  MappingService svc(&catalog);
+  const SessionId id = *svc.CreateSession({"Name"});
+  InputRequest request;
+  request.session_id = id;
+  request.value = "Avatar";
+  ASSERT_TRUE(svc.Call(request).status.ok());
+  EXPECT_GT(svc.cache().size(), 0u);
+  ASSERT_TRUE(svc.CloseSession(id).ok());
+
+  EXPECT_EQ(svc.EvictIdleTenants(), 1u);
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(svc.cache().size(), 0u);  // tenant entries purged with it
+  // New sessions on the evicted tenant now fail cleanly.
+  EXPECT_TRUE(svc.CreateSession({"Name"}).status().IsNotFound());
+}
+
+TEST_F(ServiceTest, SessionsKeepServingTheirPinnedEpochAcrossRepublish) {
+  MappingService svc(&catalog_);
+  const SessionId id = *svc.CreateSession({"Name", "Director"});
+  const auto type = [&](size_t row, size_t col, const char* value) {
+    InputRequest request;
+    request.session_id = id;
+    request.row = row;
+    request.col = col;
+    request.value = value;
+    RequestResult result = svc.Call(request);
+    ASSERT_TRUE(result.status.ok()) << result.status;
+  };
+  type(0, 0, "Avatar");
+  type(0, 1, "James Cameron");
+
+  // Republish the tenant mid-session: the open session keeps its pinned
+  // snapshot, so the remaining keystrokes prune against the same epoch
+  // and still converge.
+  ASSERT_TRUE(catalog_.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+  type(1, 0, "Harry Potter");
+  type(1, 1, "David Yates");
+  Status status = svc.sessions().WithSession(id, [](core::Session& session) {
+    EXPECT_EQ(session.state(), SessionState::kConverged);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
 }
 
 // -------------------------------------------------------------- Metrics --
@@ -421,7 +629,7 @@ TEST(ServiceMetricsTest, DegradedOutcomeAndRetryCounters) {
 // ------------------------------------------- Degradation (fault-injected) --
 
 TEST_F(ServiceTest, TransientSearchFailureRetriedOnceAndReportedDegraded) {
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   const SessionId id = *svc.CreateSession({"Name"});
   InputRequest request;
   request.session_id = id;
@@ -457,7 +665,7 @@ TEST_F(ServiceTest, TransientSearchFailureRetriedOnceAndReportedDegraded) {
 }
 
 TEST_F(ServiceTest, PersistentTransientFailureFailsAfterOneRetry) {
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   const SessionId id = *svc.CreateSession({"Name"});
   InputRequest request;
   request.session_id = id;
@@ -491,7 +699,7 @@ TEST_F(ServiceTest, PersistentTransientFailureFailsAfterOneRetry) {
 }
 
 TEST_F(ServiceTest, ForcedAdmissionRejectionCountsAsOverloaded) {
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   const SessionId id = *svc.CreateSession({"Name"});
   InputRequest request;
   request.session_id = id;
@@ -518,7 +726,7 @@ TEST_F(ServiceTest, ForcedScanFallbackKeepsResultsAndCountsInMetrics) {
   // Degraded text path: the accelerated lookup faults and every probe runs
   // the frozen linear scan. Results must be identical; the degradation is
   // visible only in the scan-fallback counter.
-  MappingService svc(&engine_, &graph_);
+  MappingService svc(&catalog_);
   const SessionId id = *svc.CreateSession({"Name"});
   InputRequest request;
   request.session_id = id;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "common/failpoint.h"
 #include "graph/schema_graph.h"
 #include "service/mapping_service.h"
@@ -168,7 +169,7 @@ TEST(ScenarioParserTest, NoPhasesFails) {
   EXPECT_TRUE(parsed.status().IsInvalidArgument());
 }
 
-// The three shipped scenarios must stay parseable — they are the public
+// The shipped scenarios must stay parseable — they are the public
 // surface of the harness (and the CI smoke gate reads smoke.scenario).
 TEST(ScenarioParserTest, ShippedScenariosRoundTrip) {
   const std::string dir = MWEAVER_SCENARIO_DIR;
@@ -180,7 +181,8 @@ TEST(ScenarioParserTest, ShippedScenariosRoundTrip) {
   for (const Expected& e :
        {Expected{"/smoke.scenario", "smoke", 3},
         Expected{"/soak.scenario", "soak", 3},
-        Expected{"/overload-spike.scenario", "overload-spike", 3}}) {
+        Expected{"/overload-spike.scenario", "overload-spike", 3},
+        Expected{"/multi-tenant.scenario", "multi-tenant", 3}}) {
     auto parsed = ScenarioParser::ParseFile(dir + e.file);
     ASSERT_TRUE(parsed.ok()) << parsed.status();
     EXPECT_EQ(parsed->name, e.name);
@@ -206,6 +208,15 @@ TEST(ScenarioParserTest, ShippedScenariosRoundTrip) {
         << "smoke.scenario never runs actor type "
         << ActorTypeName(static_cast<ActorType>(t));
   }
+  // The multi-tenant scenario is the catalog's CI gate: several tenants
+  // plus publish churn, with bulk loaders present to drive the churn.
+  auto mt = ScenarioParser::ParseFile(dir + "/multi-tenant.scenario");
+  ASSERT_TRUE(mt.ok());
+  EXPECT_GT(mt->tenants, 1u);
+  EXPECT_TRUE(mt->publish_churn);
+  EXPECT_GT(mt->MaxActorCounts()[static_cast<size_t>(
+                ActorType::kBulkLoader)],
+            0u);
 }
 
 // --------------------------- aggregator ------------------------------------
@@ -448,10 +459,7 @@ TEST(BaselineTest, NewCellsInCurrentPass) {
 
 struct ServiceFixture {
   explicit ServiceFixture(service::ServiceOptions options)
-      : db(::mweaver::testing::MakeFigure2Db()),
-        engine(&db, text::MatchPolicy::Substring()),
-        graph(&db),
-        service(&engine, &graph, options) {
+      : service(PublishFigure2(&catalog), options) {
     // One hand-written script over the Figure-2 data: two fully populated
     // (Name, Director) rows. Row 0 fires the sample search.
     ReplayScript script;
@@ -461,9 +469,14 @@ struct ServiceFixture {
     scripts.push_back(std::move(script));
   }
 
-  storage::Database db;
-  text::FullTextEngine engine;
-  graph::SchemaGraph graph;
+  static catalog::Catalog* PublishFigure2(catalog::Catalog* cat) {
+    cat->Publish(service::kDefaultTenant,
+                 ::mweaver::testing::MakeFigure2Db())
+        .ValueOrDie();
+    return cat;
+  }
+
+  catalog::Catalog catalog;
   service::MappingService service;
   std::vector<ReplayScript> scripts;
 };
@@ -647,6 +660,95 @@ TEST(ScenarioRunnerTest, ForcedAdmissionRejectionsLandInOverloadedBucket) {
   // Shed requests contribute no latency samples.
   EXPECT_EQ(searcher.latency.count(), 4u);
   EXPECT_EQ(report->phases[0].service.requests_overloaded, 2u);
+}
+
+TEST(ScenarioRunnerTest, MultiTenantChurnSpreadsLoadAndReportsPerTenant) {
+  catalog::Catalog cat;
+  const std::vector<std::string> tenant_names{"t0", "t1"};
+  for (const std::string& tenant : tenant_names) {
+    ASSERT_TRUE(
+        cat.Publish(tenant, ::mweaver::testing::MakeFigure2Db()).ok());
+  }
+
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 64;
+  options.cache_capacity = 64;
+  service::MappingService service(&cat, options);
+
+  ReplayScript script;
+  script.column_names = {"Name", "Director"};
+  script.rows = {{"Avatar", "James Cameron"},
+                 {"Harry Potter", "David Yates"}};
+  std::vector<ReplayScript> scripts{script};
+
+  TenantTopology topology;
+  topology.catalog = &cat;
+  topology.tenants = tenant_names;
+  topology.make_database = []() {
+    return ::mweaver::testing::MakeFigure2Db();
+  };
+
+  Scenario scenario;
+  scenario.name = "mt";
+  scenario.seed = 5;
+  scenario.tenants = 2;
+  scenario.publish_churn = true;
+  PhaseSpec phase;
+  phase.name = "churn";
+  phase.iterations = 3;
+  // Two searchers land one per tenant (round-robin); the bulk loader
+  // republishes its tenant before every load iteration.
+  phase.actor_counts[static_cast<size_t>(ActorType::kSearcher)] = 2;
+  phase.actor_counts[static_cast<size_t>(ActorType::kBulkLoader)] = 1;
+  scenario.phases.push_back(phase);
+
+  ScenarioRunner runner(&service, &scripts, std::move(topology));
+  auto report = runner.Run(scenario);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->TotalFailures(), 0u);
+
+  // Publish churn really happened: the loader's tenant moved past its
+  // first epoch while the catalog still serves both tenants.
+  EXPECT_EQ(cat.size(), 2u);
+  const uint64_t t0_epoch = *cat.CurrentEpoch("t0");
+  const uint64_t t1_epoch = *cat.CurrentEpoch("t1");
+  EXPECT_NE(t0_epoch, t1_epoch);
+
+  // Both tenants took traffic and the rollup made it into the report.
+  const auto per_tenant = service.PerTenantMetrics();
+  ASSERT_TRUE(per_tenant.count("t0"));
+  ASSERT_TRUE(per_tenant.count("t1"));
+  EXPECT_GT(per_tenant.at("t0").requests_ok, 0u);
+  EXPECT_GT(per_tenant.at("t1").requests_ok, 0u);
+
+  auto parsed = ParseJson(report->ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("config")->NumberOr("tenants", 0.0), 2.0);
+  const JsonValue* rollup = parsed->Find("service_per_tenant");
+  ASSERT_NE(rollup, nullptr);
+  EXPECT_NE(rollup->Find("t0"), nullptr);
+  EXPECT_NE(rollup->Find("t1"), nullptr);
+}
+
+TEST(ScenarioRunnerTest, MultiTenantScenarioNeedsMatchingTopology) {
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  ServiceFixture fixture(options);
+
+  Scenario scenario;
+  scenario.name = "mt";
+  scenario.tenants = 2;  // but the runner has no topology
+  PhaseSpec phase;
+  phase.name = "p0";
+  phase.iterations = 1;
+  phase.actor_counts[static_cast<size_t>(ActorType::kSearcher)] = 1;
+  scenario.phases.push_back(phase);
+
+  ScenarioRunner runner(&fixture.service, &fixture.scripts);
+  auto report = runner.Run(scenario);
+  EXPECT_TRUE(report.status().IsFailedPrecondition()) << report.status();
 }
 
 // ------------------------- service metrics ---------------------------------
