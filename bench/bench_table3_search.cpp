@@ -26,8 +26,11 @@
 #include "baselines/naive_search.h"
 #include "bench_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "core/execution_context.h"
 #include "core/sample_search.h"
+#include "kernel_report.h"
+#include "workload/json_util.h"
 
 // Process-wide heap-allocation counter, to report how much of the tuple-path
 // traffic the arena absorbs (each arena allocation would otherwise be one of
@@ -148,6 +151,8 @@ int RunParallelismComparison(const mweaver::bench::YahooEnv& env,
 int main(int argc, char** argv) {
   using namespace mweaver;
   size_t parallelism = bench::EnvSize("MWEAVER_BENCH_PARALLELISM", 0);
+  std::string out_path;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--parallelism") {
@@ -155,9 +160,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--parallelism=", 0) == 0) {
       parallelism = static_cast<size_t>(
           std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--parallelism[=N]]   (or set "
+                   "usage: %s [--parallelism[=N]] [--out=FILE] "
+                   "[--baseline=FILE]   (or set "
                    "MWEAVER_BENCH_PARALLELISM=N)\n",
                    argv[0]);
       return 2;
@@ -179,6 +189,8 @@ int main(int argc, char** argv) {
   core::ExecutionTrace stage_totals;
   uint64_t total_heap_allocs = 0, total_arena_allocs = 0;
   size_t total_arena_bytes = 0, tpw_searches = 0;
+  double tpw_ms_sum = 0.0;
+  text::ProbeStats kernel_totals;
 
   bench::PrintRow("Task Set / Size of ST", {"3", "4", "5", "6"});
   for (size_t s = 0; s < env.task_sets().size(); ++s) {
@@ -217,6 +229,10 @@ int main(int argc, char** argv) {
         total_arena_allocs += trace.arena_allocations;
         total_arena_bytes += trace.arena_bytes_used;
         ++tpw_searches;
+        tpw_ms_sum += tpw->stats.total_ms;
+        // ResetForSearch zeroes the context's probe counters, so this
+        // snapshot is exactly this search's kernel traffic.
+        kernel_totals.Add(ctx.probe_counters().Snapshot());
 
         baselines::NaiveOptions naive_options;
         naive_options.enumeration.max_candidates = naive_budget;
@@ -276,5 +292,40 @@ int main(int argc, char** argv) {
       "'-' above means the naive enumeration blew its %zu-candidate "
       "budget.\n",
       naive_budget);
+
+  if (!out_path.empty() || !baseline_path.empty()) {
+    // The TPW search probes the engine from parallel workers sharing a
+    // probe memo, so kernel counts here vary slightly run to run; they go
+    // under "kernels" (informational) rather than exact-gated "kernel_*"
+    // keys. Only the timing is gated for this section.
+    workload::JsonWriter section;
+    section.BeginObject();
+    section.KV("simd", SimdLevelName());
+    section.KV("searches", static_cast<uint64_t>(tpw_searches));
+    section.KV("tpw_avg_ms",
+               tpw_searches > 0
+                   ? tpw_ms_sum / static_cast<double>(tpw_searches)
+                   : 0.0);
+    section.Key("kernels");
+    section.BeginObject();
+    section.KV("array_array", kernel_totals.kernel_array_array);
+    section.KV("array_bitmap", kernel_totals.kernel_array_bitmap);
+    section.KV("bitmap_bitmap", kernel_totals.kernel_bitmap_bitmap);
+    section.KV("scalar_fallback", kernel_totals.kernel_scalar_fallback);
+    section.EndObject();
+    section.EndObject();
+    const std::string section_json = section.Finish();
+    if (!out_path.empty() &&
+        !bench::MergeSectionIntoFile(out_path, "table3_search",
+                                     section_json)) {
+      return 1;
+    }
+    if (!baseline_path.empty()) {
+      const int gate = bench::GateAgainstBaseline(baseline_path,
+                                                  "table3_search",
+                                                  section_json);
+      if (gate != 0) return gate;
+    }
+  }
   return 0;
 }

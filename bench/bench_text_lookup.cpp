@@ -21,10 +21,13 @@
 
 #include "bench_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
+#include "kernel_report.h"
 #include "text/inverted_index.h"
 #include "text/match.h"
 #include "text/tokenizer.h"
+#include "workload/json_util.h"
 
 namespace {
 
@@ -127,6 +130,11 @@ struct ModeResult {
   uint64_t candidates = 0;
   uint64_t scan_fallbacks = 0;
   size_t probes = 0;
+  // Block-posting kernel dispatch counters for the accelerated pass.
+  uint64_t kernel_array_array = 0;
+  uint64_t kernel_array_bitmap = 0;
+  uint64_t kernel_bitmap_bitmap = 0;
+  uint64_t kernel_scalar_fallback = 0;
 };
 
 // Runs every sample against every given attribute index under `policy`,
@@ -147,6 +155,10 @@ ModeResult RunMode(const std::vector<const AttrIndex*>& indexes,
   result.fast_us = watch.ElapsedMicros();
   result.candidates = stats.candidates_examined;
   result.scan_fallbacks = stats.scan_fallbacks;
+  result.kernel_array_array = stats.kernel_array_array;
+  result.kernel_array_bitmap = stats.kernel_array_bitmap;
+  result.kernel_bitmap_bitmap = stats.kernel_bitmap_bitmap;
+  result.kernel_scalar_fallback = stats.kernel_scalar_fallback;
 
   watch.Restart();
   size_t scan_rows = 0;
@@ -175,8 +187,13 @@ const mweaver::text::MatchPolicy kPolicies[] = {
 const char* const kPolicyNames[] = {"kExact", "kTokenSubset", "kSubstring",
                                     "kFuzzy(d=1)", "kFuzzy(d=2)"};
 
-void PrintModeTable(const std::vector<const AttrIndex*>& indexes,
-                    const std::vector<std::string>& samples) {
+// Runs every policy, prints the latency table plus the per-mode kernel
+// dispatch counts (which container-pair kernels the block merges hit), and
+// returns one ModeResult per policy for the JSON report.
+std::vector<ModeResult> PrintModeTable(
+    const std::vector<const AttrIndex*>& indexes,
+    const std::vector<std::string>& samples) {
+  std::vector<ModeResult> results;
   PrintRow("mode", {"fast us/probe", "scan us/probe", "speedup", "cands"},
            22, 14);
   for (size_t p = 0; p < std::size(kPolicies); ++p) {
@@ -187,13 +204,60 @@ void PrintModeTable(const std::vector<const AttrIndex*>& indexes,
               Fmt(r.scan_us / std::max(r.fast_us, 1e-9), 1) + "x",
               std::to_string(r.candidates)},
              22, 14);
+    results.push_back(r);
   }
+  PrintRow("kernels", {"arr x arr", "arr x bmp", "bmp x bmp", "scalar"},
+           22, 14);
+  for (size_t p = 0; p < std::size(kPolicies); ++p) {
+    const ModeResult& r = results[p];
+    PrintRow(kPolicyNames[p],
+             {std::to_string(r.kernel_array_array),
+              std::to_string(r.kernel_array_bitmap),
+              std::to_string(r.kernel_bitmap_bitmap),
+              std::to_string(r.kernel_scalar_fallback)},
+             22, 14);
+  }
+  return results;
+}
+
+void WriteModeResults(mweaver::workload::JsonWriter* json,
+                      const std::vector<ModeResult>& results) {
+  json->BeginObject();
+  for (size_t p = 0; p < results.size(); ++p) {
+    const ModeResult& r = results[p];
+    const double denom = static_cast<double>(std::max<size_t>(r.probes, 1));
+    json->Key(kPolicyNames[p]);
+    json->BeginObject();
+    json->KV("fast_us", r.fast_us / denom);
+    json->KV("scan_us", r.scan_us / denom);
+    json->KV("candidates", r.candidates);
+    json->KV("kernel_array_array", r.kernel_array_array);
+    json->KV("kernel_array_bitmap", r.kernel_array_bitmap);
+    json->KV("kernel_bitmap_bitmap", r.kernel_bitmap_bitmap);
+    json->KV("kernel_scalar_fallback", r.kernel_scalar_fallback);
+    json->EndObject();
+  }
+  json->EndObject();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mweaver;
+  std::string out_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=FILE] [--baseline=FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   const size_t num_movies = EnvSize("MWEAVER_BENCH_MOVIES", 150);
   const size_t num_lookups = EnvSize("MWEAVER_BENCH_LOOKUPS", 400);
   const bool imdb = bench::UseImdbDataset();
@@ -241,9 +305,10 @@ int main() {
 
   const std::vector<std::string> samples = MakeSamples(db, num_lookups, 19);
   std::printf("lookup latency, %zu samples x %zu attributes per mode "
-              "(all dictionaries, most tiny):\n",
-              samples.size(), all_attrs.size());
-  PrintModeTable(all_attrs, samples);
+              "(all dictionaries, most tiny; simd=%s):\n",
+              samples.size(), all_attrs.size(), SimdLevelName());
+  const std::vector<ModeResult> all_results =
+      PrintModeTable(all_attrs, samples);
 
   // The sublinear claim lives where the dictionary is big: the linear scan
   // is O(|dict|) per query token, so restrict the probe set to the largest
@@ -261,7 +326,32 @@ int main() {
               "%zu rows):\n",
               largest->index->num_tokens(),
               largest->index->num_indexed_rows());
-  PrintModeTable(big_attrs, big_samples);
+  const std::vector<ModeResult> big_results =
+      PrintModeTable(big_attrs, big_samples);
+
+  if (!out_path.empty() || !baseline_path.empty()) {
+    workload::JsonWriter section;
+    section.BeginObject();
+    section.KV("simd", SimdLevelName());
+    section.KV("movies", static_cast<uint64_t>(num_movies));
+    section.KV("lookups", static_cast<uint64_t>(num_lookups));
+    section.Key("all_attrs");
+    WriteModeResults(&section, all_results);
+    section.Key("largest_dict");
+    WriteModeResults(&section, big_results);
+    section.EndObject();
+    const std::string section_json = section.Finish();
+    if (!out_path.empty() &&
+        !bench::MergeSectionIntoFile(out_path, "text_lookup", section_json)) {
+      return 1;
+    }
+    if (!baseline_path.empty()) {
+      const int gate = bench::GateAgainstBaseline(baseline_path,
+                                                  "text_lookup",
+                                                  section_json);
+      if (gate != 0) return gate;
+    }
+  }
 
   // ---- 3. Probe memo: cold vs warm pass through the engine. --------------
   std::printf("\nprobe memo (FullTextEngine, kSubstring):\n");

@@ -1,0 +1,47 @@
+// Compile-time SIMD dispatch for the hot-path kernels (text/posting_block.h
+// and friends). The repo targets three tiers, selected at build time:
+//
+//   MWEAVER_SIMD_LEVEL 2  AVX2   (256-bit; needs -mavx2 / -march=native)
+//   MWEAVER_SIMD_LEVEL 1  SSE2   (128-bit; baseline on every x86-64)
+//   MWEAVER_SIMD_LEVEL 0  scalar (any architecture, and the reference the
+//                                 property tests compare the SIMD paths to)
+//
+// Configure with -DMWEAVER_DISABLE_SIMD=ON (CMake option, defines the
+// MWEAVER_DISABLE_SIMD macro) to force level 0 regardless of the target —
+// CI runs the text/property suites in that mode so the scalar fallback
+// stays exercised. Every kernel keeps its scalar implementation compiled in
+// unconditionally; the dispatch level only chooses which one runs, so a
+// SIMD build can still unit-test SIMD-vs-scalar equality.
+#ifndef MWEAVER_COMMON_SIMD_H_
+#define MWEAVER_COMMON_SIMD_H_
+
+#if defined(MWEAVER_DISABLE_SIMD)
+#define MWEAVER_SIMD_LEVEL 0
+#elif defined(__AVX2__)
+#define MWEAVER_SIMD_LEVEL 2
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define MWEAVER_SIMD_LEVEL 1
+#include <emmintrin.h>
+#else
+#define MWEAVER_SIMD_LEVEL 0
+#endif
+
+namespace mweaver {
+
+/// \brief Human-readable name of the compiled-in kernel tier (benchmarks
+/// stamp it into their JSON so baselines from different builds are not
+/// compared blindly).
+inline const char* SimdLevelName() {
+#if MWEAVER_SIMD_LEVEL == 2
+  return "avx2";
+#elif MWEAVER_SIMD_LEVEL == 1
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace mweaver
+
+#endif  // MWEAVER_COMMON_SIMD_H_

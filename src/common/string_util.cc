@@ -1,15 +1,90 @@
 #include "common/string_util.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 namespace mweaver {
 
 namespace {
 inline char AsciiLower(char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Myers/Hyyrö bit-parallel Levenshtein distance for patterns of at most 64
+// characters (every call from fuzzy candidate verification: indexed tokens
+// cap at 32 chars). One u64 of vertical deltas replaces the DP row, so a
+// d<=2 verification runs |b| constant-time word steps instead of |a|*|b|
+// cell updates. Requires 1 <= a.size() <= 64 and a.size() <= b.size().
+//
+// The Peq table is thread-local and cleaned by re-zeroing only the pattern's
+// own characters afterwards — a 2 KiB memset per call would cost more than
+// the distance computation itself.
+size_t MyersBoundedDistance(std::string_view a, std::string_view b,
+                            size_t max_distance) {
+  thread_local std::array<uint64_t, 256> peq{};
+  const size_t m = a.size();
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= uint64_t{1} << i;
+  }
+  const uint64_t high = uint64_t{1} << (m - 1);
+  uint64_t vp = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+  uint64_t vn = 0;
+  size_t score = m;
+  bool cut_off = false;
+  for (size_t j = 0; j < b.size(); ++j) {
+    const uint64_t eq = peq[static_cast<unsigned char>(b[j])];
+    const uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = d0 & vp;
+    score += (hp & high) != 0;
+    score -= (hn & high) != 0;
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = hp & d0;
+    // The score drops by at most 1 per remaining text character, so once it
+    // cannot get back under the bound the exact value no longer matters.
+    const size_t remaining = b.size() - j - 1;
+    if (score > max_distance && score - max_distance > remaining) {
+      cut_off = true;
+      break;
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] = 0;
+  }
+  if (cut_off) return max_distance + 1;
+  return std::min(score, max_distance + 1);
+}
+
+// One-row dynamic program, the pre-bit-parallel implementation: kept as the
+// fallback for patterns longer than 64 characters and as the reference the
+// unit tests compare MyersBoundedDistance against.
+size_t RowBoundedDistance(std::string_view a, std::string_view b,
+                          size_t max_distance) {
+  // The row buffer is thread-local: fuzzy candidate verification calls this
+  // once per candidate, and a per-call allocation dominates the DP itself.
+  thread_local std::vector<size_t> row;
+  row.resize(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev_diag = row[0];
+    row[0] = j;
+    size_t row_min = row[0];
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+      row_min = std::min(row_min, row[i]);
+    }
+    if (row_min > max_distance) return max_distance + 1;
+  }
+  return std::min(row[a.size()], max_distance + 1);
 }
 }  // namespace
 
@@ -86,26 +161,9 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b,
                            size_t max_distance) {
   if (a.size() > b.size()) std::swap(a, b);
   if (b.size() - a.size() > max_distance) return max_distance + 1;
-
-  // One-row dynamic program over the shorter string. The row buffer is
-  // thread-local: fuzzy candidate verification calls this once per
-  // candidate, and a per-call allocation dominates the DP itself.
-  thread_local std::vector<size_t> row;
-  row.resize(a.size() + 1);
-  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
-  for (size_t j = 1; j <= b.size(); ++j) {
-    size_t prev_diag = row[0];
-    row[0] = j;
-    size_t row_min = row[0];
-    for (size_t i = 1; i <= a.size(); ++i) {
-      size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      prev_diag = row[i];
-      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
-      row_min = std::min(row_min, row[i]);
-    }
-    if (row_min > max_distance) return max_distance + 1;
-  }
-  return std::min(row[a.size()], max_distance + 1);
+  if (a.empty()) return std::min(b.size(), max_distance + 1);
+  if (a.size() <= 64) return MyersBoundedDistance(a, b, max_distance);
+  return RowBoundedDistance(a, b, max_distance);
 }
 
 double EditSimilarity(std::string_view a, std::string_view b) {

@@ -46,17 +46,35 @@ class LocationMap {
   size_t num_columns() const { return columns_.size(); }
   const ColumnLocations& column(size_t i) const { return columns_[i]; }
 
-  /// \brief All attributes in L(i).
-  std::vector<text::AttributeRef> AttributesOf(size_t i) const;
+  /// \brief All attributes in L(i), in occurrence order. Precomputed at
+  /// build time — callers used to pay a vector allocation per call.
+  const std::vector<text::AttributeRef>& AttributesOf(size_t i) const {
+    return attrs_[i];
+  }
 
-  /// \brief True iff attribute `attr` contains sample i.
+  /// \brief True iff attribute `attr` contains sample i. A single bit probe
+  /// against the engine's dense attribute-slot numbering when the map was
+  /// built from an engine; a binary search over sorted attributes otherwise
+  /// (FromAttributes has no slot universe). Never a linear scan.
   bool Contains(size_t i, const text::AttributeRef& attr) const;
 
   /// \brief Total number of (column, attribute) occurrence entries.
   size_t TotalOccurrences() const;
 
  private:
+  // Derives attrs_/slot_bits_/sorted_attrs_ for column i from its
+  // occurrences. Safe to run per-column in parallel (engine reads only).
+  void FinalizeColumn(size_t i, const text::FullTextEngine* engine);
+
   std::vector<ColumnLocations> columns_;
+  // Per-column attribute list in occurrence order (AttributesOf).
+  std::vector<std::vector<text::AttributeRef>> attrs_;
+  // Per-column membership bitset over engine->AttrSlot() when built from an
+  // engine; engine_ is null (and slot_bits_ unused) for FromAttributes maps.
+  const text::FullTextEngine* engine_ = nullptr;
+  std::vector<std::vector<uint64_t>> slot_bits_;
+  // Per-column sorted attribute list (Contains fallback without an engine).
+  std::vector<std::vector<text::AttributeRef>> sorted_attrs_;
 };
 
 }  // namespace mweaver::core

@@ -23,6 +23,23 @@ std::vector<std::vector<AdjEdge>> BuildAdjacency(
   return adj;
 }
 
+std::vector<std::vector<AdjEdge>> BuildAdjacency(
+    std::span<const VertexId> parents,
+    std::span<const storage::ForeignKeyId> fks,
+    std::span<const unsigned char> from_side) {
+  std::vector<std::vector<AdjEdge>> adj(parents.size());
+  for (size_t i = 0; i < parents.size(); ++i) {
+    const VertexId parent = parents[i];
+    if (parent == kNoVertex) continue;
+    const VertexId child = static_cast<VertexId>(i);
+    adj[static_cast<size_t>(parent)].push_back(
+        AdjEdge{child, fks[i], from_side[i] != 0});
+    adj[static_cast<size_t>(child)].push_back(
+        AdjEdge{parent, fks[i], from_side[i] == 0});
+  }
+  return adj;
+}
+
 std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
                        const std::vector<std::string>& labels, VertexId v,
                        VertexId parent) {
@@ -47,17 +64,33 @@ std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
   return out;
 }
 
-std::string CanonicalEncoding(std::span<const PathVertex> vertices,
-                              const std::vector<std::string>& labels) {
-  if (vertices.empty()) return "";
-  const auto adj = BuildAdjacency(vertices);
+namespace {
+
+std::string BestRooting(const std::vector<std::vector<AdjEdge>>& adj,
+                        const std::vector<std::string>& labels) {
   std::string best;
-  for (size_t i = 0; i < vertices.size(); ++i) {
+  for (size_t i = 0; i < adj.size(); ++i) {
     std::string enc =
         EncodeFrom(adj, labels, static_cast<VertexId>(i), kNoVertex);
     if (best.empty() || enc < best) best = std::move(enc);
   }
   return best;
+}
+
+}  // namespace
+
+std::string CanonicalEncoding(std::span<const PathVertex> vertices,
+                              const std::vector<std::string>& labels) {
+  if (vertices.empty()) return "";
+  return BestRooting(BuildAdjacency(vertices), labels);
+}
+
+std::string CanonicalEncoding(std::span<const VertexId> parents,
+                              std::span<const storage::ForeignKeyId> fks,
+                              std::span<const unsigned char> from_side,
+                              const std::vector<std::string>& labels) {
+  if (parents.empty()) return "";
+  return BestRooting(BuildAdjacency(parents, fks, from_side), labels);
 }
 
 std::vector<VertexId> SimplePath(const std::vector<std::vector<AdjEdge>>& adj,

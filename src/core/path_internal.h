@@ -21,10 +21,16 @@ struct AdjEdge {
 };
 
 /// \brief Undirected adjacency lists of a rooted path-vertex array. Spans
-/// so both std::vector (MappingPath) and std::pmr::vector (arena-backed
-/// TuplePath) storage work.
+/// so std::vector (MappingPath) storage works.
 std::vector<std::vector<AdjEdge>> BuildAdjacency(
     std::span<const PathVertex> vertices);
+
+/// \brief SoA overload over TuplePath's parallel vertex lanes (parent, fk,
+/// orientation); identical output to the AoS overload.
+std::vector<std::vector<AdjEdge>> BuildAdjacency(
+    std::span<const VertexId> parents,
+    std::span<const storage::ForeignKeyId> fks,
+    std::span<const unsigned char> from_side);
 
 /// \brief AHU-style encoding of the subtree of `v` entered from `parent`
 /// (pass kNoVertex for the whole tree), given one label per vertex.
@@ -35,6 +41,12 @@ std::string EncodeFrom(const std::vector<std::vector<AdjEdge>>& adj,
 /// \brief Minimum of EncodeFrom over all rootings: canonical form of the
 /// unrooted labeled tree.
 std::string CanonicalEncoding(std::span<const PathVertex> vertices,
+                              const std::vector<std::string>& labels);
+
+/// \brief SoA overload of CanonicalEncoding (see BuildAdjacency).
+std::string CanonicalEncoding(std::span<const VertexId> parents,
+                              std::span<const storage::ForeignKeyId> fks,
+                              std::span<const unsigned char> from_side,
                               const std::vector<std::string>& labels);
 
 /// \brief Vertices on the unique simple path from `from` to `to` inclusive.

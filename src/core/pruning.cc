@@ -34,19 +34,28 @@ size_t PruneByAttribute(const text::FullTextEngine& engine, int target_column,
   // keep their zero: a stop may only leave extra candidates, never remove
   // valid ones. A pre-expired deadline therefore costs zero probes.
   std::vector<unsigned char> drop(candidates->size(), 0);
+  // Serial pre-pass resolves each candidate's probed (relation, attribute)
+  // into flat parallel arrays, so the probe workers stream two contiguous
+  // lanes instead of chasing projection lists inside CandidateMapping.
+  std::vector<storage::RelationId> rels(candidates->size(), -1);
+  std::vector<storage::AttributeId> attrs(candidates->size(), -1);
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    const CandidateMapping& cand = (*candidates)[i];
+    const Projection* p = cand.mapping.FindProjection(target_column);
+    if (p == nullptr) {  // malformed: drop, no probe needed
+      drop[i] = 1;
+      continue;
+    }
+    rels[i] = cand.mapping.vertex(p->vertex).relation;
+    attrs[i] = p->attribute;
+  }
   ParallelStageFor(
       ctx, SearchStage::kPrune, candidates->size(), num_threads,
       [&](ExecutionContext* c, size_t i) {
-        const CandidateMapping& cand = (*candidates)[i];
-        const Projection* p = cand.mapping.FindProjection(target_column);
-        if (p == nullptr) {  // malformed: drop, no probe needed
-          drop[i] = 1;
-          return;
-        }
+        if (drop[i]) return;  // malformed, already dropped
         if (c != nullptr && c->ShouldStop()) return;
-        const storage::RelationId rel = cand.mapping.vertex(p->vertex).relation;
         if (engine
-                .MatchingRows(text::AttributeRef{rel, p->attribute}, sample,
+                .MatchingRows(text::AttributeRef{rels[i], attrs[i]}, sample,
                               c != nullptr ? &c->probe_counters() : nullptr)
                 ->empty()) {
           drop[i] = 1;

@@ -17,7 +17,10 @@ TuplePath TuplePath::SingleVertex(storage::RelationId relation,
                                   storage::RowId row,
                                   std::pmr::memory_resource* mr) {
   TuplePath path(mr != nullptr ? mr : std::pmr::get_default_resource());
-  path.vertices_.push_back(PathVertex{relation, kNoVertex, -1, false});
+  path.relations_.push_back(relation);
+  path.parents_.push_back(kNoVertex);
+  path.fks_.push_back(-1);
+  path.from_side_.push_back(0);
   path.rows_.push_back(row);
   return path;
 }
@@ -26,10 +29,13 @@ VertexId TuplePath::AddVertex(storage::RelationId relation, storage::RowId row,
                               VertexId parent, storage::ForeignKeyId fk,
                               bool is_from_side) {
   MW_CHECK_GE(parent, 0);
-  MW_CHECK_LT(static_cast<size_t>(parent), vertices_.size());
-  vertices_.push_back(PathVertex{relation, parent, fk, is_from_side});
+  MW_CHECK_LT(static_cast<size_t>(parent), relations_.size());
+  relations_.push_back(relation);
+  parents_.push_back(parent);
+  fks_.push_back(fk);
+  from_side_.push_back(is_from_side ? 1 : 0);
   rows_.push_back(row);
-  return static_cast<VertexId>(vertices_.size() - 1);
+  return static_cast<VertexId>(relations_.size() - 1);
 }
 
 void TuplePath::AddProjection(int target_column, VertexId vertex,
@@ -38,7 +44,7 @@ void TuplePath::AddProjection(int target_column, VertexId vertex,
   MW_CHECK(FindProjection(target_column) == nullptr)
       << "duplicate projection for target column " << target_column;
   MW_CHECK_GE(vertex, 0);
-  MW_CHECK_LT(static_cast<size_t>(vertex), vertices_.size());
+  MW_CHECK_LT(static_cast<size_t>(vertex), relations_.size());
   // Insert keeping (projections_, match_scores_) sorted by target column.
   size_t pos = 0;
   while (pos < projections_.size() &&
@@ -74,11 +80,10 @@ double TuplePath::MeanMatchScore() const {
 
 MappingPath TuplePath::ExtractMappingPath() const {
   MappingPath mp;
-  if (vertices_.empty()) return mp;
-  mp = MappingPath::SingleVertex(vertices_[0].relation);
-  for (size_t i = 1; i < vertices_.size(); ++i) {
-    const PathVertex& v = vertices_[i];
-    mp.AddVertex(v.relation, v.parent, v.fk_to_parent, v.is_from_side);
+  if (relations_.empty()) return mp;
+  mp = MappingPath::SingleVertex(relations_[0]);
+  for (size_t i = 1; i < relations_.size(); ++i) {
+    mp.AddVertex(relations_[i], parents_[i], fks_[i], from_side_[i] != 0);
   }
   for (const Projection& p : projections_) {
     mp.AddProjection(p.target_column, p.vertex, p.attribute);
@@ -92,7 +97,7 @@ std::vector<std::string> TuplePath::ProjectTargetValues(
   values.reserve(projections_.size());
   for (const Projection& p : projections_) {
     const storage::Relation& rel =
-        db.relation(vertices_[static_cast<size_t>(p.vertex)].relation);
+        db.relation(relations_[static_cast<size_t>(p.vertex)]);
     values.push_back(
         rel.at(rows_[static_cast<size_t>(p.vertex)], p.attribute)
             .ToDisplayString());
@@ -101,9 +106,9 @@ std::vector<std::string> TuplePath::ProjectTargetValues(
 }
 
 std::string TuplePath::Canonical() const {
-  std::vector<std::string> labels(vertices_.size());
-  for (size_t i = 0; i < vertices_.size(); ++i) {
-    std::string label = "R" + std::to_string(vertices_[i].relation) + "#" +
+  std::vector<std::string> labels(relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    std::string label = "R" + std::to_string(relations_[i]) + "#" +
                         std::to_string(rows_[i]);
     std::vector<std::string> projs;
     for (const Projection& p : projections_) {
@@ -116,48 +121,47 @@ std::string TuplePath::Canonical() const {
     if (!projs.empty()) label += "[" + Join(projs, ",") + "]";
     labels[i] = std::move(label);
   }
-  return CanonicalEncoding(vertices_, labels);
+  return CanonicalEncoding({parents_.data(), parents_.size()},
+                           {fks_.data(), fks_.size()},
+                           {from_side_.data(), from_side_.size()}, labels);
 }
 
 bool TuplePath::IsConsistent(const storage::Database& db) const {
-  for (size_t i = 0; i < vertices_.size(); ++i) {
-    const PathVertex& v = vertices_[i];
-    if (v.relation < 0 ||
-        static_cast<size_t>(v.relation) >= db.num_relations()) {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i] < 0 ||
+        static_cast<size_t>(relations_[i]) >= db.num_relations()) {
       return false;
     }
-    const storage::Relation& rel = db.relation(v.relation);
+    const storage::Relation& rel = db.relation(relations_[i]);
     if (rows_[i] < 0 || static_cast<size_t>(rows_[i]) >= rel.num_rows()) {
       return false;
     }
-    if (v.parent == kNoVertex) continue;
+    if (parents_[i] == kNoVertex) continue;
     // Join condition between this vertex and its parent.
+    const bool is_from = from_side_[i] != 0;
     const storage::ForeignKey& fk =
-        db.foreign_keys()[static_cast<size_t>(v.fk_to_parent)];
+        db.foreign_keys()[static_cast<size_t>(fks_[i])];
     const storage::AttributeId my_attr =
-        v.is_from_side ? fk.from_attribute : fk.to_attribute;
+        is_from ? fk.from_attribute : fk.to_attribute;
     const storage::AttributeId parent_attr =
-        v.is_from_side ? fk.to_attribute : fk.from_attribute;
-    const PathVertex& parent =
-        vertices_[static_cast<size_t>(v.parent)];
+        is_from ? fk.to_attribute : fk.from_attribute;
+    const size_t parent = static_cast<size_t>(parents_[i]);
     const storage::Value& mine = rel.at(rows_[i], my_attr);
-    const storage::Value& theirs = db.relation(parent.relation)
-                                       .at(rows_[static_cast<size_t>(
-                                               v.parent)],
-                                           parent_attr);
+    const storage::Value& theirs =
+        db.relation(relations_[parent]).at(rows_[parent], parent_attr);
     if (mine.is_null() || mine != theirs) return false;
   }
   // Normal form: no two same-(fk, orientation) neighbors of a vertex hold
   // the same tuple.
-  const auto adj = BuildAdjacency(vertices_);
+  const auto adj = BuildAdjacency(parents(), fks(), from_sides());
   for (size_t u = 0; u < adj.size(); ++u) {
     const auto& edges = adj[u];
     for (size_t a = 0; a < edges.size(); ++a) {
       for (size_t b = a + 1; b < edges.size(); ++b) {
         if (edges[a].fk == edges[b].fk &&
             edges[a].neighbor_is_from_side == edges[b].neighbor_is_from_side &&
-            vertex(edges[a].neighbor).relation ==
-                vertex(edges[b].neighbor).relation &&
+            relations_[static_cast<size_t>(edges[a].neighbor)] ==
+                relations_[static_cast<size_t>(edges[b].neighbor)] &&
             row(edges[a].neighbor) == row(edges[b].neighbor)) {
           return false;
         }
@@ -179,8 +183,8 @@ VertexId FindMergeTarget(const TuplePath& path,
   for (const AdjEdge& e : adj[static_cast<size_t>(at)]) {
     if (visited[static_cast<size_t>(e.neighbor)]) continue;
     if (e.fk != fk || e.neighbor_is_from_side != neighbor_is_from) continue;
-    const PathVertex& v = path.vertex(e.neighbor);
-    if (v.relation == relation && path.row(e.neighbor) == row) {
+    if (path.vertex(e.neighbor).relation == relation &&
+        path.row(e.neighbor) == row) {
       return e.neighbor;
     }
   }
@@ -226,8 +230,10 @@ std::optional<TuplePath> TuplePath::Weave(const TuplePath& base,
   }
 
   TuplePath result(base, mr != nullptr ? mr : std::pmr::get_default_resource());
-  const auto base_adj = BuildAdjacency(result.vertices_);
-  const auto ptp_adj = BuildAdjacency(ptp.vertices_);
+  const auto base_adj =
+      BuildAdjacency(result.parents(), result.fks(), result.from_sides());
+  const auto ptp_adj = BuildAdjacency(ptp.parents(), ptp.fks(),
+                                      ptp.from_sides());
 
   // The chain of ptp vertices from the fuse point to the new projection.
   const std::vector<VertexId> chain =
@@ -278,8 +284,8 @@ std::optional<TuplePath> TuplePath::Weave(const TuplePath& base,
 
 std::string TuplePath::ToString(const storage::Database& db) const {
   std::vector<std::string> parts;
-  for (size_t i = 0; i < vertices_.size(); ++i) {
-    const storage::Relation& rel = db.relation(vertices_[i].relation);
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    const storage::Relation& rel = db.relation(relations_[i]);
     std::string s = rel.name() + "#" + std::to_string(rows_[i]);
     for (const Projection& p : projections_) {
       if (p.vertex == static_cast<VertexId>(i)) {

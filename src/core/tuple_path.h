@@ -12,6 +12,7 @@
 
 #include <memory_resource>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,15 +33,31 @@ namespace mweaver::core {
 /// land on the heap (std::pmr copy semantics), which is exactly the
 /// "detach" the ranking stage needs when retaining example paths beyond
 /// the arena's lifetime; moves keep the source's resource.
+///
+/// Vertex storage is structure-of-arrays: one parallel pmr vector per
+/// PathVertex field (relation, parent, fk, orientation) plus the row ids.
+/// Pruning and canonicalization scans touch one field across all vertices,
+/// so SoA streams a single contiguous (and arena-packed) lane instead of
+/// striding over interleaved structs. `vertex(v)` materializes a PathVertex
+/// by value for callers that want the struct view.
 class TuplePath {
  public:
   TuplePath() = default;
   /// \brief An empty path whose node storage draws from `mr`.
   explicit TuplePath(std::pmr::memory_resource* mr)
-      : vertices_(mr), rows_(mr), projections_(mr), match_scores_(mr) {}
+      : relations_(mr),
+        parents_(mr),
+        fks_(mr),
+        from_side_(mr),
+        rows_(mr),
+        projections_(mr),
+        match_scores_(mr) {}
   /// \brief Copy of `other` with node storage on `mr` (arena cloning).
   TuplePath(const TuplePath& other, std::pmr::memory_resource* mr)
-      : vertices_(other.vertices_, mr),
+      : relations_(other.relations_, mr),
+        parents_(other.parents_, mr),
+        fks_(other.fks_, mr),
+        from_side_(other.from_side_, mr),
         rows_(other.rows_, mr),
         projections_(other.projections_, mr),
         match_scores_(other.match_scores_, mr) {}
@@ -62,16 +79,32 @@ class TuplePath {
   void AddProjection(int target_column, VertexId vertex,
                      storage::AttributeId attribute, double match_score);
 
-  const std::pmr::vector<PathVertex>& vertices() const { return vertices_; }
-  const PathVertex& vertex(VertexId v) const {
-    return vertices_[static_cast<size_t>(v)];
+  /// \brief Struct view of vertex `v`, assembled from the SoA lanes.
+  PathVertex vertex(VertexId v) const {
+    const size_t i = static_cast<size_t>(v);
+    return PathVertex{relations_[i], parents_[i], fks_[i],
+                      from_side_[i] != 0};
+  }
+  // SoA lane views (parallel arrays, one entry per vertex).
+  std::span<const storage::RelationId> relations() const {
+    return {relations_.data(), relations_.size()};
+  }
+  std::span<const VertexId> parents() const {
+    return {parents_.data(), parents_.size()};
+  }
+  std::span<const storage::ForeignKeyId> fks() const {
+    return {fks_.data(), fks_.size()};
+  }
+  std::span<const unsigned char> from_sides() const {
+    return {from_side_.data(), from_side_.size()};
   }
   storage::RowId row(VertexId v) const {
     return rows_[static_cast<size_t>(v)];
   }
-  size_t num_vertices() const { return vertices_.size(); }
-  size_t num_joins() const { return vertices_.empty() ? 0
-                                                      : vertices_.size() - 1; }
+  size_t num_vertices() const { return relations_.size(); }
+  size_t num_joins() const {
+    return relations_.empty() ? 0 : relations_.size() - 1;
+  }
 
   const std::pmr::vector<Projection>& projections() const {
     return projections_;
@@ -125,7 +158,11 @@ class TuplePath {
   std::string ToString(const storage::Database& db) const;
 
  private:
-  std::pmr::vector<PathVertex> vertices_;
+  // Vertex SoA lanes; all five vectors stay the same length.
+  std::pmr::vector<storage::RelationId> relations_;
+  std::pmr::vector<VertexId> parents_;
+  std::pmr::vector<storage::ForeignKeyId> fks_;
+  std::pmr::vector<unsigned char> from_side_;  // bool, packed
   std::pmr::vector<storage::RowId> rows_;
   std::pmr::vector<Projection> projections_;  // sorted by target column
   std::pmr::vector<double> match_scores_;     // parallel to projections_

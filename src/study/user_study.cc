@@ -110,7 +110,8 @@ Result<ToolRun> UserStudy::RunEirene(const Subject& subject,
     // tuple, adds it to the canvas, and types its join/projection values.
     baselines::DataExample example;
     std::set<std::pair<storage::RelationId, storage::RowId>> tuples;
-    const auto adj = core::internal::BuildAdjacency(tp.vertices());
+    const auto adj =
+        core::internal::BuildAdjacency(tp.parents(), tp.fks(), tp.from_sides());
     for (size_t v = 0; v < tp.num_vertices(); ++v) {
       const core::VertexId vid = static_cast<core::VertexId>(v);
       const storage::RelationId rel_id = tp.vertex(vid).relation;

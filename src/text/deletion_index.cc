@@ -49,43 +49,61 @@ void DeletionIndex::CollectVariantHashes(std::string_view token,
 }
 
 void DeletionIndex::Build(const std::vector<std::string>& tokens) {
-  variants_.clear();
-  long_tokens_.clear();
+  variant_lists_.clear();
+  table_.clear();
+  long_tokens_.Reset();
+  // Accumulate the variant posting lists; a node map is fine at build time,
+  // the flat probe table below is what lookups touch.
+  std::unordered_map<uint64_t, uint32_t> index_of_hash;
   std::vector<uint64_t> hashes;
   for (TokenId id = 0; id < tokens.size(); ++id) {
     const std::string& t = tokens[id];
     if (t.size() > kMaxIndexedLength) {
-      long_tokens_.push_back(id);
+      long_tokens_.Append(id);
       continue;
     }
     CollectVariantHashes(t, kMaxEdit, &hashes);
     for (uint64_t h : hashes) {
-      std::vector<TokenId>& list = variants_[h];
-      if (list.empty() || list.back() != id) list.push_back(id);
+      auto [it, inserted] = index_of_hash.emplace(
+          h, static_cast<uint32_t>(variant_lists_.size()));
+      if (inserted) variant_lists_.emplace_back();
+      BlockPostingList& list = variant_lists_[it->second];
+      if (list.empty() || list.back() != id) list.Append(id);
     }
   }
-  bytes_ = long_tokens_.capacity() * sizeof(TokenId);
-  for (const auto& [key, list] : variants_) {
-    bytes_ += sizeof(key) + sizeof(list) + list.capacity() * sizeof(TokenId);
+  // Flat table at load factor <= 0.5, power-of-two size for mask probing.
+  size_t table_size = 16;
+  while (table_size < index_of_hash.size() * 2) table_size *= 2;
+  table_.assign(table_size, Slot{});
+  const size_t mask = table_size - 1;
+  for (const auto& [h, idx] : index_of_hash) {
+    size_t i = static_cast<size_t>(h) & mask;
+    while (table_[i].idx != kEmptySlot) i = (i + 1) & mask;
+    table_[i] = Slot{h, idx};
+  }
+  bytes_ = long_tokens_.bytes() + table_.capacity() * sizeof(Slot);
+  for (const BlockPostingList& list : variant_lists_) {
+    bytes_ += sizeof(list) + list.bytes();
   }
 }
 
 void DeletionIndex::Candidates(std::string_view token, size_t max_edit,
-                               std::vector<TokenId>* out,
-                               uint64_t* examined) const {
+                               std::vector<TokenId>* out, uint64_t* examined,
+                               KernelStats* kernels) const {
   out->clear();
   thread_local std::vector<uint64_t> hashes;
   CollectVariantHashes(token, std::min(max_edit, kMaxEdit), &hashes);
+  thread_local std::vector<const BlockPostingList*> lists;
+  lists.clear();
   for (uint64_t h : hashes) {
-    auto it = variants_.find(h);
-    if (it == variants_.end()) continue;
-    out->insert(out->end(), it->second.begin(), it->second.end());
+    if (const BlockPostingList* list = FindVariant(h)) lists.push_back(list);
   }
   // Long tokens bypass the variant table; the caller's edit-distance
   // verification rejects them cheaply (length gap short-circuits).
-  out->insert(out->end(), long_tokens_.begin(), long_tokens_.end());
-  std::sort(out->begin(), out->end());
-  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (!long_tokens_.empty()) lists.push_back(&long_tokens_);
+  // Union decoded straight into the candidate vector — no intermediate
+  // posting list (see UnionBlocksTo).
+  UnionBlocksTo(lists, out, kernels);
   if (examined != nullptr) *examined += out->size();
 }
 

@@ -47,6 +47,13 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
       }
     }
   }
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    slot_of_attr_[indexed_attrs_[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < numeric_attrs_.size(); ++i) {
+    slot_of_attr_[numeric_attrs_[i]] =
+        static_cast<int>(indexed_attrs_.size() + i);
+  }
   // Per-attribute index builds are independent; fan them out on the shared
   // pool. (Token dictionary, trigram table and deletion table of each
   // attribute are all built inside the InvertedIndex constructor.)

@@ -93,6 +93,18 @@ class FullTextEngine {
   /// numeric-sample matching.
   size_t num_numeric_attributes() const { return numeric_attrs_.size(); }
 
+  /// \brief Dense slot of `attr` among this engine's searchable attributes
+  /// (indexed string attributes first, then numeric ones), or -1 when not
+  /// searchable. Stable for the engine's lifetime and < num_attr_slots();
+  /// backs LocationMap's bitset membership probe.
+  int AttrSlot(const AttributeRef& attr) const {
+    auto it = slot_of_attr_.find(attr);
+    return it == slot_of_attr_.end() ? -1 : it->second;
+  }
+  size_t num_attr_slots() const {
+    return indexed_attrs_.size() + numeric_attrs_.size();
+  }
+
   /// \brief Approximate heap footprint of all attribute indexes.
   size_t index_bytes() const;
   /// \brief Lifetime probe statistics across every caller of this engine
@@ -116,6 +128,8 @@ class FullTextEngine {
   std::map<AttributeRef, size_t> index_of_attr_;
   // Searchable int64/double columns (no inverted index; matched by scan).
   std::vector<AttributeRef> numeric_attrs_;
+  // Dense AttrSlot() numbering over indexed + numeric attributes.
+  std::map<AttributeRef, int> slot_of_attr_;
   // Byte-bounded memo of verified results (thread safety is needed by the
   // parallel pairwise step, core/pairwise.h). Punctuation-only fallback
   // results are never inserted — see CandidateRows' all_rows_ contract.

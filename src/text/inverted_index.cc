@@ -4,7 +4,6 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
-#include "text/postings.h"
 #include "text/tokenizer.h"
 
 namespace mweaver::text {
@@ -15,13 +14,14 @@ namespace {
 // returned result. Thread-local because the pairwise stage probes the same
 // engine from ParallelFor workers.
 struct ProbeScratch {
-  std::vector<storage::RowId> acc;   // intersection accumulator
-  std::vector<storage::RowId> rows;  // per-token row set
-  std::vector<storage::RowId> tmp;
+  BlockPostingList acc;     // intersection accumulator
+  BlockPostingList rows;    // per-token row set (union of candidate postings)
+  BlockPostingList rows_b;  // second union buffer: the first token's union
+                            // stays referenced (never copied) while the
+                            // second token's union is built
+  BlockPostingList tmp;
   std::vector<InvertedIndex::TokenId> token_ids;
-  std::vector<const std::vector<storage::RowId>*> lists;
-  MergeScratch<storage::RowId> merge;
-  std::vector<uint64_t> bits;  // bitmap scratch for high-fanout unions
+  std::vector<const BlockPostingList*> lists;
 };
 
 ProbeScratch& LocalScratch() {
@@ -32,8 +32,7 @@ ProbeScratch& LocalScratch() {
 }  // namespace
 
 InvertedIndex::InvertedIndex(const storage::Relation& relation,
-                             storage::AttributeId attribute)
-    : universe_rows_(relation.num_rows()) {
+                             storage::AttributeId attribute) {
   for (size_t r = 0; r < relation.num_rows(); ++r) {
     const storage::Value& v =
         relation.at(static_cast<storage::RowId>(r), attribute);
@@ -52,14 +51,14 @@ InvertedIndex::InvertedIndex(const storage::Relation& relation,
         tokens_.push_back(it->first);
         postings_.emplace_back();
       }
-      postings_[it->second].push_back(row);
+      postings_[it->second].Append(static_cast<uint32_t>(r));
     }
   }
   grams_.Build(tokens_);
   deletions_.Build(tokens_);
 }
 
-const std::vector<storage::RowId>* InvertedIndex::PostingsOf(
+const BlockPostingList* InvertedIndex::PostingsOf(
     const std::string& token) const {
   auto it = token_ids_.find(token);
   return it == token_ids_.end() ? nullptr : &postings_[it->second];
@@ -67,9 +66,11 @@ const std::vector<storage::RowId>* InvertedIndex::PostingsOf(
 
 void InvertedIndex::SubstringTokenIds(const std::string& token,
                                       std::vector<TokenId>* out,
-                                      ProbeStats* stats) const {
+                                      ProbeStats* stats,
+                                      KernelStats* kernels) const {
   grams_.Candidates(token, out,
-                    stats != nullptr ? &stats->candidates_examined : nullptr);
+                    stats != nullptr ? &stats->candidates_examined : nullptr,
+                    kernels);
   // A query of <= 3 chars is a single indexed gram, so its posting list is
   // already the exact containment set — no residual verification needed.
   if (token.size() <= 3) return;
@@ -84,11 +85,12 @@ void InvertedIndex::SubstringTokenIds(const std::string& token,
 
 void InvertedIndex::FuzzyTokenIds(const std::string& token, size_t max_edit,
                                   std::vector<TokenId>* out,
-                                  ProbeStats* stats) const {
+                                  ProbeStats* stats,
+                                  KernelStats* kernels) const {
   if (deletions_.Supports(max_edit)) {
     deletions_.Candidates(
         token, max_edit, out,
-        stats != nullptr ? &stats->candidates_examined : nullptr);
+        stats != nullptr ? &stats->candidates_examined : nullptr, kernels);
   } else {
     // Edit bound beyond the deletion index: counted full-dictionary scan.
     out->resize(tokens_.size());
@@ -126,51 +128,86 @@ std::vector<storage::RowId> InvertedIndex::CandidateRows(
     return all_rows_;
   }
   ProbeScratch& scratch = LocalScratch();
-  std::vector<storage::RowId>& acc = scratch.acc;
-  acc.clear();
-  bool first = true;
+  KernelStats kernels;
+  BlockPostingList& acc = scratch.acc;
+  // `current` is the intersection so far: the first token's resolved list
+  // as-is (no deep copy — the common single-token probe decodes it
+  // directly), then `acc` once a real intersection has run. Per-token
+  // unions alternate between two scratch buffers so the first token's
+  // union survives while the second token's is built.
+  const BlockPostingList* current = nullptr;
+  BlockPostingList* union_buf = &scratch.rows;
   for (const std::string& t : sample_tokens) {
-    // Resolve this query token to a sorted row set in scratch.rows.
-    std::vector<storage::RowId>& rows = scratch.rows;
+    // Resolve this query token to a block posting list.
+    const BlockPostingList* token_rows = nullptr;
     const bool fuzzy = policy.mode == MatchMode::kFuzzyTokenSubset &&
                        policy.max_edit_distance > 0;
     if (policy.mode == MatchMode::kSubstring || fuzzy) {
       if (policy.mode == MatchMode::kSubstring) {
-        SubstringTokenIds(t, &scratch.token_ids, stats);
+        SubstringTokenIds(t, &scratch.token_ids, stats, &kernels);
       } else {
-        FuzzyTokenIds(t, policy.max_edit_distance, &scratch.token_ids, stats);
+        FuzzyTokenIds(t, policy.max_edit_distance, &scratch.token_ids, stats,
+                      &kernels);
       }
       scratch.lists.clear();
       for (TokenId id : scratch.token_ids) {
         scratch.lists.push_back(&postings_[id]);
       }
-      if (scratch.lists.size() > kUnionHeapMaxLists) {
-        // High-fanout token (e.g. a short fragment matching hundreds of
-        // dictionary entries): a bitmap over the row universe beats both
-        // the heap merge and a flat sort.
-        UnionSortedBitmap(scratch.lists, universe_rows_, &rows,
-                          &scratch.bits);
-      } else {
-        UnionSorted(scratch.lists, &rows, &scratch.merge);
+      if (sample_tokens.size() == 1) {
+        // Terminal union: decode straight into the returned row vector,
+        // never materializing a posting list or an intermediate u32 buffer
+        // (the single-token probe is the common case, and its union result
+        // is immediately flattened).
+        std::vector<storage::RowId> rows;
+        UnionBlocksTo(scratch.lists, &rows, &kernels);
+        if (stats != nullptr) {
+          stats->kernel_array_array += kernels.array_array;
+          stats->kernel_array_bitmap += kernels.array_bitmap;
+          stats->kernel_bitmap_bitmap += kernels.bitmap_bitmap;
+          stats->kernel_scalar_fallback += kernels.scalar_fallback;
+        }
+        return rows;
       }
+      // UnionBlocks picks k-way array merge vs. bitmap accumulation per
+      // container (see kUnionArrayMergeMaxLists) — the high-fanout
+      // strategy branch the flat-vector path needed is now internal.
+      UnionBlocks(scratch.lists, union_buf, &kernels);
+      token_rows = union_buf;
+      union_buf = union_buf == &scratch.rows ? &scratch.rows_b : &scratch.rows;
     } else {
       // kExact / kEqualsIgnoreCase / kTokenSubset (and fuzzy at edit 0):
       // the sample token must appear verbatim.
-      const std::vector<storage::RowId>* list = PostingsOf(t);
+      const BlockPostingList* list = PostingsOf(t);
       if (stats != nullptr && list != nullptr) ++stats->candidates_examined;
-      rows.clear();
-      if (list != nullptr) rows.assign(list->begin(), list->end());
+      if (list == nullptr) {
+        union_buf->Reset();
+        token_rows = union_buf;
+        union_buf = union_buf == &scratch.rows ? &scratch.rows_b : &scratch.rows;
+      } else {
+        token_rows = list;
+      }
     }
-    if (first) {
-      acc.swap(rows);
-      first = false;
+    if (current == nullptr) {
+      current = token_rows;
     } else {
-      IntersectSorted(acc, rows, &scratch.tmp);
-      acc.swap(scratch.tmp);
+      IntersectBlocks(*current, *token_rows, &scratch.tmp, &kernels);
+      std::swap(acc, scratch.tmp);
+      current = &acc;
     }
-    if (acc.empty()) break;
+    if (current->empty()) break;
   }
-  return std::vector<storage::RowId>(acc.begin(), acc.end());
+  if (stats != nullptr) {
+    stats->kernel_array_array += kernels.array_array;
+    stats->kernel_array_bitmap += kernels.array_bitmap;
+    stats->kernel_bitmap_bitmap += kernels.bitmap_bitmap;
+    stats->kernel_scalar_fallback += kernels.scalar_fallback;
+  }
+  std::vector<storage::RowId> result;
+  if (current != nullptr) {
+    result.reserve(current->size());
+    current->AppendTo(&result);
+  }
+  return result;
 }
 
 std::vector<storage::RowId> InvertedIndex::ScanCandidateRows(
@@ -181,13 +218,15 @@ std::vector<storage::RowId> InvertedIndex::ScanCandidateRows(
   std::vector<storage::RowId> acc;
   for (const std::string& t : sample_tokens) {
     // Gather per-token rows the pre-acceleration way: a full dictionary
-    // scan per token, a fresh vector per union/intersection.
-    std::vector<const std::vector<storage::RowId>*> lists;
+    // scan per token, a fresh vector per union/intersection. Posting lists
+    // decode to flat row ids first — this path must not benefit from (or
+    // depend on) the block kernels it is the reference for.
+    std::vector<const BlockPostingList*> lists;
     switch (policy.mode) {
       case MatchMode::kExact:
       case MatchMode::kEqualsIgnoreCase:
       case MatchMode::kTokenSubset:
-        if (const std::vector<storage::RowId>* p = PostingsOf(t)) {
+        if (const BlockPostingList* p = PostingsOf(t)) {
           lists.push_back(p);
         }
         break;
@@ -211,8 +250,8 @@ std::vector<storage::RowId> InvertedIndex::ScanCandidateRows(
         break;
     }
     std::vector<storage::RowId> rows_for_token;
-    for (const auto* list : lists) {
-      rows_for_token.insert(rows_for_token.end(), list->begin(), list->end());
+    for (const BlockPostingList* list : lists) {
+      list->AppendTo(&rows_for_token);
     }
     std::sort(rows_for_token.begin(), rows_for_token.end());
     rows_for_token.erase(
@@ -236,9 +275,8 @@ size_t InvertedIndex::index_bytes() const {
   size_t bytes = grams_.bytes() + deletions_.bytes() +
                  all_rows_.capacity() * sizeof(storage::RowId);
   for (size_t i = 0; i < tokens_.size(); ++i) {
-    bytes += tokens_[i].capacity() +
-             postings_[i].capacity() * sizeof(storage::RowId) +
-             sizeof(std::string) + sizeof(std::vector<storage::RowId>);
+    bytes += tokens_[i].capacity() + postings_[i].bytes() +
+             sizeof(std::string) + sizeof(BlockPostingList);
   }
   return bytes;
 }

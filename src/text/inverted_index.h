@@ -26,6 +26,7 @@
 #include "text/lookup_stats.h"
 #include "text/match.h"
 #include "text/ngram_index.h"
+#include "text/posting_block.h"
 
 namespace mweaver::text {
 
@@ -60,21 +61,22 @@ class InvertedIndex {
 
  private:
   // Postings of an exactly-matching token, or nullptr.
-  const std::vector<storage::RowId>* PostingsOf(
-      const std::string& token) const;
+  const BlockPostingList* PostingsOf(const std::string& token) const;
 
   // Candidate token ids (sorted, verified) for one query token under
-  // `policy`; returns false when the probe must use the exact-postings path
-  // instead (single-token modes). `*scanned` set when a full scan ran.
-  void SubstringTokenIds(const std::string& token,
-                         std::vector<TokenId>* out, ProbeStats* stats) const;
+  // `policy`. `kernels` tallies the block-merge kernels the sub-index
+  // lookups dispatched to.
+  void SubstringTokenIds(const std::string& token, std::vector<TokenId>* out,
+                         ProbeStats* stats, KernelStats* kernels) const;
   void FuzzyTokenIds(const std::string& token, size_t max_edit,
-                     std::vector<TokenId>* out, ProbeStats* stats) const;
+                     std::vector<TokenId>* out, ProbeStats* stats,
+                     KernelStats* kernels) const;
 
   // Token dictionary; postings_[id] aligns with tokens_[id], sorted by
-  // construction (rows visited in increasing order).
+  // construction (rows visited in increasing order) and block-encoded
+  // (text/posting_block.h) so probes merge containers, not elements.
   std::vector<std::string> tokens_;
-  std::vector<std::vector<storage::RowId>> postings_;
+  std::vector<BlockPostingList> postings_;
   std::unordered_map<std::string, TokenId> token_ids_;
 
   NGramIndex grams_;
@@ -85,8 +87,6 @@ class InvertedIndex {
   // has no tokens, in which case we fall back to all indexed rows.
   std::vector<storage::RowId> all_rows_;
   size_t num_indexed_rows_ = 0;
-  // Row-id universe (relation row count) for the bitmap union kernel.
-  size_t universe_rows_ = 0;
 };
 
 }  // namespace mweaver::text

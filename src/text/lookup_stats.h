@@ -38,6 +38,14 @@ struct ProbeStats {
   /// Probes whose sample tokenized to nothing (punctuation-only): the
   /// index returns every indexed row and the memo must not cache it.
   uint64_t all_rows_fallbacks = 0;
+  // Block-posting kernel dispatch counters (see text/posting_block.h):
+  // which container-pair shape each merge hit, and how often the scalar
+  // fallback ran instead of a vector kernel (every merge, in a
+  // -DMWEAVER_DISABLE_SIMD build).
+  uint64_t kernel_array_array = 0;
+  uint64_t kernel_array_bitmap = 0;
+  uint64_t kernel_bitmap_bitmap = 0;
+  uint64_t kernel_scalar_fallback = 0;
 
   void Add(const ProbeStats& other) {
     probes += other.probes;
@@ -46,6 +54,10 @@ struct ProbeStats {
     candidates_examined += other.candidates_examined;
     scan_fallbacks += other.scan_fallbacks;
     all_rows_fallbacks += other.all_rows_fallbacks;
+    kernel_array_array += other.kernel_array_array;
+    kernel_array_bitmap += other.kernel_array_bitmap;
+    kernel_bitmap_bitmap += other.kernel_bitmap_bitmap;
+    kernel_scalar_fallback += other.kernel_scalar_fallback;
   }
 };
 
@@ -61,6 +73,14 @@ class ProbeCounters {
     scan_fallbacks_.fetch_add(s.scan_fallbacks, std::memory_order_relaxed);
     all_rows_fallbacks_.fetch_add(s.all_rows_fallbacks,
                                   std::memory_order_relaxed);
+    kernel_array_array_.fetch_add(s.kernel_array_array,
+                                  std::memory_order_relaxed);
+    kernel_array_bitmap_.fetch_add(s.kernel_array_bitmap,
+                                   std::memory_order_relaxed);
+    kernel_bitmap_bitmap_.fetch_add(s.kernel_bitmap_bitmap,
+                                    std::memory_order_relaxed);
+    kernel_scalar_fallback_.fetch_add(s.kernel_scalar_fallback,
+                                      std::memory_order_relaxed);
   }
 
   ProbeStats Snapshot() const {
@@ -73,6 +93,13 @@ class ProbeCounters {
     s.scan_fallbacks = scan_fallbacks_.load(std::memory_order_relaxed);
     s.all_rows_fallbacks =
         all_rows_fallbacks_.load(std::memory_order_relaxed);
+    s.kernel_array_array = kernel_array_array_.load(std::memory_order_relaxed);
+    s.kernel_array_bitmap =
+        kernel_array_bitmap_.load(std::memory_order_relaxed);
+    s.kernel_bitmap_bitmap =
+        kernel_bitmap_bitmap_.load(std::memory_order_relaxed);
+    s.kernel_scalar_fallback =
+        kernel_scalar_fallback_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -83,6 +110,10 @@ class ProbeCounters {
     candidates_examined_.store(0, std::memory_order_relaxed);
     scan_fallbacks_.store(0, std::memory_order_relaxed);
     all_rows_fallbacks_.store(0, std::memory_order_relaxed);
+    kernel_array_array_.store(0, std::memory_order_relaxed);
+    kernel_array_bitmap_.store(0, std::memory_order_relaxed);
+    kernel_bitmap_bitmap_.store(0, std::memory_order_relaxed);
+    kernel_scalar_fallback_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -92,6 +123,10 @@ class ProbeCounters {
   std::atomic<uint64_t> candidates_examined_{0};
   std::atomic<uint64_t> scan_fallbacks_{0};
   std::atomic<uint64_t> all_rows_fallbacks_{0};
+  std::atomic<uint64_t> kernel_array_array_{0};
+  std::atomic<uint64_t> kernel_array_bitmap_{0};
+  std::atomic<uint64_t> kernel_bitmap_bitmap_{0};
+  std::atomic<uint64_t> kernel_scalar_fallback_{0};
 };
 
 }  // namespace mweaver::text

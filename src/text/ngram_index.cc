@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "text/postings.h"
-
 namespace mweaver::text {
 
 uint32_t NGramIndex::PackGram(std::string_view gram) {
@@ -16,60 +14,92 @@ uint32_t NGramIndex::PackGram(std::string_view gram) {
 }
 
 void NGramIndex::Build(const std::vector<std::string>& tokens) {
-  grams_.clear();
+  gram_lists_.clear();
+  table_.clear();
+  // Accumulate the per-gram posting lists; a node map is fine at build
+  // time, the flat probe table below is what lookups touch.
+  std::unordered_map<uint32_t, uint32_t> index_of_key;
   for (TokenId id = 0; id < tokens.size(); ++id) {
     const std::string& t = tokens[id];
     for (size_t n = 1; n <= 3 && n <= t.size(); ++n) {
       for (size_t i = 0; i + n <= t.size(); ++i) {
-        std::vector<TokenId>& list =
-            grams_[PackGram(std::string_view(t).substr(i, n))];
+        auto [it, inserted] = index_of_key.emplace(
+            PackGram(std::string_view(t).substr(i, n)),
+            static_cast<uint32_t>(gram_lists_.size()));
+        if (inserted) gram_lists_.emplace_back();
+        BlockPostingList& list = gram_lists_[it->second];
         // The same gram recurs within one token ("aaa"); ids arrive in
         // increasing order, so dedup is a back() check.
-        if (list.empty() || list.back() != id) list.push_back(id);
+        if (list.empty() || list.back() != id) list.Append(id);
       }
     }
   }
-  bytes_ = 0;
-  for (const auto& [key, list] : grams_) {
-    bytes_ += sizeof(key) + sizeof(list) + list.capacity() * sizeof(TokenId);
+  // Flat table at load factor <= 0.5, power-of-two size for mask probing.
+  size_t table_size = 16;
+  while (table_size < index_of_key.size() * 2) table_size *= 2;
+  table_.assign(table_size, Slot{});
+  const size_t mask = table_size - 1;
+  for (const auto& [key, idx] : index_of_key) {
+    size_t i = static_cast<size_t>(
+                   (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >>
+                   32) &
+               mask;
+    while (table_[i].idx != kEmptySlot) i = (i + 1) & mask;
+    table_[i] = Slot{key, idx};
+  }
+  bytes_ = table_.capacity() * sizeof(Slot);
+  for (const BlockPostingList& list : gram_lists_) {
+    bytes_ += sizeof(list) + list.bytes();
   }
 }
 
-const std::vector<NGramIndex::TokenId>* NGramIndex::Postings(
-    std::string_view gram) const {
-  auto it = grams_.find(PackGram(gram));
-  return it == grams_.end() ? nullptr : &it->second;
-}
-
 void NGramIndex::Candidates(std::string_view token,
-                            std::vector<TokenId>* out,
-                            uint64_t* examined) const {
+                            std::vector<TokenId>* out, uint64_t* examined,
+                            KernelStats* kernels) const {
   out->clear();
   if (token.empty()) return;
   if (token.size() <= 2) {
-    if (const std::vector<TokenId>* list = Postings(token)) *out = *list;
+    if (const BlockPostingList* list = Postings(token)) list->AppendTo(out);
     if (examined != nullptr) *examined += out->size();
     return;
   }
   // Collect the posting list of every trigram; any absent trigram proves no
   // dictionary token contains the query.
-  thread_local std::vector<const std::vector<TokenId>*> lists;
+  thread_local std::vector<const BlockPostingList*> lists;
   lists.clear();
   for (size_t i = 0; i + 3 <= token.size(); ++i) {
-    const std::vector<TokenId>* list = Postings(token.substr(i, 3));
+    const BlockPostingList* list = Postings(token.substr(i, 3));
     if (list == nullptr) return;
     lists.push_back(list);
   }
-  // Intersect smallest-first so the accumulator only shrinks; galloping
-  // inside IntersectSorted handles the skewed (rare gram x stop-gram) case.
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  thread_local std::vector<TokenId> acc;
-  *out = *lists[0];
-  for (size_t i = 1; i < lists.size() && !out->empty(); ++i) {
-    IntersectSorted(*out, *lists[i], &acc);
-    out->swap(acc);
+  // Intersect smallest-first so the accumulator only shrinks; the rare gram
+  // x stop-gram case dispatches to the galloping / array-x-bitmap kernels.
+  // Repeated grams ("aaa" twice in "aaaa") resolve to the same list — drop
+  // the duplicates, intersecting a set with itself is a no-op.
+  std::sort(lists.begin(), lists.end(), [](const auto* a, const auto* b) {
+    return a->size() != b->size() ? a->size() < b->size() : a < b;
+  });
+  lists.erase(std::unique(lists.begin(), lists.end()), lists.end());
+  // The cascade is a pre-filter: tokens of length > 3 (the only ones with
+  // two or more trigrams) are residually verified by an exact substring
+  // find in the caller, so stopping early just hands back a slightly
+  // larger superset. Once the accumulator is this small, verifying the
+  // stragglers is cheaper than more block intersections.
+  constexpr size_t kSelectiveEnough = 32;
+  if (lists.size() == 1 || lists[0]->size() <= kSelectiveEnough) {
+    lists[0]->AppendTo(out);
+    if (examined != nullptr) *examined += out->size();
+    return;
   }
+  thread_local BlockPostingList acc;
+  thread_local BlockPostingList tmp;
+  IntersectBlocks(*lists[0], *lists[1], &acc, kernels);
+  for (size_t i = 2;
+       i < lists.size() && acc.size() > kSelectiveEnough; ++i) {
+    IntersectBlocks(acc, *lists[i], &tmp, kernels);
+    std::swap(acc, tmp);
+  }
+  acc.AppendTo(out);
   if (examined != nullptr) *examined += out->size();
 }
 

@@ -8,6 +8,10 @@
 // tokens resolve by trigram intersection + residual substring
 // verification (trigram containment is necessary but not sufficient:
 // "abcxbcd" holds both trigrams of "abcd" without containing it).
+//
+// Posting lists are block-encoded (text/posting_block.h): stop-gram lists
+// (e.g. "the") densify into bitmap containers and intersect word-parallel
+// against the rare gram that actually narrows the probe.
 #ifndef MWEAVER_TEXT_NGRAM_INDEX_H_
 #define MWEAVER_TEXT_NGRAM_INDEX_H_
 
@@ -16,6 +20,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "text/posting_block.h"
 
 namespace mweaver::text {
 
@@ -33,22 +39,51 @@ class NGramIndex {
   /// duplicate-free, written to `*out` (cleared first). For 1- and
   /// 2-character tokens the result is exact; for longer tokens it is a
   /// superset and the caller must verify with find(). `*examined` is
-  /// incremented by the number of candidate ids produced.
+  /// incremented by the number of candidate ids produced; `kernels`, when
+  /// given, tallies the block-merge kernels the intersection dispatched to.
   void Candidates(std::string_view token, std::vector<TokenId>* out,
-                  uint64_t* examined) const;
+                  uint64_t* examined, KernelStats* kernels = nullptr) const;
 
   /// \brief Approximate heap footprint of the gram table.
   size_t bytes() const { return bytes_; }
-  size_t num_grams() const { return grams_.size(); }
+  size_t num_grams() const { return gram_lists_.size(); }
 
  private:
+  // The gram table is a flat open-addressed hash table (linear probing,
+  // load factor <= 0.5) over the packed gram keys. A substring probe over a
+  // length-L token performs L-2 trigram lookups against a cold table (the
+  // engine round-robins across one index per attribute), and the node-based
+  // unordered_map paid two dependent cache misses per lookup — bucket
+  // pointer, then node — where the flat slot is one.
+  struct Slot {
+    uint32_t key = 0;
+    uint32_t idx = kEmptySlot;  // into gram_lists_
+  };
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
   // A gram is at most 3 bytes; packed little-endian with its length tagged
   // in the top byte so "ab" and "ab\0" cannot collide.
   static uint32_t PackGram(std::string_view gram);
 
-  const std::vector<TokenId>* Postings(std::string_view gram) const;
+  const BlockPostingList* Postings(std::string_view gram) const {
+    if (table_.empty()) return nullptr;
+    const uint32_t key = PackGram(gram);
+    const size_t mask = table_.size() - 1;
+    // Fibonacci mix, high bits: the packed keys differ mostly in low
+    // character bits, which a plain mask would collide heavily.
+    size_t i = static_cast<size_t>(
+                   (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >>
+                   32) &
+               mask;
+    while (table_[i].idx != kEmptySlot) {
+      if (table_[i].key == key) return &gram_lists_[table_[i].idx];
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
 
-  std::unordered_map<uint32_t, std::vector<TokenId>> grams_;
+  std::vector<BlockPostingList> gram_lists_;
+  std::vector<Slot> table_;  // power-of-two size
   size_t bytes_ = 0;
 };
 

@@ -104,6 +104,11 @@ class JsonValue {
   bool boolean() const { return bool_; }
   const std::string& string() const { return string_; }
   const std::vector<JsonValue>& array() const { return array_; }
+  /// \brief Object members by key (empty for non-objects); lets callers
+  /// enumerate and re-serialize sections they did not write themselves.
+  const std::map<std::string, JsonValue, std::less<>>& object() const {
+    return object_;
+  }
 
   /// \brief Object member by key, or nullptr when absent (or not an
   /// object). Insertion order is not preserved; the perf comparisons key
