@@ -1,0 +1,133 @@
+// Streaming update vs full publish: the cost argument for incremental
+// index maintenance. On a Yahoo-Movies tenant (default 2000 movies) the
+// harness times (a) full Publish calls — clone the database, rebuild
+// every inverted index and the schema graph from scratch, swap — and
+// (b) TenantWriter::Apply batches — copy-on-write clone of the touched
+// relation, incremental posting-list edits, delta snapshot install.
+//
+// The gate: a single-relation update batch must be at least 10x cheaper
+// than a full publish (it touches one relation out of ~10 and avoids the
+// O(corpus) index build entirely; in practice the gap is far larger).
+// Exits nonzero when the ratio falls under the gate so CI can fail on a
+// regression that silently turns updates back into rebuilds.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalog/catalog.h"
+#include "catalog/tenant_writer.h"
+#include "common/random.h"
+
+int main() {
+  using namespace mweaver;
+  constexpr std::string_view kTenant = "bench";
+  const size_t movies = bench::EnvSize("MWEAVER_BENCH_MOVIES", 2000);
+  const size_t publish_reps = bench::EnvSize("MWEAVER_BENCH_REPS", 5);
+  const size_t update_reps = 50;
+
+  datagen::YahooMoviesConfig config;
+  config.num_movies = movies;
+  const storage::Database source = datagen::MakeYahooMovies(config);
+
+  catalog::Catalog catalog;
+  {
+    auto published = catalog.Publish(kTenant, source.CloneCow({}));
+    if (!published.ok()) {
+      std::fprintf(stderr, "seed publish failed: %s\n",
+                   published.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("=== streaming update vs full publish ===\n");
+  std::printf("source: %zu movies — %zu relations, %zu rows\n\n",
+              movies, source.num_relations(), source.TotalRows());
+
+  // (a) Full publishes: every rep rebuilds the whole index bundle.
+  std::vector<double> publish_ms;
+  publish_ms.reserve(publish_reps);
+  for (size_t rep = 0; rep < publish_reps; ++rep) {
+    const auto start = bench::BenchClock::now();
+    auto published = catalog.Publish(kTenant, source.CloneCow({}));
+    const auto end = bench::BenchClock::now();
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   published.status().ToString().c_str());
+      return 1;
+    }
+    publish_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+
+  // (b) Update batches: one inserted movie row per batch, with deletes of
+  // earlier inserts folded in once a backlog builds (the updater actor's
+  // steady-churn shape).
+  catalog::TenantWriter writer(&catalog);
+  Rng rng(20260808);
+  const storage::RelationId movie_rel = source.FindRelation("movie");
+  if (movie_rel == storage::kInvalidRelation) {
+    std::fprintf(stderr, "no movie relation in the synthetic source\n");
+    return 1;
+  }
+  const storage::Relation& movie = source.relation(movie_rel);
+  std::vector<storage::RowId> owned;
+  std::vector<double> update_ms;
+  update_ms.reserve(update_reps);
+  for (size_t rep = 0; rep < update_reps; ++rep) {
+    catalog::UpdateBatch batch;
+    batch.inserts.push_back(catalog::RowInsert{
+        "movie",
+        movie.row(static_cast<storage::RowId>(rng.Index(movie.num_rows())))});
+    if (owned.size() >= 8) {
+      batch.deletes.push_back(catalog::RowDelete{"movie", owned.front()});
+    }
+    const auto start = bench::BenchClock::now();
+    auto applied = writer.Apply(kTenant, batch);
+    const auto end = bench::BenchClock::now();
+    if (!applied.ok()) {
+      std::fprintf(stderr, "update failed: %s\n",
+                   applied.status().ToString().c_str());
+      return 1;
+    }
+    if (!batch.deletes.empty()) owned.erase(owned.begin());
+    owned.insert(owned.end(), applied->inserted_rows.begin(),
+                 applied->inserted_rows.end());
+    update_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+
+  const auto mean = [](const std::vector<double>& v) {
+    double total = 0.0;
+    for (double x : v) total += x;
+    return total / static_cast<double>(v.size());
+  };
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+
+  const double publish_mean = mean(publish_ms);
+  const double update_mean = mean(update_ms);
+  const double speedup = publish_mean / update_mean;
+  bench::PrintRow("", {"mean ms", "median ms", "reps"});
+  bench::PrintRow("full publish",
+                  {bench::Fmt(publish_mean, 3), bench::Fmt(median(publish_ms), 3),
+                   std::to_string(publish_reps)});
+  bench::PrintRow("update batch",
+                  {bench::Fmt(update_mean, 3), bench::Fmt(median(update_ms), 3),
+                   std::to_string(update_reps)});
+  std::printf("\nupdate batch is %.1fx cheaper than a full publish\n",
+              speedup);
+
+  constexpr double kMinSpeedup = 10.0;
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "GATE FAILED: update/publish speedup %.1fx below the "
+                 "%.0fx floor — incremental maintenance has regressed "
+                 "toward a rebuild\n",
+                 speedup, kMinSpeedup);
+    return 1;
+  }
+  std::printf("gate: >= %.0fx required — OK\n", kMinSpeedup);
+  return 0;
+}

@@ -65,6 +65,50 @@ Result<SnapshotPtr> Catalog::Publish(std::string_view tenant,
   return snapshot;
 }
 
+Status Catalog::InstallDelta(std::string_view tenant,
+                             const SnapshotPtr& expected_base,
+                             SnapshotPtr next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("delta snapshot must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second->current == nullptr) {
+    return Status::NotFound(StrFormat("no tenant '%.*s'",
+                                      static_cast<int>(tenant.size()),
+                                      tenant.data()));
+  }
+  Tenant& entry = *it->second;
+  if (entry.current != expected_base) {
+    // A full Publish (or a writer that bypassed the lock) swapped the
+    // serving snapshot while this delta was being built. The delta was
+    // derived from a superseded base, so it must not be installed.
+    return Status::FailedPrecondition(
+        StrFormat("update to tenant '%.*s' superseded: base epoch %llu.%llu "
+                  "is no longer current",
+                  static_cast<int>(tenant.size()), tenant.data(),
+                  static_cast<unsigned long long>(expected_base->epoch()),
+                  static_cast<unsigned long long>(
+                      expected_base->minor_epoch())));
+  }
+  entry.current = std::move(next);
+  entry.updates += 1;
+  entry.last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<std::mutex>> Catalog::WriterLock(
+    std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound(StrFormat("no tenant '%.*s'",
+                                      static_cast<int>(tenant.size()),
+                                      tenant.data()));
+  }
+  return it->second->write_mu;
+}
+
 Result<SnapshotPtr> Catalog::Pin(std::string_view tenant) const {
   SnapshotPtr pinned;
   std::shared_ptr<Tenant> entry;
@@ -150,8 +194,10 @@ std::vector<TenantInfo> Catalog::ListTenants() const {
     TenantInfo info;
     info.name = name;
     info.publishes = entry->publishes;
+    info.updates = entry->updates;
     if (entry->current != nullptr) {
       info.epoch = entry->current->epoch();
+      info.minor_epoch = entry->current->minor_epoch();
       info.rows = entry->current->db().TotalRows();
       info.index_bytes = entry->current->index_bytes();
       // One reference is the catalog's own; anything beyond it is a pin.

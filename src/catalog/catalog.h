@@ -57,7 +57,9 @@ struct CatalogOptions {
 struct TenantInfo {
   std::string name;
   uint64_t epoch = 0;
+  uint64_t minor_epoch = 0;  // streaming updates applied since last publish
   uint64_t publishes = 0;  // lifetime publish count of this registration
+  uint64_t updates = 0;    // lifetime streaming-update count
   size_t rows = 0;
   size_t index_bytes = 0;
   /// Pins outstanding beyond the catalog's own reference (sessions,
@@ -85,6 +87,23 @@ class Catalog {
   /// Failpoint "catalog.tenant.publish" injects a pre-build failure (the
   /// tenant keeps serving its old epoch untouched).
   Result<SnapshotPtr> Publish(std::string_view tenant, storage::Database db);
+
+  /// \brief Atomically replaces the tenant's current snapshot with a delta
+  /// derived from `expected_base` — the streaming-update install step used
+  /// by TenantWriter. The swap succeeds only if `expected_base` is still
+  /// the serving snapshot: if a concurrent Publish (or another writer that
+  /// slipped past the write lock) installed something newer, returns
+  /// FailedPrecondition and `next` is discarded by the caller. NotFound if
+  /// the tenant vanished (Drop / EvictIdle) while the delta was built.
+  Status InstallDelta(std::string_view tenant,
+                      const SnapshotPtr& expected_base, SnapshotPtr next);
+
+  /// \brief The tenant's writer lock, serializing streaming update batches
+  /// against each other (Publish does NOT take it — a racing publish wins
+  /// via the InstallDelta precondition instead). Returned by shared_ptr so
+  /// a writer holding it survives the tenant being dropped mid-batch.
+  /// NotFound for unknown tenants.
+  Result<std::shared_ptr<std::mutex>> WriterLock(std::string_view tenant);
 
   /// \brief Pins the tenant's current snapshot: the returned handle stays
   /// valid (and its contents immutable) regardless of later publishes or
@@ -118,6 +137,11 @@ class Catalog {
   struct Tenant {
     SnapshotPtr current;      // guarded by Catalog::mu_
     uint64_t publishes = 0;   // guarded by Catalog::mu_
+    uint64_t updates = 0;     // guarded by Catalog::mu_
+    /// Serializes streaming writers to this tenant (held across the whole
+    /// delta build, NOT just the install — see WriterLock()). shared_ptr so
+    /// a writer keeps a valid mutex even if the tenant is dropped.
+    std::shared_ptr<std::mutex> write_mu = std::make_shared<std::mutex>();
     /// steady_clock nanos of the last Pin/Publish (atomic so EvictIdle and
     /// the const Pin() path touch it without write-locking the registry).
     std::atomic<int64_t> last_used_ns{0};

@@ -33,6 +33,16 @@ class Snapshot {
            std::unique_ptr<storage::Database> db, text::MatchPolicy policy,
            text::EngineOptions engine_options = {});
 
+  /// \brief Delta constructor for streaming updates: adopts a pre-built
+  /// bundle (CoW database, CloneForDelta engine, rebuilt graph) instead of
+  /// constructing one from scratch. Same publish epoch as the base it was
+  /// derived from; `minor_epoch` distinguishes successive update batches
+  /// within that epoch (base snapshots are minor 0).
+  Snapshot(std::string tenant, uint64_t epoch, uint64_t minor_epoch,
+           std::unique_ptr<storage::Database> db,
+           std::unique_ptr<text::FullTextEngine> engine,
+           std::unique_ptr<graph::SchemaGraph> graph);
+
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
@@ -42,6 +52,12 @@ class Snapshot {
   /// tenant evicted and later republished can never alias an old epoch in
   /// result-cache fingerprints).
   uint64_t epoch() const { return epoch_; }
+  /// \brief Update sequence number within the publish epoch: 0 for a full
+  /// Publish, incremented by every installed streaming update batch. The
+  /// (epoch, minor_epoch) pair totally orders a tenant's serving states
+  /// and extends result-cache fingerprints so entries computed before an
+  /// update die by construction.
+  uint64_t minor_epoch() const { return minor_epoch_; }
 
   const storage::Database& db() const { return *db_; }
   const text::FullTextEngine& engine() const { return *engine_; }
@@ -54,6 +70,7 @@ class Snapshot {
  private:
   const std::string tenant_;
   const uint64_t epoch_;
+  const uint64_t minor_epoch_;
   const std::unique_ptr<storage::Database> db_;
   const std::unique_ptr<text::FullTextEngine> engine_;
   const std::unique_ptr<graph::SchemaGraph> graph_;

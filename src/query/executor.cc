@@ -247,6 +247,7 @@ Result<std::vector<core::TuplePath>> PathExecutor::Execute(
         }
       } else {
         for (size_t r = 0; r < rel.num_rows(); ++r) {
+          if (rel.is_deleted(static_cast<storage::RowId>(r))) continue;
           assignment[v] = static_cast<storage::RowId>(r);
           enumerate(step_index + 1);
           if (done) return;

@@ -16,6 +16,7 @@ MappingService::MappingService(catalog::Catalog* catalog,
     : catalog_(catalog),
       options_(options),
       sessions_(options.sessions),
+      writer_(catalog),
       cache_(options.cache_capacity),
       pool_(std::make_unique<ThreadPool>(options.num_workers)) {
   MW_CHECK(catalog != nullptr);
@@ -82,7 +83,8 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn(
              const core::SearchOptions& opts, core::ExecutionContext& ctx)
              -> Result<core::SearchResult> {
     const std::string key = ResultCache::MakeKey(
-        snapshot->tenant(), snapshot->epoch(), first_row, opts);
+        snapshot->tenant(), snapshot->epoch(), snapshot->minor_epoch(),
+        first_row, opts);
     if (std::optional<core::SearchResult> hit = cache_.Lookup(key)) {
       metrics_.RecordCacheLookup(/*hit=*/true);
       tenant_counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -150,6 +152,46 @@ Status MappingService::Enqueue(InputRequest request,
   queued.deadline = budget.count() != 0
                         ? now + budget
                         : core::SearchClock::time_point::max();
+  return Admit(std::move(queued));
+}
+
+Status MappingService::EnqueueUpdate(UpdateRequest request,
+                                     std::function<void(RequestResult)> done) {
+  const auto now = core::SearchClock::now();
+  const std::chrono::milliseconds budget =
+      request.deadline.count() != 0 ? request.deadline
+                                    : options_.default_deadline;
+  QueuedRequest queued;
+  queued.is_update = true;
+  queued.tenant = request.tenant;
+  queued.update = std::move(request);
+  queued.done = std::move(done);
+  queued.admitted = now;
+  queued.deadline = budget.count() != 0
+                        ? now + budget
+                        : core::SearchClock::time_point::max();
+  return Admit(std::move(queued));
+}
+
+RequestResult MappingService::ApplyUpdate(UpdateRequest request) {
+  std::promise<RequestResult> promise;
+  std::future<RequestResult> future = promise.get_future();
+  Status admitted =
+      EnqueueUpdate(std::move(request), [&](RequestResult result) {
+        promise.set_value(std::move(result));
+      });
+  if (!admitted.ok()) {
+    RequestResult rejected;
+    rejected.status = std::move(admitted);
+    rejected.outcome = rejected.status.IsResourceExhausted()
+                           ? RequestOutcome::kOverloaded
+                           : RequestOutcome::kFailed;
+    return rejected;
+  }
+  return future.get();
+}
+
+Status MappingService::Admit(QueuedRequest queued) {
   const size_t tenant_cap = TenantQueueCap();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -255,12 +297,68 @@ void MappingService::DrainOne() {
       if (--it->second == 0) tenant_queued_.erase(it);
     }
   }
-  RequestResult result = Process(queued);
+  RequestResult result =
+      queued.is_update ? ProcessUpdate(queued) : Process(queued);
   metrics_.RecordRequest(result.outcome, result.latency_ms);
   if (!queued.tenant.empty()) {
     tenant_metrics_.RecordRequest(queued.tenant, result.outcome);
   }
   if (queued.done) queued.done(std::move(result));
+}
+
+RequestResult MappingService::ProcessUpdate(const QueuedRequest& queued) {
+  RequestResult result;
+  const auto record = [&](bool ok, uint64_t inserted, uint64_t deleted) {
+    metrics_.RecordUpdate(ok, inserted, deleted);
+    const auto counters = tenant_metrics_.ForTenant(queued.tenant);
+    (ok ? counters->updates_ok : counters->updates_failed)
+        .fetch_add(1, std::memory_order_relaxed);
+  };
+  const auto finish = [&](RequestOutcome outcome, Status status) {
+    result.outcome = outcome;
+    result.status = std::move(status);
+    result.latency_ms =
+        std::chrono::duration<double, std::milli>(core::SearchClock::now() -
+                                                  queued.admitted)
+            .count();
+    return result;
+  };
+
+  // An update that waited out its budget in the queue is NOT applied: the
+  // status says so explicitly (unlike a search, where "truncated" means a
+  // partial answer, an un-applied batch must be unambiguous — and it is
+  // safe to resubmit, since nothing started).
+  if (core::SearchClock::now() >= queued.deadline) {
+    result.truncated = true;
+    record(/*ok=*/false, 0, 0);
+    return finish(RequestOutcome::kTruncated,
+                  Status::Unavailable(
+                      "update deadline expired in queue; batch not applied"));
+  }
+
+  Result<catalog::UpdateResult> applied =
+      writer_.Apply(queued.update.tenant, queued.update.batch);
+  // Same graceful degradation as searches: one retry on a transient
+  // (Unavailable) failure. Apply is atomic — a failed attempt left no
+  // trace — so the replay is safe; the retry shares the search counter
+  // since it reports the same backend-flaking signal.
+  if (!applied.ok() && applied.status().IsUnavailable() &&
+      core::SearchClock::now() < queued.deadline) {
+    metrics_.RecordSearchRetry();
+    applied = writer_.Apply(queued.update.tenant, queued.update.batch);
+    if (applied.ok()) result.degraded = true;
+  }
+  if (!applied.ok()) {
+    record(/*ok=*/false, 0, 0);
+    return finish(RequestOutcome::kFailed, applied.status());
+  }
+  const catalog::UpdateResult& update = applied.ValueOrDie();
+  result.update_minor_epoch = update.snapshot->minor_epoch();
+  result.inserted_rows = update.inserted_rows;
+  record(/*ok=*/true, update.rows_inserted, update.rows_deleted);
+  return finish(result.degraded ? RequestOutcome::kDegraded
+                                : RequestOutcome::kOk,
+                Status::OK());
 }
 
 RequestResult MappingService::Process(const QueuedRequest& queued) {

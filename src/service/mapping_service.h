@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/tenant_writer.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/options.h"
@@ -101,6 +102,20 @@ struct InputRequest {
   std::chrono::milliseconds deadline{0};
 };
 
+/// \brief A streaming update batch routed through the service: the same
+/// bounded queue, per-tenant admission share, deadline and retry treatment
+/// as searches, so update traffic cannot starve search traffic (or vice
+/// versa) by bypassing backpressure.
+struct UpdateRequest {
+  std::string tenant;
+  catalog::UpdateBatch batch;
+  /// Wall-clock budget from admission; 0 = use the service default. An
+  /// update whose budget expires while still queued is NOT applied and is
+  /// answered kTruncated with an Unavailable status (safe to retry: the
+  /// batch never started).
+  std::chrono::milliseconds deadline{0};
+};
+
 /// \brief What the client gets back.
 struct RequestResult {
   /// Request-level status: kOverloaded admission failures surface as
@@ -121,6 +136,12 @@ struct RequestResult {
   bool degraded = false;
   /// Admission-to-completion latency (queue wait included).
   double latency_ms = 0.0;
+
+  /// Update requests only: the minor epoch the batch installed and the row
+  /// ids assigned to the batch's inserts (in order) — zero/empty for
+  /// searches and for failed updates.
+  uint64_t update_minor_epoch = 0;
+  std::vector<storage::RowId> inserted_rows;
 };
 
 /// \brief The concurrent mapping service. All public methods are
@@ -171,6 +192,18 @@ class MappingService {
   /// kOverloaded).
   RequestResult Call(InputRequest request);
 
+  /// \brief Submits a streaming update batch through the same admission
+  /// path as searches (global queue bound, per-tenant share, kOverloaded
+  /// backpressure). `done` fires exactly once on a worker thread; a
+  /// transient (Unavailable) failure — injected or real — is retried once
+  /// and reported kDegraded on success. The batch is atomic either way:
+  /// on any failure the tenant keeps serving its current snapshot.
+  Status EnqueueUpdate(UpdateRequest request,
+                       std::function<void(RequestResult)> done);
+
+  /// \brief Synchronous convenience: EnqueueUpdate + wait.
+  RequestResult ApplyUpdate(UpdateRequest request);
+
   /// \brief Runs an idle-session sweep; returns sessions reclaimed.
   size_t EvictIdleSessions() { return sessions_.EvictIdle(); }
 
@@ -205,6 +238,11 @@ class MappingService {
  private:
   struct QueuedRequest {
     InputRequest request;
+    /// Set for update requests; Process() dispatches on it. The shared
+    /// queue is deliberate: updates and searches compete for the same
+    /// bounded slots and workers, so neither class dodges backpressure.
+    bool is_update = false;
+    UpdateRequest update;
     std::function<void(RequestResult)> done;
     /// Tenant of the request's session at admission (empty when the
     /// session id is unknown — Process() then reports NotFound; such
@@ -214,9 +252,13 @@ class MappingService {
     core::SearchClock::time_point deadline;  // max() = none
   };
 
+  /// Shared admission: bounds, tenant share, queue push. Used by Enqueue
+  /// and EnqueueUpdate once the QueuedRequest is assembled.
+  Status Admit(QueuedRequest queued);
   /// Pops and processes one queued request (runs on a pool worker).
   void DrainOne();
   RequestResult Process(const QueuedRequest& queued);
+  RequestResult ProcessUpdate(const QueuedRequest& queued);
   /// The caching first-row search bound to one session's pinned snapshot:
   /// keys carry the snapshot's tenant + epoch, per-tenant cache counters
   /// bump alongside the global ones.
@@ -226,6 +268,7 @@ class MappingService {
   const ServiceOptions options_;
 
   SessionManager sessions_;
+  catalog::TenantWriter writer_;
   ResultCache cache_;
   ServiceMetrics metrics_;
   TenantMetricsRegistry tenant_metrics_;

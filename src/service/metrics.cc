@@ -78,6 +78,14 @@ std::string MetricsSnapshot::ToString() const {
       static_cast<unsigned long long>(queue_high_water),
       ApproxLatencyPercentileMs(0.50), ApproxLatencyPercentileMs(0.95),
       ApproxLatencyPercentileMs(0.99));
+  if (updates_ok + updates_failed > 0) {
+    out += StrFormat(
+        " | updates: %llu ok, %llu failed (+%llu/-%llu rows)",
+        static_cast<unsigned long long>(updates_ok),
+        static_cast<unsigned long long>(updates_failed),
+        static_cast<unsigned long long>(update_rows_inserted),
+        static_cast<unsigned long long>(update_rows_deleted));
+  }
   for (size_t s = 0; s < stage_latency_buckets.size(); ++s) {
     uint64_t total = 0;
     for (uint64_t count : stage_latency_buckets[s]) total += count;
@@ -142,6 +150,10 @@ std::string MetricsSnapshot::ToJson() const {
   AppendJsonUInt(&out, "requests_truncated", requests_truncated, &first);
   AppendJsonUInt(&out, "requests_failed", requests_failed, &first);
   AppendJsonUInt(&out, "search_retries", search_retries, &first);
+  AppendJsonUInt(&out, "updates_ok", updates_ok, &first);
+  AppendJsonUInt(&out, "updates_failed", updates_failed, &first);
+  AppendJsonUInt(&out, "update_rows_inserted", update_rows_inserted, &first);
+  AppendJsonUInt(&out, "update_rows_deleted", update_rows_deleted, &first);
   AppendJsonUInt(&out, "cache_hits", cache_hits, &first);
   AppendJsonUInt(&out, "cache_misses", cache_misses, &first);
   AppendJsonDouble(&out, "cache_hit_rate", CacheHitRate(), &first);
@@ -206,6 +218,12 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
   delta.cache_hits = SaturatingSub(cache_hits, earlier.cache_hits);
   delta.cache_misses = SaturatingSub(cache_misses, earlier.cache_misses);
   delta.search_retries = SaturatingSub(search_retries, earlier.search_retries);
+  delta.updates_ok = SaturatingSub(updates_ok, earlier.updates_ok);
+  delta.updates_failed = SaturatingSub(updates_failed, earlier.updates_failed);
+  delta.update_rows_inserted =
+      SaturatingSub(update_rows_inserted, earlier.update_rows_inserted);
+  delta.update_rows_deleted =
+      SaturatingSub(update_rows_deleted, earlier.update_rows_deleted);
   delta.text_probes = SaturatingSub(text_probes, earlier.text_probes);
   delta.text_memo_hits = SaturatingSub(text_memo_hits, earlier.text_memo_hits);
   delta.text_memo_misses =
@@ -264,6 +282,17 @@ void ServiceMetrics::RecordCacheLookup(bool hit) {
 
 void ServiceMetrics::RecordSearchRetry() {
   search_retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordUpdate(bool ok, uint64_t rows_inserted,
+                                  uint64_t rows_deleted) {
+  if (!ok) {
+    updates_failed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  updates_ok_.fetch_add(1, std::memory_order_relaxed);
+  update_rows_inserted_.fetch_add(rows_inserted, std::memory_order_relaxed);
+  update_rows_deleted_.fetch_add(rows_deleted, std::memory_order_relaxed);
 }
 
 namespace {
@@ -349,6 +378,12 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.search_retries = search_retries_.load(std::memory_order_relaxed);
+  snap.updates_ok = updates_ok_.load(std::memory_order_relaxed);
+  snap.updates_failed = updates_failed_.load(std::memory_order_relaxed);
+  snap.update_rows_inserted =
+      update_rows_inserted_.load(std::memory_order_relaxed);
+  snap.update_rows_deleted =
+      update_rows_deleted_.load(std::memory_order_relaxed);
   snap.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   snap.latency_buckets.resize(kNumBuckets);
   for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -424,6 +459,9 @@ TenantMetricsRegistry::Snapshot() const {
         counters->sessions_created.load(std::memory_order_relaxed);
     snap.share_rejections =
         counters->share_rejections.load(std::memory_order_relaxed);
+    snap.updates_ok = counters->updates_ok.load(std::memory_order_relaxed);
+    snap.updates_failed =
+        counters->updates_failed.load(std::memory_order_relaxed);
     out.emplace(name, snap);
   }
   return out;
@@ -474,6 +512,8 @@ std::string TenantMetricsRegistry::ToJson() const {
                    &first);
     AppendJsonUInt(&out, "requests_failed", snap.requests_failed, &first);
     AppendJsonUInt(&out, "share_rejections", snap.share_rejections, &first);
+    AppendJsonUInt(&out, "updates_ok", snap.updates_ok, &first);
+    AppendJsonUInt(&out, "updates_failed", snap.updates_failed, &first);
     AppendJsonUInt(&out, "cache_hits", snap.cache_hits, &first);
     AppendJsonUInt(&out, "cache_misses", snap.cache_misses, &first);
     AppendJsonUInt(&out, "sessions_created", snap.sessions_created, &first);

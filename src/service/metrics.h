@@ -55,6 +55,16 @@ struct MetricsSnapshot {
   /// requests_degraded (or requests_truncated if the retry was cut short).
   uint64_t search_retries = 0;
 
+  /// Streaming update batches that installed a new minor epoch / that
+  /// failed (injected faults, superseded bases, validation errors).
+  /// Updates also land in the requests_* outcome counters above — these
+  /// tell update traffic apart from search traffic.
+  uint64_t updates_ok = 0;
+  uint64_t updates_failed = 0;
+  /// Rows applied by successful update batches.
+  uint64_t update_rows_inserted = 0;
+  uint64_t update_rows_deleted = 0;
+
   /// Deepest the request queue ever got (admission-time depth).
   uint64_t queue_high_water = 0;
 
@@ -135,6 +145,9 @@ class ServiceMetrics {
   void RecordCacheLookup(bool hit);
   /// \brief Counts one absorbed transient search failure (retry issued).
   void RecordSearchRetry();
+  /// \brief Counts one streaming update batch; `rows_inserted` /
+  /// `rows_deleted` are only accumulated when `ok`.
+  void RecordUpdate(bool ok, uint64_t rows_inserted, uint64_t rows_deleted);
   /// \brief Folds one search's per-stage trace into the per-stage latency
   /// histograms and worker peaks. The kPrune stage is skipped — sample
   /// search never runs it, and folding its empty span would fill the prune
@@ -169,6 +182,10 @@ class ServiceMetrics {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> search_retries_{0};
+  std::atomic<uint64_t> updates_ok_{0};
+  std::atomic<uint64_t> updates_failed_{0};
+  std::atomic<uint64_t> update_rows_inserted_{0};
+  std::atomic<uint64_t> update_rows_deleted_{0};
   std::atomic<uint64_t> queue_high_water_{0};
   std::array<std::atomic<uint64_t>, kNumBuckets> latency_buckets_{};
   std::array<std::array<std::atomic<uint64_t>, kNumBuckets>,
@@ -199,6 +216,9 @@ struct TenantMetricsSnapshot {
   /// are also counted in requests_overloaded — this tells a hot tenant's
   /// overload apart from a globally full queue).
   uint64_t share_rejections = 0;
+  /// Streaming update batches applied to / failed against this tenant.
+  uint64_t updates_ok = 0;
+  uint64_t updates_failed = 0;
 
   uint64_t TotalRequests() const {
     return requests_ok + requests_overloaded + requests_truncated +
@@ -222,6 +242,8 @@ class TenantMetricsRegistry {
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> sessions_created{0};
     std::atomic<uint64_t> share_rejections{0};
+    std::atomic<uint64_t> updates_ok{0};
+    std::atomic<uint64_t> updates_failed{0};
   };
 
   /// \brief Finds or creates the tenant's counters.

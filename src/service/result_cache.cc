@@ -31,14 +31,17 @@ std::string TenantPrefix(std::string_view tenant) {
 }  // namespace
 
 std::string ResultCache::MakeKey(std::string_view tenant, uint64_t epoch,
+                                 uint64_t minor_epoch,
                                  const std::vector<std::string>& first_row,
                                  const core::SearchOptions& options) {
-  // Tenant + epoch scope the key to one published snapshot; the options
-  // fingerprint covers everything else that can change the result set
-  // (canonically defined next to the options themselves).
+  // Tenant + (epoch, minor epoch) scope the key to one serving state —
+  // publish or streaming update; the options fingerprint covers everything
+  // else that can change the result set (canonically defined next to the
+  // options themselves).
   std::string key = TenantPrefix(tenant) +
-                    StrFormat("e=%llu;m=%zu;",
+                    StrFormat("e=%llu.%llu;m=%zu;",
                               static_cast<unsigned long long>(epoch),
+                              static_cast<unsigned long long>(minor_epoch),
                               first_row.size()) +
                     options.Fingerprint() + "|";
   for (const std::string& sample : first_row) {

@@ -47,8 +47,14 @@ class ResultCache {
   explicit ResultCache(size_t capacity);
 
   /// \brief Builds the canonical cache key for a first row searched on
-  /// `tenant`'s snapshot at `epoch` under `options`.
+  /// `tenant`'s snapshot at `epoch`.`minor_epoch` under `options`. The
+  /// minor epoch extends the publish-epoch scoping to streaming updates:
+  /// every installed update batch moves the tenant to a new key space, so
+  /// results computed before the update can never be replayed after it
+  /// (base snapshots are minor 0, matching keys minted before streaming
+  /// existed).
   static std::string MakeKey(std::string_view tenant, uint64_t epoch,
+                             uint64_t minor_epoch,
                              const std::vector<std::string>& first_row,
                              const core::SearchOptions& options);
 

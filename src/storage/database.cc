@@ -7,8 +7,20 @@ namespace mweaver::storage {
 Database Database::Clone() const {
   Database copy(name_);
   copy.relations_.reserve(relations_.size());
-  for (const Relation& rel : relations_) {
-    copy.relations_.push_back(rel.Clone());
+  for (const auto& rel : relations_) {
+    copy.relations_.push_back(std::make_shared<Relation>(rel->Clone()));
+  }
+  copy.relations_by_name_ = relations_by_name_;
+  copy.foreign_keys_ = foreign_keys_;
+  return copy;
+}
+
+Database Database::CloneCow(const std::vector<RelationId>& touched) const {
+  Database copy(name_);
+  copy.relations_ = relations_;  // share everything ...
+  for (RelationId id : touched) {  // ... except what the caller will mutate
+    copy.relations_[static_cast<size_t>(id)] =
+        std::make_shared<Relation>(relation(id).Clone());
   }
   copy.relations_by_name_ = relations_by_name_;
   copy.foreign_keys_ = foreign_keys_;
@@ -25,7 +37,7 @@ Result<RelationId> Database::AddRelation(RelationSchema schema) {
   }
   const RelationId id = static_cast<RelationId>(relations_.size());
   relations_by_name_.emplace(schema.name(), id);
-  relations_.emplace_back(std::move(schema));
+  relations_.push_back(std::make_shared<Relation>(std::move(schema)));
   return id;
 }
 
@@ -80,13 +92,15 @@ RelationId Database::FindRelation(const std::string& name) const {
 
 size_t Database::TotalAttributes() const {
   size_t total = 0;
-  for (const Relation& rel : relations_) total += rel.schema().num_attributes();
+  for (const auto& rel : relations_) {
+    total += rel->schema().num_attributes();
+  }
   return total;
 }
 
 size_t Database::TotalRows() const {
   size_t total = 0;
-  for (const Relation& rel : relations_) total += rel.num_rows();
+  for (const auto& rel : relations_) total += rel->num_live_rows();
   return total;
 }
 
@@ -96,6 +110,7 @@ Status Database::CheckReferentialIntegrity() const {
     const Relation& to = relation(fk.to_relation);
     const HashIndex& idx = to.IndexOn(fk.to_attribute);
     for (size_t r = 0; r < from.num_rows(); ++r) {
+      if (from.is_deleted(static_cast<RowId>(r))) continue;
       const Value& v = from.at(static_cast<RowId>(r), fk.from_attribute);
       if (v.is_null()) continue;
       if (idx.Lookup(v).empty()) {

@@ -32,6 +32,13 @@ class Database {
   /// a frozen reference copy while the original's tenant moves on.
   Database Clone() const;
 
+  /// \brief Copy-on-write copy for delta builds: relations whose id is in
+  /// `touched` are deep-cloned (the caller is about to mutate them), the
+  /// rest share the original's immutable storage. Untouched relations cost
+  /// one shared_ptr copy instead of a row-by-row clone, which is what makes
+  /// a streaming update batch cheap relative to a full Publish.
+  Database CloneCow(const std::vector<RelationId>& touched) const;
+
   const std::string& name() const { return name_; }
 
   /// \brief Registers a new empty relation; fails on duplicate names.
@@ -46,10 +53,14 @@ class Database {
 
   size_t num_relations() const { return relations_.size(); }
   const Relation& relation(RelationId id) const {
-    return relations_[static_cast<size_t>(id)];
+    return *relations_[static_cast<size_t>(id)];
   }
+  /// \brief Mutable access; only valid on databases this caller exclusively
+  /// owns (generators filling a fresh instance, delta builds touching the
+  /// relations they deep-cloned). Mutating a relation shared via CloneCow
+  /// would leak the change into the base snapshot.
   Relation* mutable_relation(RelationId id) {
-    return &relations_[static_cast<size_t>(id)];
+    return relations_[static_cast<size_t>(id)].get();
   }
 
   /// \brief Relation id for `name`, or kInvalidRelation.
@@ -72,7 +83,9 @@ class Database {
 
  private:
   std::string name_;
-  std::vector<Relation> relations_;
+  // shared_ptr so CloneCow can share untouched relations between the base
+  // snapshot and a delta; plain Clone still deep-copies every one.
+  std::vector<std::shared_ptr<Relation>> relations_;
   std::unordered_map<std::string, RelationId> relations_by_name_;
   std::vector<ForeignKey> foreign_keys_;
 };

@@ -36,6 +36,30 @@ Status Relation::Append(Row row) {
   return Status::OK();
 }
 
+Status Relation::Delete(RowId id) {
+  if (id < 0 || static_cast<size_t>(id) >= rows_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("relation '%s' has no row %lld", schema_.name().c_str(),
+                  static_cast<long long>(id)));
+  }
+  if (is_deleted(id)) {
+    return Status::InvalidArgument(
+        StrFormat("relation '%s' row %lld already deleted",
+                  schema_.name().c_str(), static_cast<long long>(id)));
+  }
+  if (deleted_.empty()) deleted_.assign(rows_.size(), 0);
+  if (deleted_.size() < rows_.size()) deleted_.resize(rows_.size(), 0);
+  deleted_[static_cast<size_t>(id)] = 1;
+  ++num_deleted_;
+  // Lazily built indexes may already hold this row: drop them so the next
+  // IndexOn rebuild skips the tombstone.
+  {
+    std::lock_guard<std::mutex> lock(*index_mutex_);
+    indexes_.clear();
+  }
+  return Status::OK();
+}
+
 const HashIndex& Relation::IndexOn(AttributeId attribute) const {
   MW_CHECK_GE(attribute, 0);
   MW_CHECK_LT(static_cast<size_t>(attribute), schema_.num_attributes());
@@ -45,6 +69,7 @@ const HashIndex& Relation::IndexOn(AttributeId attribute) const {
   if (slot == nullptr) {
     slot = std::make_unique<HashIndex>();
     for (size_t r = 0; r < rows_.size(); ++r) {
+      if (is_deleted(static_cast<RowId>(r))) continue;
       const Value& v = rows_[r][static_cast<size_t>(attribute)];
       if (!v.is_null()) slot->Insert(v, static_cast<RowId>(r));
     }

@@ -32,7 +32,11 @@ class HashIndex {
   std::unordered_map<Value, std::vector<RowId>> map_;
 };
 
-/// \brief A relation instance: append-only rows conforming to a schema.
+/// \brief A relation instance: rows conforming to a schema. Rows are
+/// appended at the tail and deleted by tombstone — a deleted row keeps its
+/// physical slot (and therefore its RowId), so posting lists, location maps
+/// and FK edges built against older revisions never see ids shift under
+/// them. Physical compaction happens only on a full rebuild (Publish).
 class Relation {
  public:
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
@@ -44,12 +48,15 @@ class Relation {
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
 
-  /// \brief Deep copy of schema and rows. Lazily built hash indexes are NOT
-  /// copied — the clone rebuilds them on first use (they index by row id,
-  /// which survives the copy, but sharing them would couple lifetimes).
+  /// \brief Deep copy of schema, rows and tombstones. Lazily built hash
+  /// indexes are NOT copied — the clone rebuilds them on first use (they
+  /// index by row id, which survives the copy, but sharing them would
+  /// couple lifetimes).
   Relation Clone() const {
     Relation copy(schema_);
     copy.rows_ = rows_;
+    copy.deleted_ = deleted_;
+    copy.num_deleted_ = num_deleted_;
     return copy;
   }
 
@@ -66,7 +73,23 @@ class Relation {
     return static_cast<RowId>(rows_.size() - 1);
   }
 
+  /// \brief Tombstones row `id`. Fails if the id is out of range or the row
+  /// is already deleted. Invalidates lazily built hash indexes (they are
+  /// rebuilt, skipping tombstones, on next use); only call on relations not
+  /// concurrently served — in practice the private clones a delta build
+  /// mutates before its snapshot is installed.
+  Status Delete(RowId id);
+
+  bool is_deleted(RowId id) const {
+    const auto i = static_cast<size_t>(id);
+    return i < deleted_.size() && deleted_[i] != 0;
+  }
+
+  /// \brief Physical row count, tombstoned slots included. RowIds range
+  /// over [0, num_rows()).
   size_t num_rows() const { return rows_.size(); }
+  size_t num_deleted() const { return num_deleted_; }
+  size_t num_live_rows() const { return rows_.size() - num_deleted_; }
   const Row& row(RowId id) const { return rows_[static_cast<size_t>(id)]; }
   const Value& at(RowId row, AttributeId attr) const {
     return rows_[static_cast<size_t>(row)][static_cast<size_t>(attr)];
@@ -81,6 +104,10 @@ class Relation {
  private:
   RelationSchema schema_;
   std::vector<Row> rows_;
+  // Tombstone flags, indexed by RowId; empty until the first Delete (the
+  // common read-only relation pays nothing).
+  std::vector<uint8_t> deleted_;
+  size_t num_deleted_ = 0;
   // Lazily built; mutable because building an index does not change the
   // logical relation contents. The mutex lives behind a pointer so the
   // relation stays movable.

@@ -79,6 +79,7 @@ ColumnStats ComputeColumnStats(const Relation& relation,
                                AttributeId attribute) {
   StatsAccumulator acc;
   for (size_t r = 0; r < relation.num_rows(); ++r) {
+    if (relation.is_deleted(static_cast<RowId>(r))) continue;
     const Value& v = relation.at(static_cast<RowId>(r), attribute);
     if (v.is_null()) {
       acc.AddNull();

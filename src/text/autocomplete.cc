@@ -18,6 +18,7 @@ ValueDictionary::ValueDictionary(const storage::Database* db) {
         continue;
       }
       for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (rel.is_deleted(static_cast<storage::RowId>(row))) continue;
         const storage::Value& v = rel.at(
             static_cast<storage::RowId>(row),
             static_cast<storage::AttributeId>(a));

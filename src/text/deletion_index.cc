@@ -81,6 +81,52 @@ void DeletionIndex::Build(const std::vector<std::string>& tokens) {
     while (table_[i].idx != kEmptySlot) i = (i + 1) & mask;
     table_[i] = Slot{h, idx};
   }
+  num_keys_ = index_of_hash.size();
+  RecomputeBytes();
+}
+
+void DeletionIndex::Rehash(size_t new_size) {
+  std::vector<Slot> old = std::move(table_);
+  table_.assign(new_size, Slot{});
+  const size_t mask = new_size - 1;
+  for (const Slot& slot : old) {
+    if (slot.idx == kEmptySlot) continue;
+    size_t i = static_cast<size_t>(slot.hash) & mask;
+    while (table_[i].idx != kEmptySlot) i = (i + 1) & mask;
+    table_[i] = slot;
+  }
+}
+
+uint32_t DeletionIndex::InsertHash(uint64_t hash) {
+  if (table_.empty()) table_.assign(16, Slot{});
+  if ((num_keys_ + 1) * 2 > table_.size()) Rehash(table_.size() * 2);
+  const size_t mask = table_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (table_[i].idx != kEmptySlot) {
+    if (table_[i].hash == hash) return table_[i].idx;
+    i = (i + 1) & mask;
+  }
+  const auto idx = static_cast<uint32_t>(variant_lists_.size());
+  variant_lists_.emplace_back();
+  table_[i] = Slot{hash, idx};
+  ++num_keys_;
+  return idx;
+}
+
+void DeletionIndex::AddToken(TokenId id, std::string_view token) {
+  if (token.size() > kMaxIndexedLength) {
+    long_tokens_.Append(id);
+    return;
+  }
+  thread_local std::vector<uint64_t> hashes;
+  CollectVariantHashes(token, kMaxEdit, &hashes);
+  for (uint64_t h : hashes) {
+    BlockPostingList& list = variant_lists_[InsertHash(h)];
+    if (list.empty() || list.back() != id) list.Append(id);
+  }
+}
+
+void DeletionIndex::RecomputeBytes() {
   bytes_ = long_tokens_.bytes() + table_.capacity() * sizeof(Slot);
   for (const BlockPostingList& list : variant_lists_) {
     bytes_ += sizeof(list) + list.bytes();

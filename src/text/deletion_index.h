@@ -44,6 +44,16 @@ class DeletionIndex {
   /// \brief Indexes `tokens`.
   void Build(const std::vector<std::string>& tokens);
 
+  /// \brief Incrementally indexes one new dictionary token. `id` must
+  /// exceed every id already indexed. New variant hashes are inserted into
+  /// the flat table, which rehashes (doubling) when the insert would push
+  /// the load factor past 0.5. Call RecomputeBytes() after a batch.
+  void AddToken(TokenId id, std::string_view token);
+
+  /// \brief Refreshes the bytes() accounting after incremental AddToken
+  /// calls.
+  void RecomputeBytes();
+
   bool Supports(size_t max_edit) const { return max_edit <= kMaxEdit; }
 
   /// \brief Token ids possibly within edit distance `max_edit` of `token`
@@ -91,8 +101,14 @@ class DeletionIndex {
     return nullptr;
   }
 
+  // Find-or-insert for incremental adds; grows the table as needed and
+  // returns the variant's posting-list index.
+  uint32_t InsertHash(uint64_t hash);
+  void Rehash(size_t new_size);
+
   std::vector<BlockPostingList> variant_lists_;
   std::vector<Slot> table_;  // power-of-two size
+  size_t num_keys_ = 0;      // occupied slots, for the load-factor check
   BlockPostingList long_tokens_;  // length > kMaxIndexedLength
   size_t bytes_ = 0;
 };

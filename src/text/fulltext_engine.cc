@@ -28,8 +28,9 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
     : db_(db),
       policy_(policy),
       policy_fp_(PolicyFingerprint(policy)),
-      probe_cache_(options.probe_cache_bytes) {
+      probe_cache_(std::make_shared<ProbeCache>(options.probe_cache_bytes)) {
   MW_CHECK(db != nullptr);
+  rel_versions_.assign(db->num_relations(), 0);
   for (size_t r = 0; r < db->num_relations(); ++r) {
     const storage::RelationId rel_id = static_cast<storage::RelationId>(r);
     const storage::Relation& rel = db->relation(rel_id);
@@ -66,9 +67,84 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
     // build (builds cannot fail, so only kDelay is meaningful here).
     (void)MW_FAILPOINT_FIRE("text.index.build");
     const AttributeRef& ref = indexed_attrs_[i];
-    indexes_[i] = std::make_unique<InvertedIndex>(db->relation(ref.relation),
+    indexes_[i] = std::make_shared<InvertedIndex>(db->relation(ref.relation),
                                                   ref.attribute);
   });
+}
+
+std::unique_ptr<FullTextEngine> FullTextEngine::CloneForDelta(
+    const storage::Database* db,
+    const std::vector<storage::RelationId>& touched,
+    uint64_t new_version) const {
+  MW_CHECK(db != nullptr);
+  auto delta = std::unique_ptr<FullTextEngine>(new FullTextEngine());
+  delta->db_ = db;
+  delta->policy_ = policy_;
+  delta->policy_fp_ = policy_fp_;
+  delta->indexed_attrs_ = indexed_attrs_;
+  delta->index_of_attr_ = index_of_attr_;
+  delta->numeric_attrs_ = numeric_attrs_;
+  delta->slot_of_attr_ = slot_of_attr_;
+  delta->rel_versions_ = rel_versions_;
+  delta->probe_cache_ = probe_cache_;  // shared; versions fence staleness
+  delta->indexes_.resize(indexes_.size());
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const storage::RelationId rel = indexed_attrs_[i].relation;
+    const bool is_touched =
+        std::find(touched.begin(), touched.end(), rel) != touched.end();
+    delta->indexes_[i] = is_touched
+                             ? std::make_shared<InvertedIndex>(*indexes_[i])
+                             : indexes_[i];
+  }
+  for (storage::RelationId rel : touched) {
+    delta->rel_versions_[static_cast<size_t>(rel)] = new_version;
+  }
+  return delta;
+}
+
+void FullTextEngine::ApplyRowInsert(storage::RelationId relation,
+                                    storage::RowId row) {
+  const storage::Relation& rel = db_->relation(relation);
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    if (indexed_attrs_[i].relation != relation) continue;
+    indexes_[i]->AddRow(row, rel.at(row, indexed_attrs_[i].attribute));
+  }
+}
+
+void FullTextEngine::ApplyRowDelete(storage::RelationId relation,
+                                    storage::RowId row) {
+  const storage::Relation& rel = db_->relation(relation);
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    if (indexed_attrs_[i].relation != relation) continue;
+    indexes_[i]->RemoveRow(row, rel.at(row, indexed_attrs_[i].attribute));
+  }
+}
+
+void FullTextEngine::FinalizeDelta(
+    const std::vector<storage::RelationId>& touched) {
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    const storage::RelationId rel = indexed_attrs_[i].relation;
+    if (std::find(touched.begin(), touched.end(), rel) != touched.end()) {
+      indexes_[i]->FinalizeDelta();
+    }
+  }
+}
+
+size_t FullTextEngine::MaxRemovedRows(storage::RelationId relation) const {
+  size_t max_removed = 0;
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    if (indexed_attrs_[i].relation != relation) continue;
+    max_removed = std::max(max_removed, indexes_[i]->num_removed_rows());
+  }
+  return max_removed;
+}
+
+void FullTextEngine::CompactRelationIndexes(storage::RelationId relation) {
+  const storage::Relation& rel = db_->relation(relation);
+  for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
+    if (indexed_attrs_[i].relation != relation) continue;
+    indexes_[i]->Compact(rel, indexed_attrs_[i].attribute);
+  }
 }
 
 std::string FullTextEngine::CellText(const AttributeRef& attr,
@@ -111,6 +187,7 @@ std::vector<storage::RowId> FullTextEngine::NumericMatches(
   std::vector<storage::RowId> rows;
   const storage::Relation& rel = db_->relation(attr.relation);
   for (size_t r = 0; r < rel.num_rows(); ++r) {
+    if (rel.is_deleted(static_cast<storage::RowId>(r))) continue;
     if (NumericEquals(rel.at(static_cast<storage::RowId>(r), attr.attribute),
                       sample)) {
       rows.push_back(static_cast<storage::RowId>(r));
@@ -124,8 +201,9 @@ RowSet FullTextEngine::MatchingRows(const AttributeRef& attr,
                                     ProbeCounters* counters) const {
   ProbeStats stats;
   stats.probes = 1;
-  if (RowSet cached = probe_cache_.Lookup(attr.relation, attr.attribute,
-                                          policy_fp_, sample)) {
+  const uint64_t version = relation_version(attr.relation);
+  if (RowSet cached = probe_cache_->Lookup(attr.relation, attr.attribute,
+                                           policy_fp_, version, sample)) {
     stats.memo_hits = 1;
     probe_totals_.Record(stats);
     if (counters != nullptr) counters->Record(stats);
@@ -172,14 +250,15 @@ RowSet FullTextEngine::MatchingRows(const AttributeRef& attr,
                       : std::make_shared<const std::vector<storage::RowId>>(
                             std::move(verified));
   if (cacheable) {
-    probe_cache_.Insert(attr.relation, attr.attribute, policy_fp_, sample,
-                        result);
+    probe_cache_->Insert(attr.relation, attr.attribute, policy_fp_, version,
+                         sample, result);
   }
   return result;
 }
 
 bool FullTextEngine::RowContains(const AttributeRef& attr, storage::RowId row,
                                  const std::string& sample) const {
+  if (db_->relation(attr.relation).is_deleted(row)) return false;
   if (policy_.match_numeric && IsNumericAttr(attr)) {
     const std::optional<double> numeric = ParseNumeric(sample);
     return numeric.has_value() &&
@@ -192,6 +271,7 @@ bool FullTextEngine::RowContains(const AttributeRef& attr, storage::RowId row,
 double FullTextEngine::RowMatchScore(const AttributeRef& attr,
                                      storage::RowId row,
                                      const std::string& sample) const {
+  if (db_->relation(attr.relation).is_deleted(row)) return 0.0;
   if (policy_.match_numeric && IsNumericAttr(attr)) {
     return RowContains(attr, row, sample) ? 1.0 : 0.0;
   }

@@ -57,9 +57,60 @@ struct EngineOptions {
 class FullTextEngine {
  public:
   /// \brief Builds inverted indexes over `db`. The database must outlive the
-  /// engine and must not grow afterwards.
+  /// engine and must not change afterwards except through the delta protocol
+  /// below (CloneForDelta + ApplyRow*).
   FullTextEngine(const storage::Database* db, MatchPolicy policy,
                  EngineOptions options = {});
+
+  /// \brief Copy-on-write copy for a streaming update: indexes over
+  /// relations in `touched` are deep-copied (the caller is about to mutate
+  /// them via ApplyRowInsert/ApplyRowDelete), the rest share the base
+  /// engine's immutable indexes. The probe memo is shared with the base —
+  /// its entries are keyed by per-relation version, and every touched
+  /// relation's version is bumped to `new_version`, so entries for touched
+  /// relations go stale by construction while untouched relations keep
+  /// their hit rate. `db` is the delta's own CoW database (same physical
+  /// row ids as the base).
+  std::unique_ptr<FullTextEngine> CloneForDelta(
+      const storage::Database* db,
+      const std::vector<storage::RelationId>& touched,
+      uint64_t new_version) const;
+
+  /// \brief Incrementally indexes a freshly appended row of `relation`
+  /// across every indexed attribute. Only valid on a CloneForDelta engine
+  /// whose `touched` set included the relation, before the engine is
+  /// published.
+  void ApplyRowInsert(storage::RelationId relation, storage::RowId row);
+
+  /// \brief Removes a tombstoned row of `relation` from every indexed
+  /// attribute. Same ownership restrictions as ApplyRowInsert; the row's
+  /// values must still be physically readable (tombstoned, not erased).
+  void ApplyRowDelete(storage::RelationId relation, storage::RowId row);
+
+  /// \brief Refreshes byte accounting on the touched relations' indexes
+  /// after a batch of ApplyRow* calls.
+  void FinalizeDelta(const std::vector<storage::RelationId>& touched);
+
+  /// \brief Largest per-index removed-row count among `relation`'s indexes:
+  /// the delta-compaction policy input.
+  size_t MaxRemovedRows(storage::RelationId relation) const;
+
+  /// \brief Rebuilds every index of `relation` from scratch over its live
+  /// rows, reclaiming dictionary garbage left by removals. Same ownership
+  /// restrictions as ApplyRowInsert.
+  void CompactRelationIndexes(storage::RelationId relation);
+
+  /// \brief Update version of one relation: 0 at Publish, bumped to the
+  /// snapshot's minor epoch whenever a streaming update touches the
+  /// relation. Part of the probe-memo key and LocationMap's staleness
+  /// stamp.
+  uint64_t relation_version(storage::RelationId relation) const {
+    const auto r = static_cast<size_t>(relation);
+    return r < rel_versions_.size() ? rel_versions_[r] : 0;
+  }
+  const std::vector<uint64_t>& relation_versions() const {
+    return rel_versions_;
+  }
 
   const storage::Database& db() const { return *db_; }
   const MatchPolicy& policy() const { return policy_; }
@@ -110,30 +161,40 @@ class FullTextEngine {
   /// \brief Lifetime probe statistics across every caller of this engine
   /// (callers passing their own ProbeCounters are counted here too).
   ProbeStats probe_totals() const { return probe_totals_.Snapshot(); }
-  ProbeCache::Stats probe_cache_stats() const { return probe_cache_.stats(); }
+  ProbeCache::Stats probe_cache_stats() const { return probe_cache_->stats(); }
 
  private:
+  // For CloneForDelta, which fills every member itself.
+  FullTextEngine() = default;
+
   std::string CellText(const AttributeRef& attr, storage::RowId row) const;
   bool IsNumericAttr(const AttributeRef& attr) const;
   // Verified rows of a numeric attribute matching a numeric sample.
   std::vector<storage::RowId> NumericMatches(const AttributeRef& attr,
                                              double sample) const;
 
-  const storage::Database* db_;
+  const storage::Database* db_ = nullptr;
   MatchPolicy policy_;
-  uint64_t policy_fp_;  // fingerprint of policy_, part of the memo key
-  // Index storage aligned with `indexed_attrs_`.
+  uint64_t policy_fp_ = 0;  // fingerprint of policy_, part of the memo key
+  // Index storage aligned with `indexed_attrs_`. shared_ptr so a delta
+  // engine shares untouched indexes with its base; only the deep-copied
+  // touched ones are ever mutated, and only pre-publication.
   std::vector<AttributeRef> indexed_attrs_;
-  std::vector<std::unique_ptr<InvertedIndex>> indexes_;
+  std::vector<std::shared_ptr<InvertedIndex>> indexes_;
   std::map<AttributeRef, size_t> index_of_attr_;
   // Searchable int64/double columns (no inverted index; matched by scan).
   std::vector<AttributeRef> numeric_attrs_;
   // Dense AttrSlot() numbering over indexed + numeric attributes.
   std::map<AttributeRef, int> slot_of_attr_;
+  // Per-relation update version (see relation_version()).
+  std::vector<uint64_t> rel_versions_;
   // Byte-bounded memo of verified results (thread safety is needed by the
-  // parallel pairwise step, core/pairwise.h). Punctuation-only fallback
-  // results are never inserted — see CandidateRows' all_rows_ contract.
-  mutable ProbeCache probe_cache_;
+  // parallel pairwise step, core/pairwise.h). Shared across one publish
+  // lineage — a Publish mints a fresh cache, streaming deltas reuse their
+  // base's, with per-relation versions in the key fencing stale entries.
+  // Punctuation-only fallback results are never inserted — see
+  // CandidateRows' all_rows_ contract.
+  mutable std::shared_ptr<ProbeCache> probe_cache_;
   mutable ProbeCounters probe_totals_;
 };
 

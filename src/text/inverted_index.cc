@@ -34,10 +34,10 @@ ProbeScratch& LocalScratch() {
 InvertedIndex::InvertedIndex(const storage::Relation& relation,
                              storage::AttributeId attribute) {
   for (size_t r = 0; r < relation.num_rows(); ++r) {
-    const storage::Value& v =
-        relation.at(static_cast<storage::RowId>(r), attribute);
-    if (v.is_null()) continue;
     const storage::RowId row = static_cast<storage::RowId>(r);
+    if (relation.is_deleted(row)) continue;
+    const storage::Value& v = relation.at(row, attribute);
+    if (v.is_null()) continue;
     all_rows_.push_back(row);
     ++num_indexed_rows_;
     std::vector<std::string> row_tokens = Tokenize(v.ToDisplayString());
@@ -56,6 +56,57 @@ InvertedIndex::InvertedIndex(const storage::Relation& relation,
   }
   grams_.Build(tokens_);
   deletions_.Build(tokens_);
+}
+
+void InvertedIndex::AddRow(storage::RowId row, const storage::Value& v) {
+  if (v.is_null()) return;
+  MW_DCHECK(all_rows_.empty() || all_rows_.back() < row)
+      << "incremental rows must arrive in increasing id order";
+  all_rows_.push_back(row);
+  ++num_indexed_rows_;
+  std::vector<std::string> row_tokens = Tokenize(v.ToDisplayString());
+  std::sort(row_tokens.begin(), row_tokens.end());
+  row_tokens.erase(std::unique(row_tokens.begin(), row_tokens.end()),
+                   row_tokens.end());
+  for (std::string& t : row_tokens) {
+    auto [it, inserted] =
+        token_ids_.emplace(std::move(t), static_cast<TokenId>(tokens_.size()));
+    if (inserted) {
+      tokens_.push_back(it->first);
+      postings_.emplace_back();
+      grams_.AddToken(it->second, it->first);
+      deletions_.AddToken(it->second, it->first);
+    }
+    postings_[it->second].Append(static_cast<uint32_t>(row));
+  }
+}
+
+void InvertedIndex::RemoveRow(storage::RowId row, const storage::Value& v) {
+  if (v.is_null()) return;
+  auto it = std::lower_bound(all_rows_.begin(), all_rows_.end(), row);
+  MW_DCHECK(it != all_rows_.end() && *it == row)
+      << "removing a row the index never saw";
+  all_rows_.erase(it);
+  --num_indexed_rows_;
+  ++num_removed_rows_;
+  std::vector<std::string> row_tokens = Tokenize(v.ToDisplayString());
+  std::sort(row_tokens.begin(), row_tokens.end());
+  row_tokens.erase(std::unique(row_tokens.begin(), row_tokens.end()),
+                   row_tokens.end());
+  for (const std::string& t : row_tokens) {
+    auto token = token_ids_.find(t);
+    MW_DCHECK(token != token_ids_.end());
+    if (token == token_ids_.end()) continue;
+    postings_[token->second].Remove(static_cast<uint32_t>(row));
+    // An emptied posting list stays in the dictionary: every probe treats
+    // an empty row set and an absent token identically, and retaining it
+    // keeps the gram/deletion tables append-only. Compact() reclaims.
+  }
+}
+
+void InvertedIndex::FinalizeDelta() {
+  grams_.RecomputeBytes();
+  deletions_.RecomputeBytes();
 }
 
 const BlockPostingList* InvertedIndex::PostingsOf(

@@ -35,9 +35,38 @@ class InvertedIndex {
  public:
   using TokenId = uint32_t;
 
-  /// \brief Indexes every non-null value of `attribute` in `relation`.
+  /// \brief Indexes every non-null, non-deleted value of `attribute` in
+  /// `relation`.
   InvertedIndex(const storage::Relation& relation,
                 storage::AttributeId attribute);
+
+  /// \brief Incrementally indexes the value `v` of a freshly appended row.
+  /// `row` must exceed every row id already indexed (appends assign
+  /// physically increasing ids, so this holds by construction). New tokens
+  /// extend the dictionary and the gram/deletion sub-indexes in place.
+  void AddRow(storage::RowId row, const storage::Value& v);
+
+  /// \brief Removes a tombstoned row's value from every posting list it
+  /// appears in. Dictionary entries whose postings empty out are retained
+  /// (they resolve to empty row sets, which is indistinguishable from a
+  /// missing token to every probe); Compact() rebuilds without them.
+  void RemoveRow(storage::RowId row, const storage::Value& v);
+
+  /// \brief Refreshes sub-index byte accounting after a batch of
+  /// AddRow/RemoveRow calls.
+  void FinalizeDelta();
+
+  /// \brief Rows removed since construction (or the last Compact): the
+  /// delta-compaction policy input — each removal leaves dictionary
+  /// garbage that only a rebuild reclaims.
+  size_t num_removed_rows() const { return num_removed_rows_; }
+
+  /// \brief Rebuilds from scratch over the relation's live rows, dropping
+  /// tokens whose postings emptied out. Equivalent to constructing fresh.
+  void Compact(const storage::Relation& relation,
+               storage::AttributeId attribute) {
+    *this = InvertedIndex(relation, attribute);
+  }
 
   /// \brief Sorted, duplicate-free row ids whose value could noisily contain
   /// `sample` under `policy`. Guaranteed to be a superset of the true match
@@ -87,6 +116,7 @@ class InvertedIndex {
   // has no tokens, in which case we fall back to all indexed rows.
   std::vector<storage::RowId> all_rows_;
   size_t num_indexed_rows_ = 0;
+  size_t num_removed_rows_ = 0;
 };
 
 }  // namespace mweaver::text

@@ -35,6 +35,19 @@ class NGramIndex {
   /// end up sorted because token ids are visited in increasing order.
   void Build(const std::vector<std::string>& tokens);
 
+  /// \brief Incrementally indexes one new dictionary token. `id` must
+  /// exceed every id already indexed (dictionaries only grow — removing a
+  /// token merely leaves its posting lists pointing at an id the caller no
+  /// longer surfaces). New grams are inserted into the flat table, which
+  /// rehashes (doubling) when the insert would push the load factor past
+  /// 0.5. Call RecomputeBytes() after a batch of AddToken calls.
+  void AddToken(TokenId id, std::string_view token);
+
+  /// \brief Refreshes the bytes() accounting after incremental AddToken
+  /// calls (Build computes it inline; per-token recompute would be
+  /// quadratic in batch size).
+  void RecomputeBytes();
+
   /// \brief Token ids that may contain `token` as a substring, sorted and
   /// duplicate-free, written to `*out` (cleared first). For 1- and
   /// 2-character tokens the result is exact; for longer tokens it is a
@@ -82,8 +95,14 @@ class NGramIndex {
     return nullptr;
   }
 
+  // Find-or-insert for incremental adds; grows the table as needed and
+  // returns the gram's posting-list index.
+  uint32_t InsertKey(uint32_t key);
+  void Rehash(size_t new_size);
+
   std::vector<BlockPostingList> gram_lists_;
   std::vector<Slot> table_;  // power-of-two size
+  size_t num_keys_ = 0;      // occupied slots, for the load-factor check
   size_t bytes_ = 0;
 };
 

@@ -265,6 +265,55 @@ void BlockPostingList::Append(uint32_t value) {
   last_value_ = value;
 }
 
+bool BlockPostingList::Remove(uint32_t value) {
+  const uint16_t key = static_cast<uint16_t>(value >> 16);
+  const uint16_t low = static_cast<uint16_t>(value & 0xFFFF);
+  Container* begin = containers_.data();
+  Container* end = begin + num_active_;
+  Container* it = std::lower_bound(
+      begin, end, key,
+      [](const Container& ct, uint16_t k) { return ct.key < k; });
+  if (it == end || it->key != key) return false;
+  if (it->is_bitmap) {
+    uint64_t& word = it->bitmap[low >> 6];
+    const uint64_t bit = uint64_t{1} << (low & 63);
+    if ((word & bit) == 0) return false;
+    word &= ~bit;
+    --it->cardinality;
+    // Density dropped through the break-even: convert back down so merges
+    // see the same representation a fresh build of this set would use.
+    ToArrayIfSparse(it);
+  } else {
+    auto pos = std::lower_bound(it->array.begin(), it->array.end(), low);
+    if (pos == it->array.end() || *pos != low) return false;
+    it->array.erase(pos);
+    --it->cardinality;
+  }
+  --size_;
+  if (it->cardinality == 0) {
+    // Deactivate without losing the pooled buffers: rotate the dead slot
+    // past the remaining active containers so it parks at num_active_.
+    std::rotate(it, it + 1, begin + num_active_);
+    --num_active_;
+  }
+  if (size_ > 0 && value == last_value_) {
+    const Container& last = containers_[num_active_ - 1];
+    const uint32_t base = static_cast<uint32_t>(last.key) << 16;
+    if (last.is_bitmap) {
+      for (size_t w = kBitmapWords; w-- > 0;) {
+        if (last.bitmap[w] == 0) continue;
+        const int b = 63 - std::countl_zero(last.bitmap[w]);
+        last_value_ =
+            base + static_cast<uint32_t>(w * 64 + static_cast<size_t>(b));
+        break;
+      }
+    } else {
+      last_value_ = base + last.array.back();
+    }
+  }
+  return true;
+}
+
 void BlockPostingList::CopyFrom(const BlockPostingList& other) {
   Reset();
   for (size_t c = 0; c < other.num_active_; ++c) {

@@ -78,6 +78,14 @@ class BlockPostingList {
   /// already present.
   void Append(uint32_t value);
 
+  /// \brief Removes `value` if present; returns whether it was. A bitmap
+  /// container whose cardinality drops back to kArrayMaxCardinality
+  /// re-converts to a sorted array (the same break-even as the upward
+  /// conversion), and a container emptied entirely is deactivated with its
+  /// buffers returned to the pool. After removing the maximum, Append
+  /// accepts any value greater than the new maximum.
+  bool Remove(uint32_t value);
+
   /// \brief Builds from a sorted, duplicate-free range.
   static BlockPostingList FromSorted(const uint32_t* values, size_t n) {
     BlockPostingList list;

@@ -17,6 +17,7 @@ size_t ProbeCache::KeyHash::operator()(const Key& k) const {
   HashCombine(&seed, k.relation);
   HashCombine(&seed, k.attribute);
   HashCombine(&seed, k.policy_fp);
+  HashCombine(&seed, k.version);
   return seed;
 }
 
@@ -29,8 +30,8 @@ size_t ProbeCache::EntryBytes(const Key& key, const RowSet& rows) {
 
 RowSet ProbeCache::Lookup(storage::RelationId relation,
                           storage::AttributeId attribute, uint64_t policy_fp,
-                          std::string_view sample) {
-  const Key key{relation, attribute, policy_fp, std::string(sample)};
+                          uint64_t version, std::string_view sample) {
+  const Key key{relation, attribute, policy_fp, version, std::string(sample)};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
@@ -40,12 +41,13 @@ RowSet ProbeCache::Lookup(storage::RelationId relation,
 
 void ProbeCache::Insert(storage::RelationId relation,
                         storage::AttributeId attribute, uint64_t policy_fp,
-                        std::string_view sample, RowSet rows) {
+                        uint64_t version, std::string_view sample,
+                        RowSet rows) {
   MW_CHECK(rows != nullptr);
   // Chaos site: a dropped memo insert. The cache is purely an accelerator,
   // so losing an insert must only cost recomputation, never correctness.
   if (MW_FAILPOINT_TRIGGERED("text.probe_cache.insert")) return;
-  Key key{relation, attribute, policy_fp, std::string(sample)};
+  Key key{relation, attribute, policy_fp, version, std::string(sample)};
   const size_t bytes = EntryBytes(key, rows);
   std::lock_guard<std::mutex> lock(mu_);
   // Chaos site: a forced full eviction (cache-pressure overflow) right

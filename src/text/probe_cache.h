@@ -53,15 +53,20 @@ class ProbeCache {
   ProbeCache& operator=(const ProbeCache&) = delete;
 
   /// \brief Returns the cached row set or nullptr; a hit refreshes LRU
-  /// recency.
+  /// recency. `version` is the relation's update epoch (see
+  /// FullTextEngine::relation_version): an entry cached against an older
+  /// version of the relation simply never matches again — stale results
+  /// die by construction, no sweep required, while entries for untouched
+  /// relations keep hitting.
   RowSet Lookup(storage::RelationId relation, storage::AttributeId attribute,
-                uint64_t policy_fp, std::string_view sample);
+                uint64_t policy_fp, uint64_t version, std::string_view sample);
 
   /// \brief Inserts (replacing any stale entry), then evicts least-recently
   /// used entries until within budget. Oversized entries (> budget/4) are
   /// rejected outright.
   void Insert(storage::RelationId relation, storage::AttributeId attribute,
-              uint64_t policy_fp, std::string_view sample, RowSet rows);
+              uint64_t policy_fp, uint64_t version, std::string_view sample,
+              RowSet rows);
 
   Stats stats() const;
   size_t budget_bytes() const { return budget_bytes_; }
@@ -71,6 +76,7 @@ class ProbeCache {
     storage::RelationId relation;
     storage::AttributeId attribute;
     uint64_t policy_fp;
+    uint64_t version;
     std::string sample;
 
     bool operator==(const Key& other) const = default;

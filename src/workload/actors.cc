@@ -48,8 +48,96 @@ const ReplayScript& Actor::PickScript(uint64_t iteration) const {
       // Rotate round robin, staggered per actor so concurrent actors of
       // one type spread over the task list.
       return scripts[(config_.ordinal + iteration) % scripts.size()];
+    case ActorType::kUpdater:
+      break;  // updaters draw from the database, not the scripts
   }
   return scripts[0];
+}
+
+void Actor::RunUpdateIteration(const PhaseRuntime& phase,
+                               double extra_latency_ms) {
+  const std::string_view tenant = config_.tenant.empty()
+                                      ? service::kDefaultTenant
+                                      : std::string_view(config_.tenant);
+  // Pin the current snapshot only to pick a template: the batch itself is
+  // validated against whatever snapshot is current when the writer runs.
+  auto pinned = config_.service->catalog().Pin(tenant);
+  if (!pinned.ok()) {
+    recorder_.RecordSessionFailure(phase.index);
+    return;
+  }
+  const storage::Database& db = (*pinned)->db();
+  storage::RelationId rel_id = storage::kInvalidRelation;
+  for (size_t attempt = 0; attempt < db.num_relations(); ++attempt) {
+    const auto candidate =
+        static_cast<storage::RelationId>(rng_.Index(db.num_relations()));
+    if (db.relation(candidate).num_live_rows() > 0) {
+      rel_id = candidate;
+      break;
+    }
+  }
+  if (rel_id == storage::kInvalidRelation) {
+    recorder_.RecordSessionFailure(phase.index);
+    return;
+  }
+  const storage::Relation& rel = db.relation(rel_id);
+  storage::RowId template_row = -1;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto r = static_cast<storage::RowId>(rng_.Index(rel.num_rows()));
+    if (!rel.is_deleted(r)) {
+      template_row = r;
+      break;
+    }
+  }
+  if (template_row < 0) {
+    recorder_.RecordSessionFailure(phase.index);
+    return;
+  }
+
+  service::UpdateRequest request;
+  request.tenant = std::string(tenant);
+  request.deadline = phase.spec->request_deadline;
+  request.batch.inserts.push_back(
+      catalog::RowInsert{rel.name(), rel.row(template_row)});
+  // Keep the backlog bounded: once enough of our own rows accumulated,
+  // fold deletes of the oldest into the batch — steady churn instead of
+  // unbounded growth. Only rows THIS actor inserted are ever deleted, so
+  // concurrent updaters (and publishes in other tenants) never conflict.
+  constexpr size_t kMaxOwnedRows = 8;
+  std::vector<std::pair<std::string, storage::RowId>> deleting;
+  while (owned_rows_.size() > deleting.size() &&
+         owned_rows_.size() - deleting.size() >= kMaxOwnedRows) {
+    deleting.push_back(owned_rows_[deleting.size()]);
+    request.batch.deletes.push_back(
+        catalog::RowDelete{deleting.back().first, deleting.back().second});
+  }
+
+  service::RequestResult result = config_.service->ApplyUpdate(request);
+  if (phase.spec->arrival == ArrivalModel::kClosed) {
+    while (result.outcome == service::RequestOutcome::kOverloaded) {
+      recorder_.RecordOverloadRetry(phase.index);
+      if (Clock::now() >= phase.deadline) {
+        recorder_.Record(phase.index, result.outcome, 0.0);
+        return;
+      }
+      std::this_thread::sleep_for(kOverloadBackoff);
+      result = config_.service->ApplyUpdate(request);
+    }
+  }
+  recorder_.Record(phase.index, result.outcome,
+                   result.latency_ms + extra_latency_ms);
+  if (result.status.ok() && result.update_minor_epoch > 0) {
+    // The batch installed: the deletes are gone, the inserts are ours now.
+    owned_rows_.erase(owned_rows_.begin(),
+                      owned_rows_.begin() +
+                          static_cast<ptrdiff_t>(deleting.size()));
+    for (storage::RowId id : result.inserted_rows) {
+      owned_rows_.emplace_back(rel.name(), id);
+    }
+  }
+  // A failed/expired batch applied nothing: owned_rows_ stays as it was
+  // (the rows queued for deletion are still live), and a later iteration
+  // retries them.
 }
 
 bool Actor::IssueCell(const PhaseRuntime& phase, service::SessionId session,
@@ -91,6 +179,13 @@ bool Actor::IssueCell(const PhaseRuntime& phase, service::SessionId session,
 
 void Actor::RunIteration(const PhaseRuntime& phase, uint64_t iteration,
                          double extra_latency_ms) {
+  if (config_.type == ActorType::kUpdater) {
+    // Updaters don't open sessions or replay scripts — each iteration is
+    // one update batch through the service.
+    ++lifetime_iterations_;
+    RunUpdateIteration(phase, extra_latency_ms);
+    return;
+  }
   const ReplayScript& script = PickScript(lifetime_iterations_);
   ++lifetime_iterations_;
 
@@ -176,6 +271,8 @@ void Actor::RunIteration(const PhaseRuntime& phase, uint64_t iteration,
       }
       break;
     }
+    case ActorType::kUpdater:
+      break;  // handled above; unreachable
   }
   (void)config_.service->CloseSession(session);
 }

@@ -14,6 +14,10 @@
 //                 session.
 //   cache_buster  rotates a distinct first row every iteration, forcing
 //                 cold searches through the whole TPW pipeline.
+//   updater       streaming writer: each iteration applies one update
+//                 batch (insert a copy of an existing row; delete its own
+//                 oldest inserts once a backlog builds) through the
+//                 service's update path — minor-epoch churn under load.
 //
 // Arrival pacing lives here too: closed-loop iterations chain (with think
 // time and overload retry), open-loop iterations run on a fixed schedule
@@ -92,6 +96,11 @@ class Actor {
   void RunIteration(const PhaseRuntime& phase, uint64_t iteration,
                     double extra_latency_ms);
 
+  /// \brief One updater iteration: build an insert/delete batch against
+  /// the tenant's current snapshot and apply it via the service (closed
+  /// loops retry overload like IssueCell).
+  void RunUpdateIteration(const PhaseRuntime& phase, double extra_latency_ms);
+
   /// \brief Sends one cell. Closed loops retry overload with backoff (up
   /// to the phase deadline); open loops record the rejection and move on.
   /// Returns false when the iteration should stop (phase expired
@@ -107,6 +116,10 @@ class Actor {
   EventRecorder recorder_;
   Rng rng_;
   uint64_t lifetime_iterations_ = 0;  // across phases: rotates scripts
+  /// Updater bookkeeping: (relation name, row id) of rows this actor
+  /// inserted and has not yet deleted. Deleting only from this list keeps
+  /// concurrent updaters conflict-free (no double-deletes).
+  std::vector<std::pair<std::string, storage::RowId>> owned_rows_;
 };
 
 }  // namespace mweaver::workload

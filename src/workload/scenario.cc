@@ -14,6 +14,8 @@ const char* ActorTypeName(ActorType type) {
       return "bulk_loader";
     case ActorType::kCacheBuster:
       return "cache_buster";
+    case ActorType::kUpdater:
+      return "updater";
   }
   return "?";
 }

@@ -19,7 +19,7 @@
 
 namespace mweaver::workload {
 
-/// \brief The four traffic shapes a phase can mix. Each actor type is one
+/// \brief The traffic shapes a phase can mix. Each actor type is one
 /// thread-per-instance load generator with a distinct access pattern
 /// against the mapping service (actors.h has the behaviours).
 enum class ActorType {
@@ -35,12 +35,18 @@ enum class ActorType {
   /// Like the searcher but rotates a distinct first row every iteration,
   /// defeating the result cache — the worst-case cold-search stream.
   kCacheBuster,
+  /// Streaming writer: applies incremental insert/delete batches to its
+  /// tenant through the service's update path, churning minor epochs under
+  /// concurrent search traffic. Inserts copies of existing rows and only
+  /// ever deletes rows it inserted itself, so batches never conflict.
+  kUpdater,
 };
 
-inline constexpr size_t kNumActorTypes = 4;
+inline constexpr size_t kNumActorTypes = 5;
 
 const char* ActorTypeName(ActorType type);
-/// \brief Parses "searcher" / "pruner" / "bulk_loader" / "cache_buster".
+/// \brief Parses "searcher" / "pruner" / "bulk_loader" / "cache_buster" /
+/// "updater".
 Result<ActorType> ParseActorType(std::string_view name);
 
 /// \brief How requests arrive within a phase.

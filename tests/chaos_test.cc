@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/tenant_writer.h"
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/session.h"
@@ -542,6 +543,140 @@ TEST(ChaosTest, PublishFailuresNeverDisturbServingSnapshots) {
   auto healed = catalog.Publish(kDefaultTenant, testing::MakeFigure2Db());
   ASSERT_TRUE(healed.ok()) << healed.status();
   EXPECT_GT((*healed)->epoch(), before);
+}
+
+// ------------------------- streaming-update chaos -------------------------
+
+// Update chaos: both streaming failpoints ("catalog.tenant.apply_update"
+// before the delta build, "text.index.delta_compact" inside it) flake
+// while client threads drive sessions and a writer applies insert/delete
+// batches. Invariants: a failed update surfaces the injected (retryable)
+// status and leaves the tenant serving the very snapshot object it served
+// before — not merely the same epoch; successful updates land on strictly
+// increasing minor epochs; sessions pinned before the churn still
+// converge on the fault-free answer; disarmed, updates heal.
+TEST(ChaosTest, UpdateFailuresNeverDisturbServingSnapshots) {
+  const Reference& reference = CleanReference();
+
+  catalog::Catalog catalog;
+  ASSERT_TRUE(catalog.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue_depth = 32;
+  MappingService service(&catalog, options);
+
+  // Threshold 1 sends every delete batch down the delta-compaction path,
+  // so the "text.index.delta_compact" site actually fires.
+  catalog::TenantWriterOptions writer_options;
+  writer_options.compact_removed_rows_threshold = 1;
+  catalog::TenantWriter writer(&catalog, writer_options);
+
+  FailpointPolicy flaky;
+  flaky.action = FailAction::kError;  // injects Unavailable
+  flaky.probability = 0.5;
+  flaky.seed = 4242;
+  FailpointPolicy compact_flaky = flaky;
+  compact_flaky.seed = 2424;
+  size_t updates_ok = 0;
+  size_t updates_failed = 0;
+  {
+    ScopedFailpoint armed_apply("catalog.tenant.apply_update", flaky);
+    ScopedFailpoint armed_compact("text.index.delta_compact", compact_flaky);
+
+    std::vector<SessionId> ids;
+    for (size_t i = 0; i < kSessions; ++i) {
+      auto created = service.CreateSession({"Name", "Director"});
+      ASSERT_TRUE(created.ok()) << created.status();
+      ids.push_back(*created);
+    }
+
+    std::vector<SessionRun> runs(kSessions);
+    std::thread updater([&]() {
+      // Filler rows only: titles that never collide with the reference
+      // script, so even unpinned readers would see identical answers.
+      std::vector<storage::RowId> owned;
+      for (int i = 0; i < 32; ++i) {
+        const catalog::SnapshotPtr before =
+            catalog.Pin(kDefaultTenant).ValueOrDie();
+        catalog::UpdateBatch batch;
+        if (owned.size() >= 4) {
+          batch.deletes.push_back(catalog::RowDelete{"movie", owned.front()});
+        } else {
+          batch.inserts.push_back(catalog::RowInsert{
+              "movie", {testing::I(1000 + i),
+                        testing::S("zz chaos filler " + std::to_string(i))}});
+        }
+        auto applied = writer.Apply(kDefaultTenant, batch);
+        if (applied.ok()) {
+          ++updates_ok;
+          // Same epoch, strictly newer minor epoch: a delta, not a churn.
+          EXPECT_EQ(applied->snapshot->epoch(), before->epoch());
+          EXPECT_GT(applied->snapshot->minor_epoch(), before->minor_epoch());
+          if (!batch.deletes.empty()) {
+            owned.erase(owned.begin());
+          } else {
+            owned.insert(owned.end(), applied->inserted_rows.begin(),
+                         applied->inserted_rows.end());
+          }
+        } else {
+          ++updates_failed;
+          // Failed update is retryable and side-effect free: the tenant
+          // still serves the exact snapshot it served before the attempt.
+          EXPECT_TRUE(applied.status().IsUnavailable()) << applied.status();
+          const catalog::SnapshotPtr after =
+              catalog.Pin(kDefaultTenant).ValueOrDie();
+          EXPECT_EQ(after.get(), before.get());
+        }
+      }
+    });
+    {
+      std::vector<std::thread> clients;
+      for (size_t i = 0; i < kSessions; ++i) {
+        clients.emplace_back([&service, &runs, &ids, i]() {
+          runs[i] = DriveScript(service, ids[i],
+                                std::chrono::milliseconds{0});
+        });
+      }
+      for (auto& t : clients) t.join();
+    }
+    updater.join();
+
+    // Update faults (and successes) are invisible to pinned readers:
+    // every clean session holds the fault-free answer on its epoch.
+    for (size_t i = 0; i < kSessions; ++i) {
+      EXPECT_TRUE(runs[i].classified)
+          << "session " << i << ": " << runs[i].violation;
+      if (runs[i].truncated || runs[i].exhausted) continue;
+      std::set<std::string> candidates;
+      ASSERT_TRUE(service.sessions()
+                      .WithSession(ids[i],
+                                   [&](core::Session& session) {
+                                     candidates =
+                                         testing::CanonicalMappingSet(
+                                             session.candidates());
+                                     return Status::OK();
+                                   })
+                      .ok());
+      EXPECT_EQ(candidates, reference.candidates) << "session " << i;
+    }
+    for (const SessionId id : ids) {
+      EXPECT_TRUE(service.CloseSession(id).ok());
+    }
+  }
+  // The sweep must exercise both sides of the coin flips (seeded, stable).
+  EXPECT_GT(updates_ok, 0u);
+  EXPECT_GT(updates_failed, 0u);
+
+  // Disarmed, streaming heals: the next batch lands and bumps the minor
+  // epoch from wherever the chaos sweep left it.
+  const catalog::SnapshotPtr before = catalog.Pin(kDefaultTenant).ValueOrDie();
+  catalog::UpdateBatch healed_batch;
+  healed_batch.inserts.push_back(catalog::RowInsert{
+      "movie", {testing::I(9999), testing::S("zz healed filler")}});
+  auto healed = writer.Apply(kDefaultTenant, healed_batch);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_GT(healed->snapshot->minor_epoch(), before->minor_epoch());
 }
 
 // ------------------------- storage-load fault sweep -----------------------

@@ -167,6 +167,98 @@ TEST(BlockPostingListTest, CopyFromMatchesSource) {
   EXPECT_EQ(dst.back(), src.back());
 }
 
+TEST(BlockPostingListTest, RemoveReconvertsAcrossBitmapBreakEven) {
+  // kArrayMaxCardinality + 2 values in one container forces a bitmap...
+  std::vector<uint32_t> values;
+  for (uint32_t v = 0;
+       v < static_cast<uint32_t>(BlockPostingList::kArrayMaxCardinality) + 2;
+       ++v) {
+    values.push_back(v * 3);
+  }
+  BlockPostingList list = BlockPostingList::FromSorted(values);
+  ASSERT_EQ(list.num_containers(), 1u);
+  ASSERT_TRUE(list.container(0).is_bitmap);
+
+  // ...one removal stays above the break-even: still a bitmap.
+  EXPECT_TRUE(list.Remove(values[10]));
+  EXPECT_TRUE(list.container(0).is_bitmap);
+  EXPECT_EQ(list.size(), BlockPostingList::kArrayMaxCardinality + 1);
+
+  // The removal that lands cardinality exactly AT the break-even converts
+  // back down to a sorted array, preserving contents and order exactly.
+  EXPECT_TRUE(list.Remove(values[20]));
+  ASSERT_EQ(list.num_containers(), 1u);
+  EXPECT_FALSE(list.container(0).is_bitmap);
+  EXPECT_EQ(list.size(), BlockPostingList::kArrayMaxCardinality);
+  std::vector<uint32_t> expected = values;
+  expected.erase(expected.begin() + 20);
+  expected.erase(expected.begin() + 10);
+  EXPECT_EQ(list.ToVector(), expected);
+  EXPECT_FALSE(list.Contains(values[10]));
+  EXPECT_FALSE(list.Contains(values[20]));
+  EXPECT_TRUE(list.Contains(values[11]));
+
+  // Removing a value that is gone (or never existed) is a no-op miss.
+  EXPECT_FALSE(list.Remove(values[10]));
+  EXPECT_FALSE(list.Remove(values.back() + 3));
+
+  // Appending back across the break-even re-converts upward: the same
+  // container crosses array -> bitmap a second time, contents exact.
+  const uint32_t base = list.back() + 3;
+  expected.push_back(base);
+  expected.push_back(base + 3);
+  list.Append(base);
+  list.Append(base + 3);
+  ASSERT_EQ(list.num_containers(), 1u);
+  EXPECT_TRUE(list.container(0).is_bitmap);
+  EXPECT_EQ(list.ToVector(), expected);
+}
+
+TEST(BlockPostingListTest, RemoveAtContainerBoundaries) {
+  // Values hugging each side of the 64K container boundaries, plus the
+  // extremes of the u32 domain.
+  const std::vector<uint32_t> values = {0,          65535,      65536,
+                                        131071,     131072,     131073,
+                                        0xFFFFFFFEu, 0xFFFFFFFFu};
+  BlockPostingList list = BlockPostingList::FromSorted(values);
+  ASSERT_EQ(list.num_containers(), 4u);
+
+  // Remove the straddling pair: each value leaves its own container.
+  EXPECT_TRUE(list.Remove(65535));
+  EXPECT_TRUE(list.Remove(65536));
+  EXPECT_FALSE(list.Contains(65535));
+  EXPECT_FALSE(list.Contains(65536));
+  EXPECT_TRUE(list.Contains(0));
+  EXPECT_TRUE(list.Contains(131071));
+  EXPECT_EQ(list.ToVector(), (std::vector<uint32_t>{
+                                 0, 131071, 131072, 131073, 0xFFFFFFFEu,
+                                 0xFFFFFFFFu}));
+
+  // Key 1 still holds 131071, so no container went away yet.
+  EXPECT_EQ(list.num_containers(), 4u);
+
+  // Removing the global maximum moves back(); Append accepts any value
+  // greater than the NEW maximum, including values below the old one.
+  EXPECT_TRUE(list.Remove(0xFFFFFFFFu));
+  EXPECT_EQ(list.back(), 0xFFFFFFFEu);
+  EXPECT_TRUE(list.Remove(0xFFFFFFFEu));
+  EXPECT_EQ(list.back(), 131073u);
+  EXPECT_EQ(list.num_containers(), 3u);  // key 0xFFFF emptied: deactivated
+  list.Append(131074);
+  EXPECT_EQ(list.back(), 131074u);
+  EXPECT_EQ(list.ToVector(),
+            (std::vector<uint32_t>{0, 131071, 131072, 131073, 131074}));
+
+  // Draining the whole list leaves a clean, reusable empty list.
+  for (uint32_t v : std::vector<uint32_t>{0, 131071, 131072, 131073, 131074}) {
+    EXPECT_TRUE(list.Remove(v));
+  }
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.num_containers(), 0u);
+  list.Append(7);
+  EXPECT_EQ(list.ToVector(), std::vector<uint32_t>{7});
+}
+
 // --- SIMD kernels vs scalar reference ---------------------------------------
 
 TEST(KernelEqualityTest, IntersectU16MatchesScalar) {
@@ -331,6 +423,55 @@ TEST(BlockVsReferenceTest, UnionMatchesFlatKernels) {
     UnionBlocks(block_ptrs, &out);
     EXPECT_EQ(out.ToVector(), want) << "round " << round << " k=" << k;
     EXPECT_EQ(out.size(), want.size());
+  }
+}
+
+TEST(BlockVsReferenceTest, PostDeleteMergesMatchFlatKernels) {
+  // Lists that underwent streaming removals — including containers pushed
+  // back across the bitmap break-even and containers emptied entirely —
+  // must merge exactly like flat vectors of their surviving values, on
+  // both the intersection and union paths (and therefore identically in
+  // vector and forced-scalar builds, which share this suite).
+  std::mt19937 rng(48);
+  for (int round = 0; round < 30; ++round) {
+    const size_t na = 1 + static_cast<size_t>(rng() % 30000);
+    const size_t nb = 1 + static_cast<size_t>(rng() % 30000);
+    std::vector<uint32_t> a = RandomSortedSet(&rng, na, 200000);
+    std::vector<uint32_t> b = RandomSortedSet(&rng, nb, 200000);
+    BlockPostingList la = BlockPostingList::FromSorted(a);
+    BlockPostingList lb = BlockPostingList::FromSorted(b);
+
+    // Remove ~40% of each side's values through the streaming path; round
+    // 0 deletes one side entirely (the all-tombstoned posting list).
+    const auto prune = [&rng, round](std::vector<uint32_t>* flat,
+                                     BlockPostingList* list, bool drain) {
+      std::vector<uint32_t> kept;
+      for (uint32_t v : *flat) {
+        if (drain || rng() % 5 < 2) {
+          ASSERT_TRUE(list->Remove(v));
+        } else {
+          kept.push_back(v);
+        }
+      }
+      *flat = std::move(kept);
+    };
+    prune(&a, &la, round == 0);
+    prune(&b, &lb, false);
+    ASSERT_EQ(la.ToVector(), a) << "round " << round;
+    ASSERT_EQ(lb.ToVector(), b) << "round " << round;
+
+    std::vector<uint32_t> want_and;
+    IntersectSorted(a, b, &want_and);
+    BlockPostingList out_and;
+    IntersectBlocks(la, lb, &out_and);
+    EXPECT_EQ(out_and.ToVector(), want_and) << "round " << round;
+
+    std::vector<uint32_t> want_or;
+    MergeScratch<uint32_t> scratch;
+    UnionSorted({&a, &b}, &want_or, &scratch);
+    BlockPostingList out_or;
+    UnionBlocks({&la, &lb}, &out_or);
+    EXPECT_EQ(out_or.ToVector(), want_or) << "round " << round;
   }
 }
 

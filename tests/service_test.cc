@@ -212,48 +212,54 @@ TEST_F(ServiceTest, ServiceRequestWithExpiredDeadlineAnswersImmediately) {
 
 TEST_F(ServiceTest, CacheKeyNormalizesCaseButNotWhitespace) {
   const SearchOptions options;
-  EXPECT_EQ(ResultCache::MakeKey("t", 1, {"Avatar", "CAMERON"}, options),
-            ResultCache::MakeKey("t", 1, {"avatar", "cameron"}, options));
-  EXPECT_NE(ResultCache::MakeKey("t", 1, {"Avatar "}, options),
-            ResultCache::MakeKey("t", 1, {"Avatar"}, options));
-  EXPECT_NE(ResultCache::MakeKey("t", 1, {"a", "b"}, options),
-            ResultCache::MakeKey("t", 1, {"ab"}, options));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, {"Avatar", "CAMERON"}, options),
+            ResultCache::MakeKey("t", 1, 0, {"avatar", "cameron"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"Avatar "}, options),
+            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"a", "b"}, options),
+            ResultCache::MakeKey("t", 1, 0, {"ab"}, options));
   SearchOptions other = options;
   other.pmnj = 3;  // different search space -> different key
-  EXPECT_NE(ResultCache::MakeKey("t", 1, {"Avatar"}, options),
-            ResultCache::MakeKey("t", 1, {"Avatar"}, other));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, other));
   other = options;
   other.num_threads = 8;  // timing-only knob -> same key
-  EXPECT_EQ(ResultCache::MakeKey("t", 1, {"Avatar"}, options),
-            ResultCache::MakeKey("t", 1, {"Avatar"}, other));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, other));
 }
 
 TEST_F(ServiceTest, CacheKeyIsTenantAndEpochScoped) {
   const SearchOptions options;
   // Identical queries on different tenants never share an entry.
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, {"Avatar"}, options),
-            ResultCache::MakeKey("beta", 1, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options),
+            ResultCache::MakeKey("beta", 1, 0, {"Avatar"}, options));
   // A republish bumps the epoch, invalidating every prior key.
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, {"Avatar"}, options),
-            ResultCache::MakeKey("alpha", 2, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 2, 0, {"Avatar"}, options));
+  // A streaming update bumps only the minor epoch — also a fresh key, and
+  // distinct from the next full epoch.
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 2, 0, {"Avatar"}, options));
   // Tenant names are length-prefixed, so crafted names cannot splice into
   // a different tenant's key space.
-  EXPECT_NE(ResultCache::MakeKey("a;e=1", 1, {"x"}, options),
-            ResultCache::MakeKey("a", 1, {"x"}, options));
+  EXPECT_NE(ResultCache::MakeKey("a;e=1", 1, 0, {"x"}, options),
+            ResultCache::MakeKey("a", 1, 0, {"x"}, options));
 }
 
 TEST_F(ServiceTest, EvictTenantEntriesDropsOnlyThatTenant) {
   ResultCache cache(8);
   const SearchOptions options;
   core::SearchResult result;
-  cache.Insert(ResultCache::MakeKey("alpha", 1, {"a"}, options), result);
-  cache.Insert(ResultCache::MakeKey("alpha", 1, {"b"}, options), result);
-  cache.Insert(ResultCache::MakeKey("beta", 1, {"a"}, options), result);
+  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, {"a"}, options), result);
+  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, {"b"}, options), result);
+  cache.Insert(ResultCache::MakeKey("beta", 1, 0, {"a"}, options), result);
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.EvictTenantEntries("alpha"), 2u);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(
-      cache.Lookup(ResultCache::MakeKey("beta", 1, {"a"}, options))
+      cache.Lookup(ResultCache::MakeKey("beta", 1, 0, {"a"}, options))
           .has_value());
   EXPECT_EQ(cache.EvictTenantEntries("alpha"), 0u);
 }
@@ -303,6 +309,157 @@ TEST_F(ServiceTest, RepublishInvalidatesCachedResultsViaEpoch) {
   RequestResult after = first_row();
   ASSERT_TRUE(after.status.ok()) << after.status;
   EXPECT_FALSE(after.cache_hit);
+}
+
+TEST_F(ServiceTest, StreamingUpdateInvalidatesCachedResultsViaMinorEpoch) {
+  MappingService svc(&catalog_);
+  const auto first_row = [&]() {
+    const SessionId id = *svc.CreateSession({"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    return svc.Call(request);
+  };
+  RequestResult before = first_row();
+  ASSERT_TRUE(before.status.ok()) << before.status;
+  EXPECT_FALSE(before.cache_hit);
+  RequestResult warm = first_row();
+  ASSERT_TRUE(warm.status.ok()) << warm.status;
+  EXPECT_TRUE(warm.cache_hit);
+
+  // A streaming update through the service's admission path: no full
+  // republish, but the installed delta carries a fresh minor epoch.
+  UpdateRequest update;
+  update.tenant = std::string(kDefaultTenant);
+  update.batch.inserts.push_back(catalog::RowInsert{
+      "movie", {testing::I(50), testing::S("Fresh Movie")}});
+  RequestResult applied = svc.ApplyUpdate(update);
+  ASSERT_TRUE(applied.status.ok()) << applied.status;
+  EXPECT_EQ(applied.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(applied.update_minor_epoch, 1u);
+  ASSERT_EQ(applied.inserted_rows.size(), 1u);
+
+  // Sessions created afterwards pin the delta: the warm epoch-N.0 entry
+  // can never serve an epoch-N.1 query.
+  RequestResult after = first_row();
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  EXPECT_FALSE(after.cache_hit);
+  // And the new minor epoch warms its own key space as usual.
+  RequestResult rewarmed = first_row();
+  ASSERT_TRUE(rewarmed.status.ok()) << rewarmed.status;
+  EXPECT_TRUE(rewarmed.cache_hit);
+
+  const MetricsSnapshot metrics = svc.SnapshotMetrics();
+  EXPECT_EQ(metrics.updates_ok, 1u);
+  EXPECT_EQ(metrics.updates_failed, 0u);
+  EXPECT_EQ(metrics.update_rows_inserted, 1u);
+}
+
+TEST_F(ServiceTest, StreamingUpdateLeavesUnrelatedTenantCacheWarm) {
+  ASSERT_TRUE(catalog_.Publish("other", testing::MakeFigure2Db()).ok());
+  MappingService svc(&catalog_);
+  const auto first_row = [&](std::string_view tenant) {
+    const SessionId id = *svc.CreateSession(tenant, {"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    return svc.Call(request);
+  };
+  // Warm both tenants.
+  ASSERT_TRUE(first_row(kDefaultTenant).status.ok());
+  ASSERT_TRUE(first_row("other").status.ok());
+  ASSERT_TRUE(first_row("other").cache_hit);
+
+  // Update only the default tenant.
+  UpdateRequest update;
+  update.tenant = std::string(kDefaultTenant);
+  update.batch.inserts.push_back(catalog::RowInsert{
+      "movie", {testing::I(51), testing::S("Another Fresh Movie")}});
+  RequestResult applied = svc.ApplyUpdate(update);
+  ASSERT_TRUE(applied.status.ok()) << applied.status;
+
+  // The updated tenant's warm entry is dead (minor epoch moved on)...
+  EXPECT_FALSE(first_row(kDefaultTenant).cache_hit);
+  // ...while the unrelated tenant still serves from cache.
+  EXPECT_TRUE(first_row("other").cache_hit);
+}
+
+TEST_F(ServiceTest, PinnedSessionServesFrozenEpochAcrossUpdates) {
+  MappingService svc(&catalog_);
+  // Completes a session's first sample row {Avatar, James Cameron}; the
+  // search runs on the second keystroke.
+  const auto type_first_row = [&](SessionId id) {
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    RequestResult r = svc.Call(request);
+    EXPECT_TRUE(r.status.ok()) << r.status;
+    request.col = 1;
+    request.value = "James Cameron";
+    return svc.Call(request);
+  };
+  const SessionId pinned = *svc.CreateSession({"Name", "Director"});
+  RequestResult first = type_first_row(pinned);
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_GT(first.num_candidates, 0u);
+
+  // Delete the Avatar row out from under the session.
+  UpdateRequest update;
+  update.tenant = std::string(kDefaultTenant);
+  update.batch.deletes.push_back(catalog::RowDelete{"movie", 0});
+  RequestResult applied = svc.ApplyUpdate(update);
+  ASSERT_TRUE(applied.status.ok()) << applied.status;
+  EXPECT_EQ(applied.update_minor_epoch, 1u);
+
+  // The pinned session keeps pruning against its frozen snapshot: the
+  // goal-target row still weaves through the tombstoned-elsewhere Avatar
+  // row, so candidates survive mid-update.
+  InputRequest prune_request;
+  prune_request.session_id = pinned;
+  prune_request.row = 1;
+  prune_request.value = "Harry Potter";
+  RequestResult prune = svc.Call(prune_request);
+  ASSERT_TRUE(prune.status.ok()) << prune.status;
+  prune_request.col = 1;
+  prune_request.value = "David Yates";
+  RequestResult second = svc.Call(prune_request);
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_GT(second.num_candidates, 0u);
+
+  // A session created after the update pins the delta, where the Avatar
+  // row is gone: the same first row finds strictly less.
+  const SessionId fresh = *svc.CreateSession({"Name", "Director"});
+  RequestResult post_delete = type_first_row(fresh);
+  ASSERT_TRUE(post_delete.status.ok()) << post_delete.status;
+  EXPECT_FALSE(post_delete.cache_hit);
+  EXPECT_LT(post_delete.num_candidates, first.num_candidates);
+}
+
+TEST_F(ServiceTest, UpdateFailuresSurfaceAndCountWithoutSideEffects) {
+  MappingService svc(&catalog_);
+  // Empty batch: rejected before anything runs.
+  UpdateRequest empty;
+  empty.tenant = std::string(kDefaultTenant);
+  RequestResult rejected = svc.ApplyUpdate(empty);
+  EXPECT_FALSE(rejected.status.ok());
+  EXPECT_EQ(rejected.outcome, RequestOutcome::kFailed);
+
+  // Unknown relation: NotFound, nothing installed.
+  UpdateRequest bogus;
+  bogus.tenant = std::string(kDefaultTenant);
+  bogus.batch.deletes.push_back(catalog::RowDelete{"no_such_relation", 0});
+  RequestResult failed = svc.ApplyUpdate(bogus);
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_EQ(failed.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(failed.update_minor_epoch, 0u);
+
+  const MetricsSnapshot metrics = svc.SnapshotMetrics();
+  EXPECT_EQ(metrics.updates_ok, 0u);
+  EXPECT_EQ(metrics.updates_failed, 2u);
+  EXPECT_EQ(metrics.update_rows_inserted, 0u);
+  EXPECT_EQ(metrics.update_rows_deleted, 0u);
+  // The tenant still serves its original publish.
+  EXPECT_EQ(catalog_.Pin(kDefaultTenant).ValueOrDie()->minor_epoch(), 0u);
 }
 
 TEST_F(ServiceTest, CacheLruEvictsOldestAndCountsHits) {

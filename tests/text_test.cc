@@ -366,16 +366,16 @@ RowSet MakeRows(std::vector<storage::RowId> rows) {
 
 TEST(ProbeCacheTest, LookupRoundTripAndMiss) {
   ProbeCache cache(1 << 20);
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "harry"), nullptr);
-  cache.Insert(0, 0, 1, "harry", MakeRows({1, 2}));
-  const RowSet hit = cache.Lookup(0, 0, 1, "harry");
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "harry"), nullptr);
+  cache.Insert(0, 0, 1, 0, "harry", MakeRows({1, 2}));
+  const RowSet hit = cache.Lookup(0, 0, 1, 0, "harry");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, (std::vector<storage::RowId>{1, 2}));
   // Any key component change misses.
-  EXPECT_EQ(cache.Lookup(1, 0, 1, "harry"), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 1, 1, "harry"), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 0, 2, "harry"), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "harr"), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, 1, 0, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 1, 1, 0, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 2, 0, "harry"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "harr"), nullptr);
 }
 
 TEST(ProbeCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
@@ -383,17 +383,17 @@ TEST(ProbeCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
   // the budget fits four of them (712 <= 760) and 178 <= 760/4, so a fifth
   // insert must evict the least recently used.
   ProbeCache cache(760);
-  cache.Insert(0, 0, 1, "aa", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
-  cache.Insert(0, 0, 1, "bb", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
-  cache.Insert(0, 0, 1, "cc", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
-  cache.Insert(0, 0, 1, "dd", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, 0, "aa", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, 0, "bb", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, 0, "cc", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  cache.Insert(0, 0, 1, 0, "dd", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
   ASSERT_EQ(cache.stats().entries, 4u);
   // Touch "aa" so "bb" becomes the LRU victim.
-  EXPECT_NE(cache.Lookup(0, 0, 1, "aa"), nullptr);
-  cache.Insert(0, 0, 1, "ee", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "bb"), nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(0, 0, 1, "aa"), nullptr);  // survived (recent)
-  EXPECT_NE(cache.Lookup(0, 0, 1, "ee"), nullptr);
+  EXPECT_NE(cache.Lookup(0, 0, 1, 0, "aa"), nullptr);
+  cache.Insert(0, 0, 1, 0, "ee", MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "bb"), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(0, 0, 1, 0, "aa"), nullptr);  // survived (recent)
+  EXPECT_NE(cache.Lookup(0, 0, 1, 0, "ee"), nullptr);
   const ProbeCache::Stats stats = cache.stats();
   EXPECT_GE(stats.evictions, 1u);
   EXPECT_LE(stats.bytes_used, 760u);
@@ -401,31 +401,31 @@ TEST(ProbeCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
 
 TEST(ProbeCacheTest, HandleSurvivesEviction) {
   ProbeCache cache(760);
-  cache.Insert(0, 0, 1, "aa", MakeRows({7, 8}));
-  const RowSet handle = cache.Lookup(0, 0, 1, "aa");
+  cache.Insert(0, 0, 1, 0, "aa", MakeRows({7, 8}));
+  const RowSet handle = cache.Lookup(0, 0, 1, 0, "aa");
   ASSERT_NE(handle, nullptr);
   for (int i = 0; i < 50; ++i) {  // flush "aa" out of the cache
-    cache.Insert(0, 0, 1, "key" + std::to_string(i),
+    cache.Insert(0, 0, 1, 0, "key" + std::to_string(i),
                  MakeRows({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
   }
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "aa"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "aa"), nullptr);
   EXPECT_EQ(*handle, (std::vector<storage::RowId>{7, 8}));  // still valid
 }
 
 TEST(ProbeCacheTest, RejectsOversizedEntries) {
   ProbeCache cache(1024);
   // 512 rows * 8 bytes is far beyond budget/4.
-  cache.Insert(0, 0, 1, "big",
+  cache.Insert(0, 0, 1, 0, "big",
                MakeRows(std::vector<storage::RowId>(512, 1)));
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "big"), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "big"), nullptr);
   EXPECT_EQ(cache.stats().rejected_oversize, 1u);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(ProbeCacheTest, ZeroBudgetDisablesCaching) {
   ProbeCache cache(0);
-  cache.Insert(0, 0, 1, "aa", MakeRows({1}));
-  EXPECT_EQ(cache.Lookup(0, 0, 1, "aa"), nullptr);
+  cache.Insert(0, 0, 1, 0, "aa", MakeRows({1}));
+  EXPECT_EQ(cache.Lookup(0, 0, 1, 0, "aa"), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 

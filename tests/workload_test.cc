@@ -182,7 +182,8 @@ TEST(ScenarioParserTest, ShippedScenariosRoundTrip) {
        {Expected{"/smoke.scenario", "smoke", 3},
         Expected{"/soak.scenario", "soak", 3},
         Expected{"/overload-spike.scenario", "overload-spike", 3},
-        Expected{"/multi-tenant.scenario", "multi-tenant", 3}}) {
+        Expected{"/multi-tenant.scenario", "multi-tenant", 3},
+        Expected{"/streaming.scenario", "streaming", 3}}) {
     auto parsed = ScenarioParser::ParseFile(dir + e.file);
     ASSERT_TRUE(parsed.ok()) << parsed.status();
     EXPECT_EQ(parsed->name, e.name);
@@ -198,16 +199,28 @@ TEST(ScenarioParserTest, ShippedScenariosRoundTrip) {
       }
     }
   }
-  // The smoke scenario is the CI gate: it must exercise all four actor
-  // types so the baseline covers every traffic shape.
+  // The smoke scenario is the CI gate for interactive traffic: it must
+  // exercise every session-based actor type so the baseline covers each
+  // traffic shape. Updaters have their own gate (streaming.scenario).
   auto smoke = ScenarioParser::ParseFile(dir + "/smoke.scenario");
   ASSERT_TRUE(smoke.ok());
   auto max_counts = smoke->MaxActorCounts();
   for (size_t t = 0; t < kNumActorTypes; ++t) {
+    if (static_cast<ActorType>(t) == ActorType::kUpdater) continue;
     EXPECT_GT(max_counts[t], 0u)
         << "smoke.scenario never runs actor type "
         << ActorTypeName(static_cast<ActorType>(t));
   }
+  // The streaming scenario is the update path's CI gate: updaters must
+  // churn minor epochs while searchers read across them.
+  auto streaming = ScenarioParser::ParseFile(dir + "/streaming.scenario");
+  ASSERT_TRUE(streaming.ok());
+  EXPECT_GT(
+      streaming->MaxActorCounts()[static_cast<size_t>(ActorType::kUpdater)],
+      0u);
+  EXPECT_GT(
+      streaming->MaxActorCounts()[static_cast<size_t>(ActorType::kSearcher)],
+      0u);
   // The multi-tenant scenario is the catalog's CI gate: several tenants
   // plus publish churn, with bulk loaders present to drive the churn.
   auto mt = ScenarioParser::ParseFile(dir + "/multi-tenant.scenario");
