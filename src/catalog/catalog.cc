@@ -1,9 +1,11 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "text/sharded_engine.h"
 
 namespace mweaver::catalog {
 
@@ -30,13 +32,52 @@ Result<SnapshotPtr> Catalog::Publish(std::string_view tenant,
   // an older epoch must not clobber a newer one — see the install check).
   const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
 
+  // The previous snapshot (if any) is the candidate source of reusable
+  // shard engines; pinning it here keeps it alive across the build.
+  SnapshotPtr prev;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto prev_it = tenants_.find(tenant);
+    if (prev_it != tenants_.end()) prev = prev_it->second->current;
+  }
+
   // The expensive step — index construction over the new instance — runs
   // with NO catalog lock held: readers keep pinning the previous epoch at
   // full speed for the whole build.
-  auto snapshot = std::make_shared<const Snapshot>(
-      std::string(tenant), epoch,
-      std::make_unique<storage::Database>(std::move(db)),
-      options_.match_policy, options_.engine_options);
+  const uint32_t shard_count = std::max<uint32_t>(1, options_.shard_count);
+  auto owned_db = std::make_unique<storage::Database>(std::move(db));
+  std::shared_ptr<const Snapshot> snapshot;
+  size_t shards_rebuilt = 1;
+  if (shard_count <= 1) {
+    snapshot = std::make_shared<const Snapshot>(
+        std::string(tenant), epoch, std::move(owned_db),
+        options_.match_policy, options_.engine_options);
+  } else {
+    // Sharded publish: fingerprint the new instance per shard and rebuild
+    // only the shards whose content changed since the previous snapshot —
+    // the rest are carried over with warm probe memos. Delta snapshots
+    // poison touched shards' fingerprints, so streaming-updated shards
+    // always rebuild here.
+    std::vector<uint64_t> fingerprints =
+        ComputeShardFingerprints(*owned_db, shard_count);
+    const text::ShardedTextEngine* prev_engine =
+        prev != nullptr ? prev->sharded_engine() : nullptr;
+    std::vector<bool> reuse(shard_count, false);
+    if (prev_engine != nullptr && prev->shard_count() == shard_count &&
+        prev->shard_fingerprints().size() == shard_count) {
+      for (uint32_t s = 0; s < shard_count; ++s) {
+        reuse[s] = prev->shard_fingerprints()[s] == fingerprints[s];
+      }
+    }
+    auto engine = text::ShardedTextEngine::BuildReusing(
+        owned_db.get(), options_.match_policy, shard_count,
+        options_.engine_options, prev_engine, reuse, &shards_rebuilt);
+    auto graph = std::make_unique<graph::SchemaGraph>(owned_db.get());
+    snapshot = std::make_shared<const Snapshot>(
+        std::string(tenant), epoch, /*minor_epoch=*/0, std::move(owned_db),
+        std::move(engine), std::move(graph),
+        std::vector<uint64_t>(shard_count, 0), std::move(fingerprints));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tenants_.find(tenant);
@@ -61,6 +102,8 @@ Result<SnapshotPtr> Catalog::Publish(std::string_view tenant,
   }
   entry.current = snapshot;  // the atomic swap: one pointer assignment
   entry.publishes += 1;
+  entry.shards_rebuilt_last = shards_rebuilt;
+  entry.shards_rebuilt_total += shards_rebuilt;
   entry.last_used_ns.store(NowNs(), std::memory_order_relaxed);
   return snapshot;
 }
@@ -91,8 +134,22 @@ Status Catalog::InstallDelta(std::string_view tenant,
                   static_cast<unsigned long long>(
                       expected_base->minor_epoch())));
   }
+  // Shard accounting: a delta "rebuilds" the shards whose minor epoch moved
+  // (the writer delta-cloned them); everything else was carried over.
+  uint64_t shards_touched = next->shard_count();
+  const std::vector<uint64_t>& base_minors =
+      expected_base->shard_minor_epochs();
+  const std::vector<uint64_t>& next_minors = next->shard_minor_epochs();
+  if (next_minors.size() == base_minors.size()) {
+    shards_touched = 0;
+    for (size_t s = 0; s < next_minors.size(); ++s) {
+      if (next_minors[s] != base_minors[s]) ++shards_touched;
+    }
+  }
   entry.current = std::move(next);
   entry.updates += 1;
+  entry.shards_rebuilt_last = shards_touched;
+  entry.shards_rebuilt_total += shards_touched;
   entry.last_used_ns.store(NowNs(), std::memory_order_relaxed);
   return Status::OK();
 }
@@ -158,12 +215,13 @@ Status Catalog::Drop(std::string_view tenant) {
   return Status::OK();
 }
 
-size_t Catalog::EvictIdle() {
+std::vector<Catalog::EvictedTenant> Catalog::EvictIdle() {
   const int64_t cutoff_ns =
       NowNs() - std::chrono::duration_cast<std::chrono::nanoseconds>(
                     options_.idle_ttl)
                     .count();
-  std::vector<SnapshotPtr> evicted;
+  std::vector<EvictedTenant> evicted;
+  std::vector<SnapshotPtr> released;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = tenants_.begin(); it != tenants_.end();) {
@@ -172,13 +230,16 @@ size_t Catalog::EvictIdle() {
         ++it;
         continue;
       }
-      evicted.push_back(std::move(entry.current));
+      evicted.push_back(EvictedTenant{
+          it->first,
+          entry.current != nullptr ? entry.current->epoch() : 0});
+      released.push_back(std::move(entry.current));
       it = tenants_.erase(it);
     }
   }
   // Cold snapshots destruct here, outside the lock. Sessions still holding
   // pins are unaffected: their SnapshotPtr keeps the bundle alive.
-  return evicted.size();
+  return evicted;
 }
 
 size_t Catalog::size() const {
@@ -195,11 +256,14 @@ std::vector<TenantInfo> Catalog::ListTenants() const {
     info.name = name;
     info.publishes = entry->publishes;
     info.updates = entry->updates;
+    info.shards_rebuilt_last = entry->shards_rebuilt_last;
+    info.shards_rebuilt_total = entry->shards_rebuilt_total;
     if (entry->current != nullptr) {
       info.epoch = entry->current->epoch();
       info.minor_epoch = entry->current->minor_epoch();
       info.rows = entry->current->db().TotalRows();
       info.index_bytes = entry->current->index_bytes();
+      info.shards = entry->current->shard_count();
       // One reference is the catalog's own; anything beyond it is a pin.
       info.pins = entry->current.use_count() - 1;
     }

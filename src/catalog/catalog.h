@@ -46,6 +46,12 @@ struct CatalogOptions {
   text::MatchPolicy match_policy = text::MatchPolicy::Substring();
   /// Engine build/acceleration knobs applied to every publish.
   text::EngineOptions engine_options;
+  /// Row-hash shards per tenant (>= 1). With N > 1 every snapshot is a
+  /// ShardedTextEngine bundle of N independently built shard engines;
+  /// Publish rebuilds only the shards whose content fingerprint changed and
+  /// TenantWriter delta-clones only the shards owning the batch's rows.
+  /// Search results are byte-identical for every value of N.
+  uint32_t shard_count = 1;
   /// Tenants with no Pin/Publish for this long are reclaimed by
   /// EvictIdle().
   std::chrono::milliseconds idle_ttl{std::chrono::minutes(30)};
@@ -62,6 +68,10 @@ struct TenantInfo {
   uint64_t updates = 0;    // lifetime streaming-update count
   size_t rows = 0;
   size_t index_bytes = 0;
+  uint32_t shards = 1;               // shard topology of the current snapshot
+  uint64_t shards_rebuilt_last = 0;  // shards (re)built by the latest
+                                     // publish or streaming update
+  uint64_t shards_rebuilt_total = 0;  // lifetime shard (re)builds
   /// Pins outstanding beyond the catalog's own reference (sessions,
   /// in-flight requests, still-draining old epochs are NOT counted — this
   /// is the current snapshot's refcount only, an approximation for ops).
@@ -119,11 +129,22 @@ class Catalog {
   /// later Pin()s return NotFound until a new Publish().
   Status Drop(std::string_view tenant);
 
+  /// \brief One tenant reclaimed by EvictIdle: its name and the epoch it
+  /// was serving when evicted. Callers invalidating downstream state (the
+  /// service result cache) must scope the invalidation to epochs <= this
+  /// one — a republish of the same name that lands concurrently has a
+  /// strictly greater epoch (catalog-wide monotonic counter) and must keep
+  /// its entries.
+  struct EvictedTenant {
+    std::string name;
+    uint64_t epoch = 0;
+  };
+
   /// \brief Evicts every tenant idle (no Pin/Publish) longer than the TTL;
-  /// returns how many were reclaimed. The eviction policy mirrors
-  /// SessionManager::EvictIdle: drop the registry reference, let
+  /// returns who was reclaimed and at which epoch. The eviction policy
+  /// mirrors SessionManager::EvictIdle: drop the registry reference, let
   /// refcounting drain stragglers.
-  size_t EvictIdle();
+  std::vector<EvictedTenant> EvictIdle();
 
   /// \brief Live tenant count.
   size_t size() const;
@@ -138,6 +159,11 @@ class Catalog {
     SnapshotPtr current;      // guarded by Catalog::mu_
     uint64_t publishes = 0;   // guarded by Catalog::mu_
     uint64_t updates = 0;     // guarded by Catalog::mu_
+    /// Shard (re)build accounting, guarded by Catalog::mu_: how many shard
+    /// engines the latest Publish/InstallDelta actually constructed (the
+    /// rest were carried over), and the lifetime sum.
+    uint64_t shards_rebuilt_last = 0;
+    uint64_t shards_rebuilt_total = 0;
     /// Serializes streaming writers to this tenant (held across the whole
     /// delta build, NOT just the install — see WriterLock()). shared_ptr so
     /// a writer keeps a valid mutex even if the tenant is dropped.

@@ -12,13 +12,27 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "graph/schema_graph.h"
 #include "storage/database.h"
 #include "text/fulltext_engine.h"
 #include "text/match.h"
 
+namespace mweaver::text {
+class ShardedTextEngine;
+}  // namespace mweaver::text
+
 namespace mweaver::catalog {
+
+/// \brief Per-shard content fingerprints of a database: shard s hashes the
+/// schema plus every live (row id, values) pair common::ShardOfRow assigns
+/// to s. Two databases with equal fingerprints for shard s would build
+/// byte-identical shard-s indexes, which is what lets Publish carry
+/// unchanged shard engines over from the previous snapshot and rebuild only
+/// the rest.
+std::vector<uint64_t> ComputeShardFingerprints(const storage::Database& db,
+                                               uint32_t shard_count);
 
 /// \brief An immutable, refcounted bundle of per-tenant serving state.
 ///
@@ -29,19 +43,28 @@ namespace mweaver::catalog {
 /// catalog runs it outside any lock so publishing never stalls readers.
 class Snapshot {
  public:
+  /// \brief Builds the bundle from scratch. With `shard_count` > 1 the
+  /// engine is a ShardedTextEngine over that many row-hash shards, and the
+  /// snapshot records per-shard content fingerprints so the next Publish
+  /// can reuse unchanged shards.
   Snapshot(std::string tenant, uint64_t epoch,
            std::unique_ptr<storage::Database> db, text::MatchPolicy policy,
-           text::EngineOptions engine_options = {});
+           text::EngineOptions engine_options = {}, uint32_t shard_count = 1);
 
-  /// \brief Delta constructor for streaming updates: adopts a pre-built
-  /// bundle (CoW database, CloneForDelta engine, rebuilt graph) instead of
-  /// constructing one from scratch. Same publish epoch as the base it was
-  /// derived from; `minor_epoch` distinguishes successive update batches
-  /// within that epoch (base snapshots are minor 0).
+  /// \brief Delta constructor for streaming updates (and the publish-time
+  /// shard-reuse path): adopts a pre-built bundle (CoW database,
+  /// CloneForDelta engine, rebuilt graph) instead of constructing one from
+  /// scratch. Same publish epoch as the base it was derived from;
+  /// `minor_epoch` distinguishes successive update batches within that
+  /// epoch (base snapshots are minor 0). `shard_minor_epochs` /
+  /// `shard_fingerprints` carry the per-shard bookkeeping forward (sized to
+  /// the engine's shard count, or empty for an unsharded engine).
   Snapshot(std::string tenant, uint64_t epoch, uint64_t minor_epoch,
            std::unique_ptr<storage::Database> db,
            std::unique_ptr<text::FullTextEngine> engine,
-           std::unique_ptr<graph::SchemaGraph> graph);
+           std::unique_ptr<graph::SchemaGraph> graph,
+           std::vector<uint64_t> shard_minor_epochs = {},
+           std::vector<uint64_t> shard_fingerprints = {});
 
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
@@ -63,6 +86,28 @@ class Snapshot {
   const text::FullTextEngine& engine() const { return *engine_; }
   const graph::SchemaGraph& graph() const { return *graph_; }
 
+  /// \brief Shard topology of the bundle: 1 for a monolithic engine. Part
+  /// of the service result-cache fingerprint (results are byte-identical
+  /// across shard counts, but rebinding the key keeps the fingerprint an
+  /// honest function of the serving configuration).
+  uint32_t shard_count() const { return engine_->shard_count(); }
+  /// \brief The engine as a shard bundle, or nullptr when monolithic.
+  const text::ShardedTextEngine* sharded_engine() const;
+
+  /// \brief Per-shard update sequence numbers, sized shard_count(): shard s
+  /// was last rebuilt or delta-touched at minor epoch
+  /// shard_minor_epochs()[s] (0 = untouched since publish). The tenant
+  /// minor_epoch() is their roll-up: max over shards.
+  const std::vector<uint64_t>& shard_minor_epochs() const {
+    return shard_minor_epochs_;
+  }
+  /// \brief Per-shard content fingerprints (see ComputeShardFingerprints);
+  /// delta snapshots poison touched shards' entries with a unique nonce so
+  /// a later Publish never falsely reuses them.
+  const std::vector<uint64_t>& shard_fingerprints() const {
+    return shard_fingerprints_;
+  }
+
   /// \brief Approximate heap footprint of the text indexes (capacity
   /// accounting for eviction policies and per-tenant metrics).
   size_t index_bytes() const { return engine_->index_bytes(); }
@@ -74,6 +119,8 @@ class Snapshot {
   const std::unique_ptr<storage::Database> db_;
   const std::unique_ptr<text::FullTextEngine> engine_;
   const std::unique_ptr<graph::SchemaGraph> graph_;
+  std::vector<uint64_t> shard_minor_epochs_;
+  std::vector<uint64_t> shard_fingerprints_;
 };
 
 /// \brief The pin: holding one keeps the whole bundle alive. Searches that

@@ -63,6 +63,10 @@ struct UpdateResult {
   size_t rows_deleted = 0;
   /// Relations whose indexes were rebuilt by the delta-compaction policy.
   size_t relations_compacted = 0;
+  /// Shards the batch's rows hashed into — the only shards delta-cloned
+  /// (the rest stayed shared with the base, memos warm). 1 for an
+  /// unsharded tenant.
+  size_t shards_touched = 1;
 };
 
 struct TenantWriterOptions {

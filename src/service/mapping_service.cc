@@ -73,18 +73,24 @@ core::Session::SearchFn MappingService::MakeCachingSearchFn(
   //
   // The lambda holds its own snapshot pin: even if the session entry were
   // torn down mid-call, the engine/graph it searches stay alive.
-  // Resolve the counters before the capture list: the `snapshot` init-
-  // capture moves the parameter, so touching it in a later initializer
-  // would read a moved-from pointer.
+  // Resolve the counters AND the cache-key prefix before the capture list:
+  // the `snapshot` init-capture moves the parameter, so touching it in a
+  // later initializer would read a moved-from pointer. Freezing the prefix
+  // here — at pin time — makes it impossible for a request admitted under
+  // this serving state to be keyed with a later epoch/minor: the snapshot
+  // is immutable and the prefix is literally a captured constant.
   auto tenant_counters = tenant_metrics_.ForTenant(snapshot->tenant());
+  std::string key_prefix = ResultCache::MakeKeyPrefix(
+      snapshot->tenant(), snapshot->epoch(), snapshot->minor_epoch(),
+      snapshot->shard_count());
   return [this, snapshot = std::move(snapshot),
-          tenant_counters = std::move(tenant_counters)](
+          tenant_counters = std::move(tenant_counters),
+          key_prefix = std::move(key_prefix)](
              const std::vector<std::string>& first_row,
              const core::SearchOptions& opts, core::ExecutionContext& ctx)
              -> Result<core::SearchResult> {
-    const std::string key = ResultCache::MakeKey(
-        snapshot->tenant(), snapshot->epoch(), snapshot->minor_epoch(),
-        first_row, opts);
+    const std::string key =
+        ResultCache::MakeKeyWithPrefix(key_prefix, first_row, opts);
     if (std::optional<core::SearchResult> hit = cache_.Lookup(key)) {
       metrics_.RecordCacheLookup(/*hit=*/true);
       tenant_counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -258,25 +264,17 @@ RequestResult MappingService::Call(InputRequest request) {
 }
 
 size_t MappingService::EvictIdleTenants() {
-  // Names first: once the catalog erases a tenant its name is gone, so
-  // diff the listing around the sweep to know whose cache entries to drop.
-  std::vector<std::string> before;
-  for (catalog::TenantInfo& info : catalog_->ListTenants()) {
-    before.push_back(std::move(info.name));
+  // The catalog reports exactly who it evicted and at which epoch, and the
+  // cache purge is bounded by that epoch: a republish of the same tenant
+  // name racing this sweep owns a strictly newer epoch (catalog-wide
+  // monotonic counter), so its fresh entries survive. The old
+  // diff-the-listing approach purged by name alone and would eat them.
+  const std::vector<catalog::Catalog::EvictedTenant> evicted =
+      catalog_->EvictIdle();
+  for (const catalog::Catalog::EvictedTenant& tenant : evicted) {
+    cache_.EvictTenantEntries(tenant.name, tenant.epoch);
   }
-  const size_t evicted = catalog_->EvictIdle();
-  if (evicted > 0) {
-    std::vector<catalog::TenantInfo> after = catalog_->ListTenants();
-    for (const std::string& name : before) {
-      const bool alive =
-          std::any_of(after.begin(), after.end(),
-                      [&](const catalog::TenantInfo& info) {
-                        return info.name == name;
-                      });
-      if (!alive) cache_.EvictTenantEntries(name);
-    }
-  }
-  return evicted;
+  return evicted.size();
 }
 
 void MappingService::DrainOne() {
@@ -356,6 +354,9 @@ RequestResult MappingService::ProcessUpdate(const QueuedRequest& queued) {
   result.update_minor_epoch = update.snapshot->minor_epoch();
   result.inserted_rows = update.inserted_rows;
   record(/*ok=*/true, update.rows_inserted, update.rows_deleted);
+  tenant_metrics_.ForTenant(queued.tenant)
+      ->update_shards_touched.fetch_add(update.shards_touched,
+                                        std::memory_order_relaxed);
   return finish(result.degraded ? RequestOutcome::kDegraded
                                 : RequestOutcome::kOk,
                 Status::OK());

@@ -462,6 +462,8 @@ TenantMetricsRegistry::Snapshot() const {
     snap.updates_ok = counters->updates_ok.load(std::memory_order_relaxed);
     snap.updates_failed =
         counters->updates_failed.load(std::memory_order_relaxed);
+    snap.update_shards_touched =
+        counters->update_shards_touched.load(std::memory_order_relaxed);
     out.emplace(name, snap);
   }
   return out;
@@ -514,6 +516,8 @@ std::string TenantMetricsRegistry::ToJson() const {
     AppendJsonUInt(&out, "share_rejections", snap.share_rejections, &first);
     AppendJsonUInt(&out, "updates_ok", snap.updates_ok, &first);
     AppendJsonUInt(&out, "updates_failed", snap.updates_failed, &first);
+    AppendJsonUInt(&out, "update_shards_touched", snap.update_shards_touched,
+                   &first);
     AppendJsonUInt(&out, "cache_hits", snap.cache_hits, &first);
     AppendJsonUInt(&out, "cache_misses", snap.cache_misses, &first);
     AppendJsonUInt(&out, "sessions_created", snap.sessions_created, &first);

@@ -219,6 +219,11 @@ struct TenantMetricsSnapshot {
   /// Streaming update batches applied to / failed against this tenant.
   uint64_t updates_ok = 0;
   uint64_t updates_failed = 0;
+  /// Shards delta-cloned by this tenant's successful update batches,
+  /// summed (1 per batch for an unsharded tenant). Divided by updates_ok
+  /// this reads out how narrowly the shard hash scopes the average batch —
+  /// the whole point of intra-tenant sharding.
+  uint64_t update_shards_touched = 0;
 
   uint64_t TotalRequests() const {
     return requests_ok + requests_overloaded + requests_truncated +
@@ -244,6 +249,7 @@ class TenantMetricsRegistry {
     std::atomic<uint64_t> share_rejections{0};
     std::atomic<uint64_t> updates_ok{0};
     std::atomic<uint64_t> updates_failed{0};
+    std::atomic<uint64_t> update_shards_touched{0};
   };
 
   /// \brief Finds or creates the tenant's counters.

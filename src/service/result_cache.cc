@@ -1,5 +1,8 @@
 #include "service/result_cache.h"
 
+#include <cstdlib>
+#include <limits>
+
 #include "common/failpoint.h"
 #include "common/string_util.h"
 
@@ -30,20 +33,27 @@ std::string TenantPrefix(std::string_view tenant) {
 }
 }  // namespace
 
-std::string ResultCache::MakeKey(std::string_view tenant, uint64_t epoch,
-                                 uint64_t minor_epoch,
-                                 const std::vector<std::string>& first_row,
-                                 const core::SearchOptions& options) {
-  // Tenant + (epoch, minor epoch) scope the key to one serving state —
-  // publish or streaming update; the options fingerprint covers everything
-  // else that can change the result set (canonically defined next to the
-  // options themselves).
-  std::string key = TenantPrefix(tenant) +
-                    StrFormat("e=%llu.%llu;m=%zu;",
-                              static_cast<unsigned long long>(epoch),
-                              static_cast<unsigned long long>(minor_epoch),
-                              first_row.size()) +
-                    options.Fingerprint() + "|";
+std::string ResultCache::MakeKeyPrefix(std::string_view tenant,
+                                       uint64_t epoch, uint64_t minor_epoch,
+                                       uint32_t shards) {
+  // Tenant + (epoch, minor epoch) + shard topology scope the prefix to one
+  // serving state — publish, streaming update, or reshard.
+  return TenantPrefix(tenant) +
+         StrFormat("e=%llu.%llu;s=%u;",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(minor_epoch),
+                   static_cast<unsigned>(shards));
+}
+
+std::string ResultCache::MakeKeyWithPrefix(
+    std::string_view prefix, const std::vector<std::string>& first_row,
+    const core::SearchOptions& options) {
+  // The options fingerprint covers everything else that can change the
+  // result set (canonically defined next to the options themselves).
+  std::string key(prefix);
+  key += StrFormat("m=%zu;", first_row.size());
+  key += options.Fingerprint();
+  key += '|';
   for (const std::string& sample : first_row) {
     key += ToLower(sample);
     key += '\x1f';  // unit separator: never produced by user keystrokes
@@ -51,12 +61,37 @@ std::string ResultCache::MakeKey(std::string_view tenant, uint64_t epoch,
   return key;
 }
 
+std::string ResultCache::MakeKey(std::string_view tenant, uint64_t epoch,
+                                 uint64_t minor_epoch, uint32_t shards,
+                                 const std::vector<std::string>& first_row,
+                                 const core::SearchOptions& options) {
+  return MakeKeyWithPrefix(MakeKeyPrefix(tenant, epoch, minor_epoch, shards),
+                           first_row, options);
+}
+
 size_t ResultCache::EvictTenantEntries(std::string_view tenant) {
+  return EvictTenantEntries(tenant, std::numeric_limits<uint64_t>::max());
+}
+
+size_t ResultCache::EvictTenantEntries(std::string_view tenant,
+                                       uint64_t max_epoch) {
   const std::string prefix = TenantPrefix(tenant);
   std::lock_guard<std::mutex> lock(mu_);
   size_t evicted = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      ++it;
+      continue;
+    }
+    // The epoch segment follows the self-delimiting tenant prefix as
+    // "e=<epoch>.<minor>;". Entries from a newer epoch — a republish that
+    // raced the eviction sweep — are kept.
+    const char* seg = it->first.c_str() + prefix.size();
+    uint64_t entry_epoch = 0;
+    if (seg[0] == 'e' && seg[1] == '=') {
+      entry_epoch = std::strtoull(seg + 2, nullptr, 10);
+    }
+    if (entry_epoch > max_epoch) {
       ++it;
       continue;
     }

@@ -52,17 +52,42 @@ class ResultCache {
   /// every installed update batch moves the tenant to a new key space, so
   /// results computed before the update can never be replayed after it
   /// (base snapshots are minor 0, matching keys minted before streaming
-  /// existed).
+  /// existed). `shards` is the snapshot's shard topology: results are
+  /// byte-identical across shard counts, but keying on the topology keeps
+  /// the fingerprint an honest function of the serving configuration (a
+  /// reshard republish already lands on a new epoch anyway).
   static std::string MakeKey(std::string_view tenant, uint64_t epoch,
-                             uint64_t minor_epoch,
+                             uint64_t minor_epoch, uint32_t shards,
                              const std::vector<std::string>& first_row,
                              const core::SearchOptions& options);
 
+  /// \brief The pin-time half of MakeKey: every key segment derived from
+  /// the pinned snapshot (tenant, epoch, minor epoch, shard topology).
+  /// Sessions compute this once when they pin, so a request admitted under
+  /// one serving state can never be keyed with a later one — the
+  /// fingerprint is captured at pin time by construction.
+  static std::string MakeKeyPrefix(std::string_view tenant, uint64_t epoch,
+                                   uint64_t minor_epoch, uint32_t shards);
+
+  /// \brief The per-request half of MakeKey: appends the target-column
+  /// count, options fingerprint and normalized samples to a pin-time
+  /// prefix. MakeKey == MakeKeyWithPrefix(MakeKeyPrefix(...), ...).
+  static std::string MakeKeyWithPrefix(
+      std::string_view prefix, const std::vector<std::string>& first_row,
+      const core::SearchOptions& options);
+
   /// \brief Drops every entry belonging to `tenant` (any epoch); returns
-  /// how many were removed. Used when a tenant is dropped/evicted —
+  /// how many were removed. Used when a tenant is dropped —
   /// correctness never depends on this (epochs are never reused), it just
   /// stops dead entries from squatting LRU capacity.
   size_t EvictTenantEntries(std::string_view tenant);
+
+  /// \brief Drops `tenant`'s entries whose epoch is <= `max_epoch` only.
+  /// This is the eviction-safe variant: an eviction sweep that raced a
+  /// republish of the same tenant name must not purge the fresh epoch's
+  /// entries, and the republish's epoch is strictly greater than the
+  /// evicted one (catalog-wide monotonic counter).
+  size_t EvictTenantEntries(std::string_view tenant, uint64_t max_epoch);
 
   /// \brief Returns a copy of the cached result and refreshes its
   /// recency, or nullopt on a miss.

@@ -23,13 +23,17 @@ uint64_t PolicyFingerprint(const MatchPolicy& policy) {
 
 }  // namespace
 
-FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
-                               EngineOptions options)
-    : db_(db),
-      policy_(policy),
-      policy_fp_(PolicyFingerprint(policy)),
-      probe_cache_(std::make_shared<ProbeCache>(options.probe_cache_bytes)) {
+void FullTextEngine::InitMetadata(const storage::Database* db,
+                                  MatchPolicy policy,
+                                  const EngineOptions& options) {
   MW_CHECK(db != nullptr);
+  db_ = db;
+  policy_ = policy;
+  policy_fp_ = PolicyFingerprint(policy);
+  probe_cache_ = std::make_shared<ProbeCache>(options.probe_cache_bytes);
+  shard_index_ = options.shard_index;
+  shard_count_ = options.shard_count;
+  MW_CHECK(shard_count_ <= 1 || shard_index_ < shard_count_);
   rel_versions_.assign(db->num_relations(), 0);
   for (size_t r = 0; r < db->num_relations(); ++r) {
     const storage::RelationId rel_id = static_cast<storage::RelationId>(r);
@@ -55,6 +59,11 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
     slot_of_attr_[numeric_attrs_[i]] =
         static_cast<int>(indexed_attrs_.size() + i);
   }
+}
+
+FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
+                               EngineOptions options) {
+  InitMetadata(db, policy, options);
   // Per-attribute index builds are independent; fan them out on the shared
   // pool. (Token dictionary, trigram table and deletion table of each
   // attribute are all built inside the InvertedIndex constructor.)
@@ -67,8 +76,8 @@ FullTextEngine::FullTextEngine(const storage::Database* db, MatchPolicy policy,
     // build (builds cannot fail, so only kDelay is meaningful here).
     (void)MW_FAILPOINT_FIRE("text.index.build");
     const AttributeRef& ref = indexed_attrs_[i];
-    indexes_[i] = std::make_shared<InvertedIndex>(db->relation(ref.relation),
-                                                  ref.attribute);
+    indexes_[i] = std::make_shared<InvertedIndex>(
+        db->relation(ref.relation), ref.attribute, shard_index_, shard_count_);
   });
 }
 
@@ -86,6 +95,8 @@ std::unique_ptr<FullTextEngine> FullTextEngine::CloneForDelta(
   delta->numeric_attrs_ = numeric_attrs_;
   delta->slot_of_attr_ = slot_of_attr_;
   delta->rel_versions_ = rel_versions_;
+  delta->shard_index_ = shard_index_;
+  delta->shard_count_ = shard_count_;
   delta->probe_cache_ = probe_cache_;  // shared; versions fence staleness
   delta->indexes_.resize(indexes_.size());
   for (size_t i = 0; i < indexes_.size(); ++i) {
@@ -104,6 +115,9 @@ std::unique_ptr<FullTextEngine> FullTextEngine::CloneForDelta(
 
 void FullTextEngine::ApplyRowInsert(storage::RelationId relation,
                                     storage::RowId row) {
+  if (shard_count_ > 1 && ShardOfRow(row, shard_count_) != shard_index_) {
+    return;  // the row belongs to a sibling shard
+  }
   const storage::Relation& rel = db_->relation(relation);
   for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
     if (indexed_attrs_[i].relation != relation) continue;
@@ -113,6 +127,9 @@ void FullTextEngine::ApplyRowInsert(storage::RelationId relation,
 
 void FullTextEngine::ApplyRowDelete(storage::RelationId relation,
                                     storage::RowId row) {
+  if (shard_count_ > 1 && ShardOfRow(row, shard_count_) != shard_index_) {
+    return;  // the row belongs to a sibling shard
+  }
   const storage::Relation& rel = db_->relation(relation);
   for (size_t i = 0; i < indexed_attrs_.size(); ++i) {
     if (indexed_attrs_[i].relation != relation) continue;

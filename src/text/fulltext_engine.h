@@ -45,6 +45,11 @@ struct EngineOptions {
   /// Threads for the per-attribute parallel index build; 0 picks the
   /// process-wide thread-pool size.
   size_t build_threads = 0;
+  /// Shard scope: with `shard_count` > 1 the engine indexes only the rows
+  /// common::ShardOfRow assigns to `shard_index`. Row ids stay physical
+  /// (relation-global); ShardedTextEngine unions per-shard results.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
 
 /// \brief Full-text search engine over one database instance.
@@ -61,6 +66,10 @@ class FullTextEngine {
   /// below (CloneForDelta + ApplyRow*).
   FullTextEngine(const storage::Database* db, MatchPolicy policy,
                  EngineOptions options = {});
+
+  virtual ~FullTextEngine() = default;
+  FullTextEngine(const FullTextEngine&) = delete;
+  FullTextEngine& operator=(const FullTextEngine&) = delete;
 
   /// \brief Copy-on-write copy for a streaming update: indexes over
   /// relations in `touched` are deep-copied (the caller is about to mutate
@@ -79,26 +88,27 @@ class FullTextEngine {
   /// \brief Incrementally indexes a freshly appended row of `relation`
   /// across every indexed attribute. Only valid on a CloneForDelta engine
   /// whose `touched` set included the relation, before the engine is
-  /// published.
-  void ApplyRowInsert(storage::RelationId relation, storage::RowId row);
+  /// published. A sharded engine indexes the row only when
+  /// common::ShardOfRow assigns it to this shard.
+  virtual void ApplyRowInsert(storage::RelationId relation, storage::RowId row);
 
   /// \brief Removes a tombstoned row of `relation` from every indexed
   /// attribute. Same ownership restrictions as ApplyRowInsert; the row's
   /// values must still be physically readable (tombstoned, not erased).
-  void ApplyRowDelete(storage::RelationId relation, storage::RowId row);
+  virtual void ApplyRowDelete(storage::RelationId relation, storage::RowId row);
 
   /// \brief Refreshes byte accounting on the touched relations' indexes
   /// after a batch of ApplyRow* calls.
-  void FinalizeDelta(const std::vector<storage::RelationId>& touched);
+  virtual void FinalizeDelta(const std::vector<storage::RelationId>& touched);
 
   /// \brief Largest per-index removed-row count among `relation`'s indexes:
   /// the delta-compaction policy input.
-  size_t MaxRemovedRows(storage::RelationId relation) const;
+  virtual size_t MaxRemovedRows(storage::RelationId relation) const;
 
   /// \brief Rebuilds every index of `relation` from scratch over its live
   /// rows, reclaiming dictionary garbage left by removals. Same ownership
   /// restrictions as ApplyRowInsert.
-  void CompactRelationIndexes(storage::RelationId relation);
+  virtual void CompactRelationIndexes(storage::RelationId relation);
 
   /// \brief Update version of one relation: 0 at Publish, bumped to the
   /// snapshot's minor epoch whenever a streaming update touches the
@@ -123,8 +133,9 @@ class FullTextEngine {
 
   /// \brief Verified rows of one attribute that noisily contain `sample`
   /// (sorted, never null). Returns the empty set for non-indexed attributes.
-  RowSet MatchingRows(const AttributeRef& attr, const std::string& sample,
-                      ProbeCounters* counters = nullptr) const;
+  virtual RowSet MatchingRows(const AttributeRef& attr,
+                              const std::string& sample,
+                              ProbeCounters* counters = nullptr) const;
 
   /// \brief True iff the given row's attribute value noisily contains
   /// `sample`.
@@ -139,7 +150,7 @@ class FullTextEngine {
   std::string AttributeName(const AttributeRef& attr) const;
 
   /// \brief Number of indexed (relation, attribute) columns.
-  size_t num_indexed_attributes() const { return indexes_.size(); }
+  size_t num_indexed_attributes() const { return indexed_attrs_.size(); }
   /// \brief Searchable numeric columns considered when the policy enables
   /// numeric-sample matching.
   size_t num_numeric_attributes() const { return numeric_attrs_.size(); }
@@ -157,15 +168,28 @@ class FullTextEngine {
   }
 
   /// \brief Approximate heap footprint of all attribute indexes.
-  size_t index_bytes() const;
+  virtual size_t index_bytes() const;
   /// \brief Lifetime probe statistics across every caller of this engine
   /// (callers passing their own ProbeCounters are counted here too).
   ProbeStats probe_totals() const { return probe_totals_.Snapshot(); }
   ProbeCache::Stats probe_cache_stats() const { return probe_cache_->stats(); }
 
- private:
-  // For CloneForDelta, which fills every member itself.
+  /// \brief Shard topology of this engine: 1 for a monolithic engine or one
+  /// shard of a bundle; ShardedTextEngine reports its fanout width.
+  virtual uint32_t shard_count() const { return 1; }
+
+ protected:
+  // For CloneForDelta (and the sharded facade), which fill every member
+  // themselves.
   FullTextEngine() = default;
+
+  // Fills every metadata member (attribute discovery, slot numbering,
+  // relation versions, policy fingerprint, probe memo, shard scope) without
+  // building any index. Shared by the public constructor and
+  // ShardedTextEngine, whose per-attribute indexes live in its shard
+  // engines.
+  void InitMetadata(const storage::Database* db, MatchPolicy policy,
+                    const EngineOptions& options);
 
   std::string CellText(const AttributeRef& attr, storage::RowId row) const;
   bool IsNumericAttr(const AttributeRef& attr) const;
@@ -188,6 +212,10 @@ class FullTextEngine {
   std::map<AttributeRef, int> slot_of_attr_;
   // Per-relation update version (see relation_version()).
   std::vector<uint64_t> rel_versions_;
+  // Shard scope (EngineOptions::shard_*): ApplyRow* silently skips rows the
+  // shard hash assigns elsewhere, so a sharded facade can broadcast row ops.
+  uint32_t shard_index_ = 0;
+  uint32_t shard_count_ = 1;
   // Byte-bounded memo of verified results (thread safety is needed by the
   // parallel pairwise step, core/pairwise.h). Shared across one publish
   // lineage — a Publish mints a fresh cache, streaming deltas reuse their

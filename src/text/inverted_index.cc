@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "common/hash_util.h"
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
@@ -32,10 +33,15 @@ ProbeScratch& LocalScratch() {
 }  // namespace
 
 InvertedIndex::InvertedIndex(const storage::Relation& relation,
-                             storage::AttributeId attribute) {
+                             storage::AttributeId attribute,
+                             uint32_t shard_index, uint32_t shard_count)
+    : shard_index_(shard_index), shard_count_(shard_count) {
   for (size_t r = 0; r < relation.num_rows(); ++r) {
     const storage::RowId row = static_cast<storage::RowId>(r);
     if (relation.is_deleted(row)) continue;
+    if (shard_count_ > 1 && ShardOfRow(row, shard_count_) != shard_index_) {
+      continue;
+    }
     const storage::Value& v = relation.at(row, attribute);
     if (v.is_null()) continue;
     all_rows_.push_back(row);

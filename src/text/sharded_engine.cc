@@ -1,0 +1,241 @@
+#include "text/sharded_engine.h"
+
+#include <algorithm>
+
+#include "common/hash_util.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+
+namespace mweaver::text {
+
+void ShardedTextEngine::Init(const storage::Database* db, MatchPolicy policy,
+                             uint32_t shard_count,
+                             const EngineOptions& options,
+                             const ShardedTextEngine* previous,
+                             const std::vector<bool>& reuse,
+                             size_t* shards_rebuilt) {
+  // The facade's own metadata (numeric scan path, merged-result memo) spans
+  // the whole database: shard scope belongs to the shard engines only.
+  EngineOptions facade_options = options;
+  facade_options.shard_index = 0;
+  facade_options.shard_count = 1;
+  InitMetadata(db, policy, facade_options);
+
+  const uint32_t n = std::max<uint32_t>(1, shard_count);
+  shards_.resize(n);
+  mutable_shards_.assign(n, false);
+  EngineOptions shard_options = options;
+  shard_options.shard_count = n;
+  if (shard_options.probe_cache_bytes > 0) {
+    // Split the memo budget across shards (floored well above useless) so a
+    // sharded tenant's total stays in the same ballpark as a monolithic one.
+    shard_options.probe_cache_bytes =
+        std::max<size_t>(shard_options.probe_cache_bytes / n, 64u << 10);
+  }
+  std::vector<uint32_t> to_build;
+  to_build.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (previous != nullptr && s < reuse.size() && reuse[s]) {
+      // Carried over unchanged: rebind to the new database at the shard's
+      // old relation versions, sharing indexes and probe memo.
+      shards_[s] = previous->shard(s)->CloneForDelta(db, {}, 0);
+    } else {
+      to_build.push_back(s);
+    }
+  }
+  // Shard builds are independent; fan them out (each one additionally fans
+  // its per-attribute index builds out — ParallelFor nests safely).
+  ParallelFor(to_build.size(), ThreadPool::Shared().num_threads(),
+              [&](size_t i) {
+                EngineOptions so = shard_options;
+                so.shard_index = to_build[i];
+                shards_[to_build[i]] =
+                    std::make_shared<FullTextEngine>(db, policy, so);
+              });
+  if (shards_rebuilt != nullptr) *shards_rebuilt = to_build.size();
+}
+
+ShardedTextEngine::ShardedTextEngine(const storage::Database* db,
+                                     MatchPolicy policy, uint32_t shard_count,
+                                     EngineOptions options) {
+  Init(db, policy, shard_count, options, /*previous=*/nullptr, {},
+       /*shards_rebuilt=*/nullptr);
+}
+
+std::unique_ptr<ShardedTextEngine> ShardedTextEngine::BuildReusing(
+    const storage::Database* db, MatchPolicy policy, uint32_t shard_count,
+    EngineOptions options, const ShardedTextEngine* previous,
+    const std::vector<bool>& reuse, size_t* shards_rebuilt) {
+  auto bundle = std::unique_ptr<ShardedTextEngine>(new ShardedTextEngine());
+  bundle->Init(db, policy, shard_count, options, previous, reuse,
+               shards_rebuilt);
+  return bundle;
+}
+
+ShardedTextEngine::ShardedTextEngine(
+    const storage::Database* db, MatchPolicy policy,
+    std::vector<std::shared_ptr<FullTextEngine>> shards, EngineOptions options)
+    : ShardedTextEngine() {
+  MW_CHECK(!shards.empty());
+  EngineOptions facade_options = options;
+  facade_options.shard_index = 0;
+  facade_options.shard_count = 1;
+  InitMetadata(db, policy, facade_options);
+  shards_ = std::move(shards);
+  mutable_shards_.assign(shards_.size(), false);
+}
+
+std::unique_ptr<ShardedTextEngine> ShardedTextEngine::CloneForShardedDelta(
+    const storage::Database* db,
+    const std::vector<storage::RelationId>& touched,
+    const std::vector<uint32_t>& touched_shards, uint64_t new_version) const {
+  MW_CHECK(db != nullptr);
+  auto clone = std::unique_ptr<ShardedTextEngine>(new ShardedTextEngine());
+  clone->db_ = db;
+  clone->policy_ = policy_;
+  clone->policy_fp_ = policy_fp_;
+  clone->indexed_attrs_ = indexed_attrs_;
+  clone->index_of_attr_ = index_of_attr_;
+  clone->numeric_attrs_ = numeric_attrs_;
+  clone->slot_of_attr_ = slot_of_attr_;
+  clone->rel_versions_ = rel_versions_;
+  clone->probe_cache_ = probe_cache_;  // shared; versions fence staleness
+  clone->shards_.resize(shards_.size());
+  clone->mutable_shards_.assign(shards_.size(), false);
+  static const std::vector<storage::RelationId> kNoRelations;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const bool is_touched =
+        std::find(touched_shards.begin(), touched_shards.end(),
+                  static_cast<uint32_t>(s)) != touched_shards.end();
+    // Untouched shards are shallow-rebound to the delta's database at their
+    // old relation versions (their content is unchanged — the shard hash
+    // routed no batch row to them), keeping their probe memos warm.
+    clone->shards_[s] = shards_[s]->CloneForDelta(
+        db, is_touched ? touched : kNoRelations, new_version);
+    clone->mutable_shards_[s] = is_touched;
+  }
+  // The facade's own versions (numeric memo + merged-result memo keys) bump
+  // for every touched relation: merged results depend on all shards.
+  for (storage::RelationId rel : touched) {
+    clone->rel_versions_[static_cast<size_t>(rel)] = new_version;
+  }
+  return clone;
+}
+
+RowSet ShardedTextEngine::MatchingRows(const AttributeRef& attr,
+                                       const std::string& sample,
+                                       ProbeCounters* counters) const {
+  if (index_of_attr_.find(attr) == index_of_attr_.end()) {
+    // Numeric (or unknown) attribute: the whole-database scan+memo path.
+    return FullTextEngine::MatchingRows(attr, sample, counters);
+  }
+  ProbeStats stats;
+  stats.probes = 1;
+  const uint64_t version = relation_version(attr.relation);
+  if (RowSet cached = probe_cache_->Lookup(attr.relation, attr.attribute,
+                                           policy_fp_, version, sample)) {
+    stats.memo_hits = 1;
+    probe_totals_.Record(stats);
+    if (counters != nullptr) counters->Record(stats);
+    return cached;
+  }
+  stats.memo_misses = 1;
+
+  // Fan the probe out; each shard memoizes its own slice. `shard_stats`
+  // (atomic) aggregates the shards' candidate/fallback tallies so they flow
+  // into the caller's trace and the facade's cacheability rule.
+  std::vector<RowSet> per_shard(shards_.size());
+  ProbeCounters shard_stats;
+  ParallelFor(shards_.size(), ThreadPool::Shared().num_threads(),
+              [&](size_t s) {
+                per_shard[s] = shards_[s]->MatchingRows(attr, sample,
+                                                        &shard_stats);
+              });
+  stats.Add(shard_stats.Snapshot());
+
+  // Per-shard row sets are sorted and pairwise disjoint (the shard hash
+  // partitions rows), so concatenating in shard order and sorting yields
+  // exactly the monolithic engine's sorted result.
+  size_t total = 0;
+  size_t nonempty = 0;
+  const RowSet* only = nullptr;
+  for (const RowSet& rows : per_shard) {
+    if (rows->empty()) continue;
+    ++nonempty;
+    only = &rows;
+    total += rows->size();
+  }
+  RowSet result;
+  if (total == 0) {
+    result = EmptyRowSet();
+  } else if (nonempty == 1) {
+    result = *only;  // share the single shard's vector
+  } else {
+    std::vector<storage::RowId> merged;
+    merged.reserve(total);
+    for (const RowSet& rows : per_shard) {
+      merged.insert(merged.end(), rows->begin(), rows->end());
+    }
+    std::sort(merged.begin(), merged.end());
+    result = std::make_shared<const std::vector<storage::RowId>>(
+        std::move(merged));
+  }
+
+  probe_totals_.Record(stats);
+  if (counters != nullptr) counters->Record(stats);
+  // Same rule as the monolithic engine: punctuation-only samples degrade to
+  // all-rows candidate sets; never cache those.
+  if (stats.all_rows_fallbacks == 0) {
+    probe_cache_->Insert(attr.relation, attr.attribute, policy_fp_, version,
+                         sample, result);
+  }
+  return result;
+}
+
+void ShardedTextEngine::ApplyRowInsert(storage::RelationId relation,
+                                       storage::RowId row) {
+  const uint32_t s = ShardOfRow(row, shards_.size());
+  MW_CHECK(mutable_shards_[s]);
+  shards_[s]->ApplyRowInsert(relation, row);
+}
+
+void ShardedTextEngine::ApplyRowDelete(storage::RelationId relation,
+                                       storage::RowId row) {
+  const uint32_t s = ShardOfRow(row, shards_.size());
+  MW_CHECK(mutable_shards_[s]);
+  shards_[s]->ApplyRowDelete(relation, row);
+}
+
+void ShardedTextEngine::FinalizeDelta(
+    const std::vector<storage::RelationId>& touched) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (mutable_shards_[s]) shards_[s]->FinalizeDelta(touched);
+  }
+}
+
+size_t ShardedTextEngine::MaxRemovedRows(storage::RelationId relation) const {
+  const bool in_delta = std::find(mutable_shards_.begin(),
+                                  mutable_shards_.end(),
+                                  true) != mutable_shards_.end();
+  size_t max_removed = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (in_delta && !mutable_shards_[s]) continue;
+    max_removed = std::max(max_removed, shards_[s]->MaxRemovedRows(relation));
+  }
+  return max_removed;
+}
+
+void ShardedTextEngine::CompactRelationIndexes(storage::RelationId relation) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (mutable_shards_[s]) shards_[s]->CompactRelationIndexes(relation);
+  }
+}
+
+size_t ShardedTextEngine::index_bytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->index_bytes();
+  return bytes;
+}
+
+}  // namespace mweaver::text

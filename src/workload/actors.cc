@@ -124,6 +124,24 @@ void Actor::RunUpdateIteration(const PhaseRuntime& phase,
       result = config_.service->ApplyUpdate(request);
     }
   }
+  // Publish churn invalidates row ownership: a republish rebuilds the
+  // tenant from its source relations, so row ids this actor inserted into
+  // earlier minor epochs are out of range (or tombstoned) in the new
+  // epoch and the whole batch is rejected atomically — InvalidArgument or
+  // NotFound before the delta builds, FailedPrecondition when the
+  // republish lands mid-Apply and the install loses its CAS. In every
+  // case the safe reaction is the same: drop the stale ownership and
+  // re-issue the inserts alone; later iterations rebuild the delete
+  // backlog against the new epoch's row ids.
+  if (!result.status.ok() &&
+      (result.status.code() == StatusCode::kInvalidArgument ||
+       result.status.code() == StatusCode::kNotFound ||
+       result.status.code() == StatusCode::kFailedPrecondition)) {
+    owned_rows_.clear();
+    deleting.clear();
+    request.batch.deletes.clear();
+    result = config_.service->ApplyUpdate(request);
+  }
   recorder_.Record(phase.index, result.outcome,
                    result.latency_ms + extra_latency_ms);
   if (result.status.ok() && result.update_minor_epoch > 0) {

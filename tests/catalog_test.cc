@@ -129,7 +129,13 @@ TEST(CatalogTest, EvictIdleReclaimsColdTenantsAndNeverReusesEpochs) {
   auto first = catalog.Publish("alpha", testing::MakeFigure2Db());
   ASSERT_TRUE(first.ok());
   const uint64_t old_epoch = (*first)->epoch();
-  EXPECT_EQ(catalog.EvictIdle(), 1u);
+  const std::vector<Catalog::EvictedTenant> evicted = catalog.EvictIdle();
+  ASSERT_EQ(evicted.size(), 1u);
+  // Evictions report the epoch the tenant was serving, so downstream
+  // invalidation can be scoped to <= it (a racing republish's entries,
+  // at a strictly greater epoch, survive).
+  EXPECT_EQ(evicted[0].name, "alpha");
+  EXPECT_EQ(evicted[0].epoch, old_epoch);
   EXPECT_EQ(catalog.size(), 0u);
   EXPECT_TRUE(catalog.Pin("alpha").status().IsNotFound());
 
@@ -143,7 +149,7 @@ TEST(CatalogTest, EvictIdleReclaimsColdTenantsAndNeverReusesEpochs) {
   // A warm catalog evicts nothing.
   Catalog warm;  // default 30min TTL
   ASSERT_TRUE(warm.Publish("alpha", testing::MakeFigure2Db()).ok());
-  EXPECT_EQ(warm.EvictIdle(), 0u);
+  EXPECT_TRUE(warm.EvictIdle().empty());
   EXPECT_EQ(warm.size(), 1u);
 }
 

@@ -212,54 +212,54 @@ TEST_F(ServiceTest, ServiceRequestWithExpiredDeadlineAnswersImmediately) {
 
 TEST_F(ServiceTest, CacheKeyNormalizesCaseButNotWhitespace) {
   const SearchOptions options;
-  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, {"Avatar", "CAMERON"}, options),
-            ResultCache::MakeKey("t", 1, 0, {"avatar", "cameron"}, options));
-  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"Avatar "}, options),
-            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options));
-  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"a", "b"}, options),
-            ResultCache::MakeKey("t", 1, 0, {"ab"}, options));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, 1, {"Avatar", "CAMERON"}, options),
+            ResultCache::MakeKey("t", 1, 0, 1, {"avatar", "cameron"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, 1, {"Avatar "}, options),
+            ResultCache::MakeKey("t", 1, 0, 1, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, 1, {"a", "b"}, options),
+            ResultCache::MakeKey("t", 1, 0, 1, {"ab"}, options));
   SearchOptions other = options;
   other.pmnj = 3;  // different search space -> different key
-  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options),
-            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, other));
+  EXPECT_NE(ResultCache::MakeKey("t", 1, 0, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, 0, 1, {"Avatar"}, other));
   other = options;
   other.num_threads = 8;  // timing-only knob -> same key
-  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, {"Avatar"}, options),
-            ResultCache::MakeKey("t", 1, 0, {"Avatar"}, other));
+  EXPECT_EQ(ResultCache::MakeKey("t", 1, 0, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("t", 1, 0, 1, {"Avatar"}, other));
 }
 
 TEST_F(ServiceTest, CacheKeyIsTenantAndEpochScoped) {
   const SearchOptions options;
   // Identical queries on different tenants never share an entry.
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options),
-            ResultCache::MakeKey("beta", 1, 0, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("beta", 1, 0, 1, {"Avatar"}, options));
   // A republish bumps the epoch, invalidating every prior key.
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options),
-            ResultCache::MakeKey("alpha", 2, 0, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 0, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 2, 0, 1, {"Avatar"}, options));
   // A streaming update bumps only the minor epoch — also a fresh key, and
   // distinct from the next full epoch.
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, {"Avatar"}, options),
-            ResultCache::MakeKey("alpha", 1, 0, {"Avatar"}, options));
-  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, {"Avatar"}, options),
-            ResultCache::MakeKey("alpha", 2, 0, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 1, 0, 1, {"Avatar"}, options));
+  EXPECT_NE(ResultCache::MakeKey("alpha", 1, 1, 1, {"Avatar"}, options),
+            ResultCache::MakeKey("alpha", 2, 0, 1, {"Avatar"}, options));
   // Tenant names are length-prefixed, so crafted names cannot splice into
   // a different tenant's key space.
-  EXPECT_NE(ResultCache::MakeKey("a;e=1", 1, 0, {"x"}, options),
-            ResultCache::MakeKey("a", 1, 0, {"x"}, options));
+  EXPECT_NE(ResultCache::MakeKey("a;e=1", 1, 0, 1, {"x"}, options),
+            ResultCache::MakeKey("a", 1, 0, 1, {"x"}, options));
 }
 
 TEST_F(ServiceTest, EvictTenantEntriesDropsOnlyThatTenant) {
   ResultCache cache(8);
   const SearchOptions options;
   core::SearchResult result;
-  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, {"a"}, options), result);
-  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, {"b"}, options), result);
-  cache.Insert(ResultCache::MakeKey("beta", 1, 0, {"a"}, options), result);
+  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, 1, {"a"}, options), result);
+  cache.Insert(ResultCache::MakeKey("alpha", 1, 0, 1, {"b"}, options), result);
+  cache.Insert(ResultCache::MakeKey("beta", 1, 0, 1, {"a"}, options), result);
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.EvictTenantEntries("alpha"), 2u);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(
-      cache.Lookup(ResultCache::MakeKey("beta", 1, 0, {"a"}, options))
+      cache.Lookup(ResultCache::MakeKey("beta", 1, 0, 1, {"a"}, options))
           .has_value());
   EXPECT_EQ(cache.EvictTenantEntries("alpha"), 0u);
 }
@@ -650,6 +650,30 @@ TEST_F(ServiceTest, HotTenantCannotStarveTheQueueForOthers) {
   }
 }
 
+TEST_F(ServiceTest, TinyQueueShareStillAdmitsOneRequestPerTenant) {
+  // Regression guard: share * depth below one slot (0.2 * 4 = 0.8) must
+  // clamp to a single queued slot, not truncate to zero — a zero cap
+  // would reject every request of every tenant on a small queue.
+  ServiceOptions options;
+  options.num_workers = 0;  // nothing drains: queue occupancy is exact
+  options.max_queue_depth = 4;
+  options.max_tenant_queue_share = 0.2;
+  {
+    MappingService svc(&catalog_, options);
+    EXPECT_EQ(svc.TenantQueueCap(), 1u);
+    const SessionId id = *svc.CreateSession({"Name"});
+    InputRequest request;
+    request.session_id = id;
+    request.value = "Avatar";
+    const auto sink = [](RequestResult) {};
+    // Exactly one slot: the first enqueue is admitted, the second is
+    // share-rejected.
+    EXPECT_TRUE(svc.Enqueue(request, sink).ok());
+    EXPECT_TRUE(svc.Enqueue(request, sink).IsResourceExhausted());
+    // Destructor fails the admitted-but-unprocessed request.
+  }
+}
+
 TEST_F(ServiceTest, PerTenantMetricsRollUpByTenant) {
   ASSERT_TRUE(catalog_.Publish("other", testing::MakeFigure2Db()).ok());
   MappingService svc(&catalog_);
@@ -705,6 +729,84 @@ TEST(ServiceTenantEvictionTest, IdleTenantsAreEvictedAndCachePurged) {
   EXPECT_EQ(svc.cache().size(), 0u);  // tenant entries purged with it
   // New sessions on the evicted tenant now fail cleanly.
   EXPECT_TRUE(svc.CreateSession({"Name"}).status().IsNotFound());
+}
+
+TEST(ServiceTenantEvictionTest, EvictionPurgeSparesARacingRepublish) {
+  // Regression guard for the eviction/republish race: the sweep evicts
+  // tenant "t" while it serves epoch E1, but before the cache purge runs
+  // a republish installs E2 and repopulates entries. Purging by name
+  // alone would drop the republished (perfectly valid) entries; the purge
+  // is bounded by the epoch the eviction observed, and catalog epochs are
+  // globally monotonic, so E2's entries must survive.
+  catalog::CatalogOptions catalog_options;
+  catalog_options.idle_ttl = std::chrono::milliseconds(0);
+  catalog::Catalog catalog(catalog_options);
+  auto first = catalog.Publish("t", testing::MakeFigure2Db());
+  ASSERT_TRUE(first.ok());
+  const uint64_t e1 = (*first)->epoch();
+
+  ResultCache cache(8);
+  const SearchOptions options;
+  core::SearchResult result;
+  cache.Insert(ResultCache::MakeKey("t", e1, 0, 1, {"avatar"}, options),
+               result);
+
+  // The eviction sweep observes E1...
+  const std::vector<catalog::Catalog::EvictedTenant> evicted =
+      catalog.EvictIdle();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].name, "t");
+  EXPECT_EQ(evicted[0].epoch, e1);
+
+  // ...then the republish wins the race and repopulates the cache.
+  auto second = catalog.Publish("t", testing::MakeFigure2Db());
+  ASSERT_TRUE(second.ok());
+  const uint64_t e2 = (*second)->epoch();
+  ASSERT_GT(e2, e1);
+  cache.Insert(ResultCache::MakeKey("t", e2, 0, 1, {"avatar"}, options),
+               result);
+
+  // The purge lands last, scoped to epochs <= E1: only the stale entry
+  // goes.
+  EXPECT_EQ(cache.EvictTenantEntries("t", evicted[0].epoch), 1u);
+  EXPECT_TRUE(
+      cache
+          .Lookup(ResultCache::MakeKey("t", e2, 0, 1, {"avatar"}, options))
+          .has_value());
+  // The unbounded overload (tenant Drop, not eviction) still clears all.
+  EXPECT_EQ(cache.EvictTenantEntries("t"), 1u);
+}
+
+TEST(ServiceTenantEvictionTest, ConcurrentRepublishAndEvictionStayCoherent) {
+  // Thread-level smoke for the same race: one thread sweeps evictions
+  // while another republishes and searches. Nothing may crash, and every
+  // completed search must succeed — a purge that raced a republish shows
+  // up here (under TSan) as a stale cache entry or a torn catalog state.
+  catalog::CatalogOptions catalog_options;
+  catalog_options.idle_ttl = std::chrono::milliseconds(0);
+  catalog::Catalog catalog(catalog_options);
+  ASSERT_TRUE(
+      catalog.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+  MappingService svc(&catalog);
+
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&]() {
+    while (!stop.load()) svc.EvictIdleTenants();
+  });
+  for (int round = 0; round < 30; ++round) {
+    ASSERT_TRUE(
+        catalog.Publish(kDefaultTenant, testing::MakeFigure2Db()).ok());
+    auto created = svc.CreateSession({"Name"});
+    if (!created.ok()) continue;  // the sweeper won this round
+    InputRequest request;
+    request.session_id = *created;
+    request.value = "Avatar";
+    const RequestResult result = svc.Call(request);
+    EXPECT_TRUE(result.status.ok()) << result.status;
+    (void)svc.CloseSession(*created);
+  }
+  stop.store(true);
+  sweeper.join();
 }
 
 TEST_F(ServiceTest, SessionsKeepServingTheirPinnedEpochAcrossRepublish) {

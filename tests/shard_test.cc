@@ -1,0 +1,373 @@
+// Shard invariance: the property the whole intra-tenant sharding design
+// stands on. A tenant snapshot built as an N-way row-hash shard bundle
+// must be OBSERVABLY IDENTICAL to the monolithic layout: same search
+// results, same scores, same order, for every match mode, at every point
+// of a streaming-update replay. Shards partition physical row ids, each
+// shard engine posts its slice under the relation-global ids, and the
+// fan-out merge concatenates the disjoint sorted per-shard sets in shard
+// order — so any divergence across shard counts is a sharding bug by
+// construction, never data skew.
+//
+// The headline property test runs 50 seeded databases x 5 match policies
+// with identical probes against shard counts {1, 2, 7} (1 = the
+// monolithic FullTextEngine baseline; 2 and 7 exercise even and prime
+// fan-outs with empty and singleton shards at small scale). A second
+// harness replays seeded insert/delete batches through TenantWriter
+// against all three shard counts in lockstep and re-checks the property
+// after every installed delta. Shard probes fan out on the shared thread
+// pool, making this a designated TSan workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/tenant_writer.h"
+#include "common/random.h"
+#include "core/sample_search.h"
+#include "storage/database.h"
+#include "test_util.h"
+#include "text/fulltext_engine.h"
+#include "text/match.h"
+
+namespace mweaver::catalog {
+namespace {
+
+constexpr std::string_view kTenant = "shardy";
+constexpr uint32_t kShardCounts[] = {1, 2, 7};
+
+// Canonical (mapping, score) list for byte-identical comparison.
+std::vector<std::pair<std::string, double>> Ranked(
+    const core::SearchResult& result) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(result.candidates.size());
+  for (const core::CandidateMapping& c : result.candidates) {
+    out.emplace_back(c.mapping.Canonical(), c.score);
+  }
+  return out;
+}
+
+struct NamedPolicy {
+  const char* name;
+  text::MatchPolicy policy;
+};
+
+std::vector<NamedPolicy> AllPolicies() {
+  text::MatchPolicy numeric = text::MatchPolicy::Substring();
+  numeric.match_numeric = true;
+  return {
+      {"exact", text::MatchPolicy::Exact()},
+      {"ignore_case", text::MatchPolicy::IgnoreCase()},
+      {"substring", text::MatchPolicy::Substring()},
+      {"fuzzy", text::MatchPolicy::Fuzzy(1)},
+      // Numeric matching drives the facade's unsharded fall-through for
+      // non-indexed (numeric) attributes.
+      {"substring+numeric", numeric},
+  };
+}
+
+// Probes shared across every shard count of one (seed, policy) cell: two
+// existing string values, one two-value sample, and one numeric literal
+// (exercised by the +numeric policy, a clean miss elsewhere).
+std::vector<std::vector<std::string>> MakeProbes(const storage::Database& db,
+                                                 Rng* rng) {
+  return {
+      {testing::RandomSearchableValue(db, rng)},
+      {testing::RandomSearchableValue(db, rng),
+       testing::RandomSearchableValue(db, rng)},
+      {"3"},
+  };
+}
+
+// Verifies that every shard count serves byte-identical results for
+// `probes` against its pinned snapshot.
+void ExpectShardInvariant(const std::vector<SnapshotPtr>& snapshots,
+                          const std::vector<std::vector<std::string>>& probes,
+                          const std::string& context) {
+  ASSERT_EQ(snapshots.size(), std::size(kShardCounts));
+  for (const auto& probe : probes) {
+    std::vector<std::pair<std::string, double>> baseline;
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      const SnapshotPtr& snap = snapshots[i];
+      auto result =
+          core::SampleSearch(snap->engine(), snap->graph(), probe, {});
+      ASSERT_TRUE(result.ok()) << context << ": " << result.status();
+      if (i == 0) {
+        baseline = Ranked(*result);
+        continue;
+      }
+      EXPECT_EQ(Ranked(*result), baseline)
+          << context << ": " << kShardCounts[i]
+          << "-shard results diverged from the monolithic layout for probe"
+          << " '" << probe.front() << "'";
+    }
+  }
+}
+
+// ---------------------------------------------- search invariance --------
+
+TEST(ShardInvarianceTest, FiftySeededDbsMatchMonolithicAcrossModes) {
+  const std::vector<NamedPolicy> policies = AllPolicies();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    // Rotate the policy per seed: 50 cells spread over the 5 modes keeps
+    // the sweep dense without multiplying runtime by the mode count.
+    const NamedPolicy& mode = policies[seed % policies.size()];
+    const std::string context = "seed " + std::to_string(seed) + " mode " +
+                                mode.name;
+
+    std::vector<std::unique_ptr<Catalog>> catalogs;
+    std::vector<SnapshotPtr> snapshots;
+    for (const uint32_t shards : kShardCounts) {
+      CatalogOptions options;
+      options.match_policy = mode.policy;
+      options.shard_count = shards;
+      catalogs.push_back(std::make_unique<Catalog>(options));
+      auto published =
+          catalogs.back()->Publish(kTenant, testing::MakeUniversityDb(seed));
+      ASSERT_TRUE(published.ok()) << context << ": " << published.status();
+      EXPECT_EQ((*published)->shard_count(), shards) << context;
+      snapshots.push_back(*published);
+    }
+
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 7);
+    ExpectShardInvariant(snapshots, MakeProbes(snapshots[0]->db(), &rng),
+                         context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardInvarianceTest, Figure2MatchesAcrossEveryPolicy) {
+  // The tiny Figure-2 db leaves several of 7 shards empty — the edge the
+  // merge must treat as "no rows", not "no answer".
+  for (const NamedPolicy& mode : AllPolicies()) {
+    std::vector<std::unique_ptr<Catalog>> catalogs;
+    std::vector<SnapshotPtr> snapshots;
+    for (const uint32_t shards : kShardCounts) {
+      CatalogOptions options;
+      options.match_policy = mode.policy;
+      options.shard_count = shards;
+      catalogs.push_back(std::make_unique<Catalog>(options));
+      snapshots.push_back(
+          catalogs.back()->Publish(kTenant, testing::MakeFigure2Db())
+              .ValueOrDie());
+    }
+    ExpectShardInvariant(snapshots,
+                         {{"Avatar"},
+                          {"Avatar", "James Cameron"},
+                          {"Harry Potter", "David Yates"},
+                          {"zzz-no-such-value"}},
+                         std::string("figure2 mode ") + mode.name);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------- differential replay ------
+
+// Drives the same seeded insert/delete interleaving through TenantWriter
+// against shard counts {1, 2, 7} in lockstep. All three catalogs start
+// from the identical database and apply identical batches, so their
+// physical row-id spaces stay equal step by step — after every installed
+// delta the three bundles must keep serving byte-identical results.
+void RunShardedReplay(uint64_t seed, size_t steps) {
+  std::vector<std::unique_ptr<Catalog>> catalogs;
+  std::vector<std::unique_ptr<TenantWriter>> writers;
+  for (const uint32_t shards : kShardCounts) {
+    CatalogOptions options;
+    options.shard_count = shards;
+    catalogs.push_back(std::make_unique<Catalog>(options));
+    ASSERT_TRUE(
+        catalogs.back()->Publish(kTenant, testing::MakeUniversityDb(seed))
+            .ok());
+    writers.push_back(std::make_unique<TenantWriter>(catalogs.back().get()));
+  }
+
+  Rng rng(seed * 6364136223846793005ull + 3);
+  for (size_t step = 0; step < steps; ++step) {
+    const std::string context =
+        "seed " + std::to_string(seed) + " step " + std::to_string(step);
+    // Draw the batch from the BASELINE catalog's snapshot only, so every
+    // catalog applies the exact same operations.
+    const SnapshotPtr base = catalogs[0]->Pin(kTenant).ValueOrDie();
+    UpdateBatch batch;
+    const auto rel_id = static_cast<storage::RelationId>(
+        rng.Index(base->db().num_relations()));
+    const storage::Relation& rel = base->db().relation(rel_id);
+    if (rel.num_live_rows() == 0) continue;
+    auto row = static_cast<storage::RowId>(rng.Index(rel.num_rows()));
+    bool found = false;
+    for (size_t probe = 0; probe < rel.num_rows(); ++probe) {
+      if (!rel.is_deleted(row)) {
+        found = true;
+        break;
+      }
+      row = static_cast<storage::RowId>((row + 1) % rel.num_rows());
+    }
+    if (!found) continue;
+    if (rng.Bernoulli(0.35)) {
+      batch.deletes.push_back(RowDelete{rel.name(), row});
+    } else {
+      batch.inserts.push_back(RowInsert{rel.name(), rel.row(row)});
+    }
+
+    std::vector<SnapshotPtr> snapshots;
+    size_t baseline_shards_touched = 0;
+    for (size_t i = 0; i < catalogs.size(); ++i) {
+      auto applied = writers[i]->Apply(kTenant, batch);
+      ASSERT_TRUE(applied.ok()) << context << ": " << applied.status();
+      snapshots.push_back(applied->snapshot);
+      if (i == 0) baseline_shards_touched = applied->shards_touched;
+      // A one-row batch touches exactly one shard (unsharded tenants
+      // report 1 — the whole bundle).
+      EXPECT_EQ(applied->shards_touched, 1u) << context;
+    }
+    EXPECT_EQ(baseline_shards_touched, 1u) << context;
+
+    ExpectShardInvariant(snapshots, MakeProbes(snapshots[0]->db(), &rng),
+                         context);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardedReplayTest, SeededReplaysMatchAcrossShardCounts) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunShardedReplay(seed, /*steps=*/8);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------- reuse accounting ---------
+
+TEST(ShardReuseTest, RepublishRebuildsOnlyChangedShards) {
+  CatalogOptions options;
+  options.shard_count = 7;
+  Catalog catalog(options);
+  const storage::Database source = testing::MakeUniversityDb(11);
+  ASSERT_TRUE(catalog.Publish(kTenant, source.Clone()).ok());
+
+  const auto rebuilt_last = [&]() -> uint64_t {
+    for (const TenantInfo& info : catalog.ListTenants()) {
+      if (info.name == kTenant) return info.shards_rebuilt_last;
+    }
+    return ~0ull;
+  };
+  // First publish has no prior bundle: all 7 shards are built.
+  EXPECT_EQ(rebuilt_last(), 7u);
+
+  // Republishing identical content reuses every shard.
+  ASSERT_TRUE(catalog.Publish(kTenant, source.Clone()).ok());
+  EXPECT_EQ(rebuilt_last(), 0u);
+
+  // Appending one row dirties exactly the shard owning the new row id.
+  storage::Database changed = source.Clone();
+  const storage::RelationId prof = changed.FindRelation("prof");
+  ASSERT_NE(prof, storage::kInvalidRelation);
+  changed.mutable_relation(prof)->AppendUnchecked(
+      source.relation(prof).row(0));
+  auto published = catalog.Publish(kTenant, std::move(changed));
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(rebuilt_last(), 1u);
+
+  // The partially reused bundle still serves monolithic-identical results.
+  CatalogOptions mono;
+  Catalog baseline(mono);
+  storage::Database changed_again = source.Clone();
+  changed_again.mutable_relation(prof)->AppendUnchecked(
+      source.relation(prof).row(0));
+  auto mono_published =
+      baseline.Publish(kTenant, std::move(changed_again));
+  ASSERT_TRUE(mono_published.ok());
+  Rng rng(99);
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<std::string> probe{
+        testing::RandomSearchableValue((*published)->db(), &rng)};
+    auto sharded_result = core::SampleSearch((*published)->engine(),
+                                             (*published)->graph(), probe, {});
+    auto mono_result =
+        core::SampleSearch((*mono_published)->engine(),
+                           (*mono_published)->graph(), probe, {});
+    ASSERT_TRUE(sharded_result.ok());
+    ASSERT_TRUE(mono_result.ok());
+    EXPECT_EQ(Ranked(*sharded_result), Ranked(*mono_result));
+  }
+}
+
+// ---------------------------------------------- concurrent fan-out -------
+
+// Readers hammer one pinned 7-shard snapshot (every probe fans out on the
+// shared pool) while a writer mints shard-scoped minor epochs — the
+// designated TSan workload for the fan-out/merge and per-shard memo paths.
+TEST(ShardConcurrencyTest, PinnedReadersStableUnderShardScopedUpdates) {
+  CatalogOptions options;
+  options.shard_count = 7;
+  Catalog catalog(options);
+  ASSERT_TRUE(
+      catalog.Publish(kTenant, testing::MakeUniversityDb(42)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> iterations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(500 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto pinned = catalog.Pin(kTenant);
+        if (!pinned.ok()) continue;
+        const SnapshotPtr snap = pinned.ValueOrDie();
+        const std::vector<std::string> probe{
+            testing::RandomSearchableValue(snap->db(), &rng)};
+        auto first =
+            core::SampleSearch(snap->engine(), snap->graph(), probe, {});
+        ASSERT_TRUE(first.ok()) << first.status();
+        auto again =
+            core::SampleSearch(snap->engine(), snap->graph(), probe, {});
+        ASSERT_TRUE(again.ok()) << again.status();
+        EXPECT_EQ(Ranked(*first), Ranked(*again))
+            << "pinned shard bundle changed under a concurrent update";
+        iterations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  TenantWriter writer(&catalog);
+  Rng rng(4242);
+  size_t applied_count = 0;
+  for (size_t step = 0; step < 25; ++step) {
+    const SnapshotPtr before = catalog.Pin(kTenant).ValueOrDie();
+    const auto rel_id = static_cast<storage::RelationId>(
+        rng.Index(before->db().num_relations()));
+    const storage::Relation& rel = before->db().relation(rel_id);
+    if (rel.num_live_rows() == 0) continue;
+    const auto row = static_cast<storage::RowId>(rng.Index(rel.num_rows()));
+    if (rel.is_deleted(row)) continue;
+    UpdateBatch batch;
+    if (rng.Bernoulli(0.4)) {
+      batch.deletes.push_back(RowDelete{rel.name(), row});
+    } else {
+      batch.inserts.push_back(RowInsert{rel.name(), rel.row(row)});
+    }
+    auto applied = writer.Apply(kTenant, batch);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    EXPECT_EQ(applied->shards_touched, 1u);
+    ++applied_count;
+  }
+  // The writer finishes its 25 tiny batches in about a millisecond — far
+  // faster than one fan-out search. Keep the bundle serving until every
+  // reader has overlapped at least a few probes with the minted epochs
+  // (bounded wait so a failed reader can't hang the test).
+  for (int spin = 0; spin < 10000 && iterations.load() < 9u; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(applied_count, 10u);
+  EXPECT_GE(iterations.load(), 9u);
+}
+
+}  // namespace
+}  // namespace mweaver::catalog

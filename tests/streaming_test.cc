@@ -26,6 +26,7 @@
 #include "common/random.h"
 #include "core/sample_search.h"
 #include "graph/schema_graph.h"
+#include "service/mapping_service.h"
 #include "storage/database.h"
 #include "test_util.h"
 #include "text/fulltext_engine.h"
@@ -258,6 +259,65 @@ TEST(StreamingDifferentialTest, FailedBatchLeavesNoTrace) {
   const SnapshotPtr after = catalog.Pin(kTenant).ValueOrDie();
   EXPECT_EQ(after.get(), before.get());  // the very same snapshot object
   EXPECT_EQ(after->minor_epoch(), 0u);
+}
+
+// A session's cached-search key must be fingerprinted from the snapshot
+// it PINNED, not from the tenant's current serving state. If the caching
+// hook consulted the catalog at request time, a streaming update landing
+// between two identical keystrokes would (a) miss the still-valid cached
+// answer and (b) re-insert a result computed on the pinned minor-0 bundle
+// under the minor-1 key — poisoning every fresh session with a stale
+// answer. The service captures the key prefix at pin time; this locks the
+// epoch accounting in place.
+TEST(StreamingCacheFingerprintTest, PinnedSessionKeysCacheAtPinTimeState) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Publish(kTenant, testing::MakeFigure2Db()).ok());
+  service::MappingService svc(&catalog);
+
+  // Session pins (epoch 1, minor 0) and fills the cache for "Avatar".
+  auto session = svc.CreateSession(kTenant, {"Name"});
+  ASSERT_TRUE(session.ok());
+  service::InputRequest request;
+  request.session_id = *session;
+  request.value = "Avatar";
+  const service::RequestResult first = svc.Call(request);
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_FALSE(first.cache_hit);
+
+  // A sibling session pins the same (epoch 1, minor 0) state BEFORE the
+  // update lands; its prefix is captured now, at pin time.
+  auto sibling = svc.CreateSession(kTenant, {"Name"});
+  ASSERT_TRUE(sibling.ok());
+
+  // A streaming update bumps the tenant to minor epoch 1 behind the
+  // pinned sessions' backs.
+  TenantWriter writer(&catalog);
+  const SnapshotPtr base = catalog.Pin(kTenant).ValueOrDie();
+  const storage::RelationId movie = base->db().FindRelation("movie");
+  ASSERT_NE(movie, storage::kInvalidRelation);
+  UpdateBatch batch;
+  batch.inserts.push_back(RowInsert{"movie", base->db().relation(movie).row(0)});
+  ASSERT_TRUE(writer.Apply(kTenant, batch).ok());
+  ASSERT_EQ(catalog.Pin(kTenant).ValueOrDie()->minor_epoch(), 1u);
+
+  // The same keystroke on the sibling session replays the pinned-state
+  // entry: its key prefix was fixed at pin time (minor 0), so the
+  // minor-epoch bump is invisible to it and it shares the first
+  // session's cache line.
+  request.session_id = *sibling;
+  const service::RequestResult second = svc.Call(request);
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_TRUE(second.cache_hit);
+
+  // A FRESH session pins minor 1: its identical keystroke must land in a
+  // rolled-over key space — a hit here would mean the pinned session
+  // leaked its minor-0 answer into the minor-1 key.
+  auto fresh = svc.CreateSession(kTenant, {"Name"});
+  ASSERT_TRUE(fresh.ok());
+  request.session_id = *fresh;
+  const service::RequestResult third = svc.Call(request);
+  ASSERT_TRUE(third.status.ok()) << third.status;
+  EXPECT_FALSE(third.cache_hit);
 }
 
 // ------------------------------------------- concurrent replay -----------
